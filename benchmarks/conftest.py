@@ -1,0 +1,32 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one paper artifact (table or figure) at the
+``quick`` experiment scale, times it with pytest-benchmark, prints the
+same rows/series the paper reports, and persists them under
+``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Print a rendered artifact and persist it to results/<name>.txt."""
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,15 @@
+"""Component-ablation bench: agent x replay matrix (beyond the paper's
+figures; covers DESIGN.md's design-choice claims)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_components(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.run, args=("quick",), rounds=1, iterations=1
+    )
+    assert len(result.best) == 6
+    # DeepCAT's offline cell should not trail CDBTune's by a wide margin
+    # (across seeds it leads; allow slack for the quick budget).
+    assert result.cell("TD3", "RDPER") <= result.cell("DDPG", "PER") * 1.25
+    report("ablation_components", ablations.format_result(result))

@@ -1,0 +1,14 @@
+"""Workload-drift stream bench (extension beyond the paper's one-shot
+transfers): a single tuner serves TS -> PR -> KM requests in sequence."""
+
+from repro.experiments import drift
+
+
+def test_extension_drift(benchmark, report):
+    result = benchmark.pedantic(
+        drift.run, args=("quick",), rounds=1, iterations=1
+    )
+    # every phase must still beat its default from the phase-0 model
+    for (tuner, phase), speedup in result.speedup.items():
+        assert speedup > 1.0, f"{tuner} phase {phase}: {speedup:.2f}x"
+    report("extension_drift", drift.format_result(result))

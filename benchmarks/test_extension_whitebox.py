@@ -1,0 +1,16 @@
+"""White-box extension bench (the paper's future-work direction):
+sensitivity-guided space reduction vs full-space DeepCAT at a matched
+evaluation budget."""
+
+from repro.experiments import whitebox_ablation
+
+
+def test_extension_whitebox(benchmark, report):
+    result = benchmark.pedantic(
+        whitebox_ablation.run, args=("quick",), rounds=1, iterations=1
+    )
+    # Same budget, smarter spend: the reduced tuner must stay in the
+    # full tuner's ballpark even after paying the probe out of its own
+    # training budget (the probe is ~45% of the quick budget).
+    assert result.reduced_best <= result.full_best * 1.25
+    report("extension_whitebox", whitebox_ablation.format_result(result))

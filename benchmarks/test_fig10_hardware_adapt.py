@@ -1,0 +1,16 @@
+"""Figure 10: hardware adaptability — Cluster-A models tune Cluster-B."""
+
+from repro.experiments import fig10_hardware_adapt
+
+
+def test_fig10_hardware_adapt(benchmark, report):
+    result = benchmark.pedantic(
+        fig10_hardware_adapt.run, args=("quick",), rounds=1, iterations=1
+    )
+    # Every tuner still beats Cluster-B's default from an A-trained model
+    # (paper: WC 1.68/1.30/1.17x, PR 1.42/1.25/1.09x).
+    for (w, t), s in result.speedup.items():
+        assert s > 1.0, f"{t} on {w}: {s:.2f}x"
+    report(
+        "fig10_hardware_adapt", fig10_hardware_adapt.format_result(result)
+    )

@@ -1,0 +1,18 @@
+"""Figure 11: sweep of RDPER's high-reward batch ratio beta."""
+
+from repro.experiments import fig11_beta
+
+
+def test_fig11_beta(benchmark, report):
+    result = benchmark.pedantic(
+        fig11_beta.run, args=("quick",), rounds=1, iterations=1
+    )
+    assert len(result.betas) == 9
+    # Paper: mid-range betas beat the extremes (all-good / all-bad
+    # batches over-fit).  Compare the mid band's best against the edges.
+    mid = min(
+        b for beta, b in zip(result.betas, result.best) if 0.3 <= beta <= 0.7
+    )
+    edge = min(result.best[0], result.best[-1])
+    assert mid <= edge * 1.10
+    report("fig11_beta", fig11_beta.format_result(result))

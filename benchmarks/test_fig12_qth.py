@@ -1,0 +1,13 @@
+"""Figure 12: sweep of the Twin-Q Optimizer's Q-value threshold."""
+
+from repro.experiments import fig12_qth
+
+
+def test_fig12_qth(benchmark, report):
+    result = benchmark.pedantic(
+        fig12_qth.run, args=("quick",), rounds=1, iterations=1
+    )
+    assert len(result.thresholds) == 5
+    # All thresholds must produce working sessions with best < default-ish
+    assert all(b > 0 for b in result.best)
+    report("fig12_qth", fig12_qth.format_result(result))

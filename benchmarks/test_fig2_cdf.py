@@ -1,0 +1,15 @@
+"""Figure 2: CDF of 200 random configurations (TeraSort D1)."""
+
+from repro.experiments import fig2_cdf
+
+
+def test_fig2_cdf(benchmark, report):
+    result = benchmark.pedantic(
+        fig2_cdf.run, kwargs=dict(n_samples=200, seed=0),
+        rounds=1, iterations=1,
+    )
+    # Paper shape: beating the default is easy, approaching the found
+    # optimum is rare.
+    assert result.prob_within(1.2) < 0.2
+    assert result.prob_within(3.0) > 0.4
+    report("fig2_cdf", fig2_cdf.format_result(result))

@@ -1,0 +1,13 @@
+"""Figure 3: min twin-Q tracks the real reward during offline training."""
+
+from repro.experiments import fig3_twinq_trend
+
+
+def test_fig3_twinq_trend(benchmark, report):
+    result = benchmark.pedantic(
+        fig3_twinq_trend.run, args=("quick",), rounds=1, iterations=1
+    )
+    # The conservative twin-Q estimate must share the reward's trend —
+    # the property the Twin-Q Optimizer relies on.
+    assert result.correlation > 0.2
+    report("fig3_twinq_trend", fig3_twinq_trend.format_result(result))

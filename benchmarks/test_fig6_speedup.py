@@ -1,0 +1,17 @@
+"""Figure 6: best-configuration speedup over default, all pairs x tuners."""
+
+from repro.experiments import fig6_speedup
+
+
+def test_fig6_speedup(benchmark, report):
+    result = benchmark.pedantic(
+        fig6_speedup.run, args=("quick",), rounds=1, iterations=1
+    )
+    avg = result.average_speedups()
+    # Everyone beats the default handily...
+    for tuner, speedup in avg.items():
+        assert speedup > 1.3, f"{tuner} only reached {speedup:.2f}x"
+    # ...and DeepCAT leads both baselines on average (paper: 1.45x/1.65x).
+    assert result.relative_speedup("CDBTune") > 1.0
+    assert result.relative_speedup("OtterTune") > 1.0
+    report("fig6_speedup", fig6_speedup.format_result(result))

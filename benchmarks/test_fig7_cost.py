@@ -1,0 +1,22 @@
+"""Figure 7: total online tuning cost with recommendation breakdown."""
+
+from repro.experiments import fig7_tuning_cost
+from repro.experiments.sessions import comparison_grid
+
+
+def test_fig7_tuning_cost(benchmark, report):
+    result = benchmark.pedantic(
+        fig7_tuning_cost.run, args=("quick",), rounds=1, iterations=1
+    )
+    avg_c, _ = result.reduction_vs_cdbtune()
+    avg_o, _ = result.reduction_vs_ottertune()
+    # Paper: -24.64% avg vs CDBTune, -39.71% avg vs OtterTune.
+    assert avg_c > 0.0
+    assert avg_o > 0.0
+    # OtterTune's GP retraining dwarfs DRL recommendation time.
+    grid = comparison_grid("quick")
+    w, d = grid.pairs[0]
+    assert grid.mean_rec_cost("OtterTune", w, d) > 5 * grid.mean_rec_cost(
+        "DeepCAT", w, d
+    )
+    report("fig7_cost", fig7_tuning_cost.format_result(result))

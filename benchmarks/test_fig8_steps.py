@@ -1,0 +1,16 @@
+"""Figure 8: best-so-far and accumulated cost along the online steps."""
+
+import numpy as np
+
+from repro.experiments import fig8_cost_constraint
+
+
+def test_fig8_steps(benchmark, report):
+    result = benchmark.pedantic(
+        fig8_cost_constraint.run, args=("quick",), rounds=1, iterations=1
+    )
+    for w, d in result.grid.pairs:
+        best, cost = result.series("DeepCAT", w, d)
+        assert np.all(np.diff(best) <= 1e-9)  # best-so-far is monotone
+        assert np.all(np.diff(cost) > 0)  # cost strictly accumulates
+    report("fig8_steps", fig8_cost_constraint.format_result(result))

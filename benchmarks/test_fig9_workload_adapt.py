@@ -1,0 +1,17 @@
+"""Figure 9: workload adaptability — transferred models tune PageRank."""
+
+from repro.experiments import fig9_workload_adapt
+
+
+def test_fig9_workload_adapt(benchmark, report):
+    result = benchmark.pedantic(
+        fig9_workload_adapt.run, args=("quick",), rounds=1, iterations=1
+    )
+    native = result.best["M_PR"]
+    # Transferred DeepCAT models stay in the same ballpark as native
+    # (paper: +11% to +19%); allow generous slack at quick scale.
+    for source in ("WC", "TS", "KM"):
+        assert result.best[f"M_{source}->PR"] < native * 2.0
+    report(
+        "fig9_workload_adapt", fig9_workload_adapt.format_result(result)
+    )

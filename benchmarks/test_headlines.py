@@ -1,0 +1,16 @@
+"""The final gate: the paper's headline claims over the comparison grid."""
+
+from repro.experiments.headline import check_headlines, format_checks
+
+
+def test_headline_claims(benchmark, report):
+    checks = benchmark.pedantic(
+        check_headlines, kwargs=dict(scale="quick"), rounds=1, iterations=1
+    )
+    report("headlines", format_checks(checks))
+    # The two ordering claims are the reproduction's core result.
+    core = [c for c in checks if "avg speedup" in c.claim]
+    assert all(c.passed for c in core), format_checks(checks)
+    # Of the remaining claims, allow at most one miss at quick scale.
+    misses = [c for c in checks if not c.passed]
+    assert len(misses) <= 1, format_checks(checks)

@@ -1,0 +1,9 @@
+"""Table 1: workload characteristics."""
+
+from repro.experiments import tables
+
+
+def test_table1(benchmark, report):
+    text = benchmark.pedantic(tables.table1, rounds=1, iterations=1)
+    assert "TeraSort (TS)" in text
+    report("table1", text)

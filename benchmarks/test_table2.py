@@ -1,0 +1,9 @@
+"""Table 2: tuned parameter counts per pipeline component."""
+
+from repro.experiments import tables
+
+
+def test_table2(benchmark, report):
+    text = benchmark.pedantic(tables.table2, rounds=1, iterations=1)
+    assert "20*" in text  # 20 Spark (incl. connector), 7 YARN, 5 HDFS
+    report("table2", text)

@@ -1,0 +1,57 @@
+"""Hardware adaptability (the paper's §5.3.2 / Figure 10).
+
+Train DeepCAT on the physical Cluster-A, then serve online tuning
+requests on the smaller VM Cluster-B without retraining.  Recommended
+parameters outside the smaller cluster's scope are clipped at the
+boundary by YARN's allocation arithmetic, exactly as the paper does.
+
+Run:  python examples/adapt_to_new_hardware.py
+"""
+
+from repro import DeepCAT, make_env
+from repro.cluster.hardware import CLUSTER_A, CLUSTER_B
+
+
+def main() -> None:
+    print(
+        f"cluster-a: {CLUSTER_A.n_nodes} nodes x {CLUSTER_A.node.cores} cores "
+        f"/ {CLUSTER_A.node.memory_mb} MB"
+    )
+    print(
+        f"cluster-b: {CLUSTER_B.n_nodes} nodes x {CLUSTER_B.node.cores} cores "
+        f"/ {CLUSTER_B.node.memory_mb} MB (VM cluster)\n"
+    )
+
+    for workload in ("WC", "PR"):
+        train_env = make_env(workload, "D1", cluster=CLUSTER_A, seed=5)
+        tuner = DeepCAT.from_env(train_env, seed=5)
+        tuner.train_offline(train_env, iterations=800)
+
+        request_a = make_env(workload, "D1", cluster=CLUSTER_A, seed=50)
+        session_a = tuner.tune_online(request_a, steps=5)
+
+        request_b = make_env(workload, "D1", cluster=CLUSTER_B, seed=50)
+        session_b = tuner.tune_online(request_b, steps=5)
+
+        print(f"{workload}-D1, model trained on cluster-a:")
+        print(
+            f"  on cluster-a: default {session_a.default_duration_s:6.1f}s -> "
+            f"best {session_a.best_duration_s:6.1f}s "
+            f"({session_a.speedup_over_default:.2f}x)"
+        )
+        print(
+            f"  on cluster-b: default {session_b.default_duration_s:6.1f}s -> "
+            f"best {session_b.best_duration_s:6.1f}s "
+            f"({session_b.speedup_over_default:.2f}x, no retraining)"
+        )
+        best_b = session_b.best_config
+        print(
+            f"  cluster-b best fits its budget: "
+            f"{best_b['spark.executor.instances']} executors x "
+            f"{best_b['spark.executor.memory']} MB on "
+            f"{CLUSTER_B.node.memory_mb} MB nodes\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Compare DeepCAT against CDBTune, OtterTune and random search.
+
+Reproduces the paper's §5.2 comparison on one workload-input pair:
+every tuner prepares offline (DRL training or sample collection), then
+serves the same online tuning request for 5 steps.
+
+Run:  python examples/compare_tuners.py [WC|TS|PR|KM] [D1|D2|D3]
+"""
+
+import sys
+
+from repro import DeepCAT, make_env
+from repro.baselines import CDBTune, OtterTune, RandomSearchTuner
+from repro.utils.tables import format_table
+
+OFFLINE_ITERATIONS = 900
+OTTERTUNE_SAMPLES = 400
+
+
+def main(workload: str = "TS", dataset: str = "D1") -> None:
+    print(f"comparing tuners on {workload}-{dataset} (cluster-a)\n")
+
+    print("preparing DeepCAT (TD3 + RDPER offline training)...")
+    env = make_env(workload, dataset, seed=1)
+    deepcat = DeepCAT.from_env(env, seed=1)
+    deepcat.train_offline(env, OFFLINE_ITERATIONS)
+
+    print("preparing CDBTune (DDPG + TD-error PER offline training)...")
+    env = make_env(workload, dataset, seed=2)
+    cdbtune = CDBTune.from_env(env, seed=1)
+    cdbtune.train_offline(env, OFFLINE_ITERATIONS)
+
+    print("preparing OtterTune (random sample corpus for the GP)...")
+    env = make_env(workload, dataset, seed=3)
+    ottertune = OtterTune.from_env(env, seed=1)
+    ottertune.collect_offline(env, f"{workload}-{dataset}", OTTERTUNE_SAMPLES)
+
+    tuners = [
+        ("DeepCAT", deepcat),
+        ("CDBTune", cdbtune),
+        ("OtterTune", ottertune),
+        ("RandomSearch", RandomSearchTuner(seed=1)),
+    ]
+
+    rows = []
+    default_s = None
+    for name, tuner in tuners:
+        request = make_env(workload, dataset, seed=1234)
+        session = tuner.tune_online(request, steps=5)
+        default_s = session.default_duration_s
+        rows.append(
+            (
+                name,
+                session.best_duration_s,
+                session.speedup_over_default,
+                session.evaluation_seconds,
+                f"{session.recommendation_seconds:.3f}",
+            )
+        )
+
+    print(f"\ndefault configuration: {default_s:.1f}s\n")
+    print(
+        format_table(
+            headers=(
+                "tuner",
+                "best exec (s)",
+                "speedup (x)",
+                "eval cost (s)",
+                "rec time (s)",
+            ),
+            rows=rows,
+            title="Online tuning comparison (5 steps each)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:3])

@@ -1,0 +1,63 @@
+"""Quickstart: tune TeraSort on the simulated 3-node Spark cluster.
+
+Trains a small DeepCAT model offline, then serves an online tuning
+request with 5 steps (the paper's protocol) and prints what the paper's
+Figures 6-8 would record for this session.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DeepCAT, make_env
+
+
+def main() -> None:
+    # The standard environment used for offline training.
+    train_env = make_env("TS", "D1", seed=7)
+    print(
+        f"TeraSort D1 on cluster-a: default configuration runs in "
+        f"{train_env.default_duration:.1f}s"
+    )
+
+    tuner = DeepCAT.from_env(train_env, seed=7)
+    print("offline training (700 evaluations on the standard environment)...")
+    log = tuner.train_offline(train_env, iterations=700)
+    print(f"  best configuration seen offline: {log.best_duration_s:.1f}s")
+    print(
+        f"  RDPER pools: {tuner.buffer.high_size} high-reward / "
+        f"{tuner.buffer.low_size} low-reward transitions"
+    )
+
+    # A new online tuning request (fresh environment state and noise).
+    request_env = make_env("TS", "D1", seed=99)
+    session = tuner.tune_online(request_env, steps=5)
+
+    print("\nonline tuning session (5 steps):")
+    for step in session.steps:
+        screened = (
+            f" [twin-Q optimized, {step.twinq_iterations} candidates]"
+            if step.twinq_iterations
+            else ""
+        )
+        status = "ok" if step.success else "FAILED"
+        print(
+            f"  step {step.step + 1}: {step.duration_s:7.1f}s "
+            f"(reward {step.reward:+.2f}, {status}){screened}"
+        )
+
+    print(
+        f"\nbest configuration found: {session.best_duration_s:.1f}s "
+        f"({session.speedup_over_default:.2f}x speedup over default)"
+    )
+    print(
+        f"total online tuning cost: {session.total_tuning_seconds:.1f}s "
+        f"(recommendation time {session.recommendation_seconds * 1e3:.1f}ms)"
+    )
+    print("\nbest configuration (non-default values):")
+    defaults = request_env.space.defaults()
+    for key, value in sorted(session.best_config.items()):
+        if value != defaults[key]:
+            print(f"  {key} = {value}  (default {defaults[key]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Deep reinforcement learning agents (from scratch on :mod:`repro.nn`).
+
+:class:`DDPGAgent` is the tuner core of CDBTune; :class:`TD3Agent` (twin
+critics, target-policy smoothing, delayed policy updates) is DeepCAT's.
+"""
+
+from repro.agents.base import AgentHyperParams
+from repro.agents.ddpg import DDPGAgent
+from repro.agents.td3 import TD3Agent
+
+__all__ = ["AgentHyperParams", "DDPGAgent", "TD3Agent"]

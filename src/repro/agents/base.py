@@ -1,0 +1,91 @@
+"""Shared agent configuration and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.network import MLP, Sequential
+
+__all__ = ["AgentHyperParams", "build_actor", "build_critic", "critic_input"]
+
+
+@dataclass(frozen=True)
+class AgentHyperParams:
+    """Hyper-parameters common to DDPG and TD3.
+
+    Defaults follow the TD3 reference implementation scaled to the small
+    state/action sizes of configuration tuning, with a deliberately slow
+    actor (``actor_lr`` 5x below ``critic_lr``, small ``tau``, large
+    batches): the load-average state barely varies, so the policy is
+    close to a single learned vector and a fast actor chases every
+    fluctuation of the critic surface instead of converging.
+    ``gamma`` is low because
+    the paper's immediate-reward design (Eq. 1) makes each step's reward
+    directly meaningful — the agent maximizes per-action performance, not
+    a long horizon — and it keeps Q-values on the same scale as rewards,
+    which the Twin-Q Optimizer's ``Q_th`` relies on.
+    """
+
+    actor_lr: float = 2e-4
+    critic_lr: float = 1e-3
+    gamma: float = 0.4
+    tau: float = 0.005
+    batch_size: int = 128
+    hidden: tuple[int, ...] = (64, 64)
+    exploration_sigma: float = 0.25
+    exploration_sigma_min: float = 0.08
+    exploration_decay: float = 0.999
+    warmup_steps: int = 64
+    # TD3-specific
+    policy_delay: int = 2
+    target_noise_sigma: float = 0.1
+    target_noise_clip: float = 0.25
+
+    def __post_init__(self):
+        if not 0.0 <= self.gamma < 1.0:
+            raise ValueError(f"gamma must be in [0,1), got {self.gamma}")
+        if not 0.0 < self.tau <= 1.0:
+            raise ValueError(f"tau must be in (0,1], got {self.tau}")
+        if self.batch_size <= 0 or self.warmup_steps < 0:
+            raise ValueError("invalid batch/warmup sizes")
+        if self.policy_delay < 1:
+            raise ValueError("policy_delay must be >= 1")
+
+
+def build_actor(
+    state_dim: int, action_dim: int, hidden: tuple[int, ...],
+    rng: np.random.Generator,
+) -> Sequential:
+    """Actor network: state -> action in [0,1]^d (sigmoid head).
+
+    The normalized configuration cube is [0,1]^d (§3.1), so a sigmoid
+    output is the natural squashing (DDPG's tanh maps to [-1,1]).
+    """
+    return MLP(
+        state_dim, action_dim, hidden=hidden,
+        activation="relu", out_activation="sigmoid", rng=rng,
+    )
+
+
+def build_critic(
+    state_dim: int, action_dim: int, hidden: tuple[int, ...],
+    rng: np.random.Generator,
+) -> Sequential:
+    """Critic network: (state, action) -> Q, linear head."""
+    return MLP(
+        state_dim + action_dim, 1, hidden=hidden,
+        activation="relu", out_activation=None, rng=rng,
+    )
+
+
+def critic_input(states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+    """Concatenate state and action batches for the critic."""
+    if states.ndim == 1:
+        states = states[None, :]
+    if actions.ndim == 1:
+        actions = actions[None, :]
+    if states.shape[0] != actions.shape[0]:
+        raise ValueError("state/action batch sizes differ")
+    return np.concatenate([states, actions], axis=1)

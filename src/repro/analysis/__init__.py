@@ -1,0 +1,20 @@
+"""White-box analysis tools over the simulator.
+
+The paper's future-work section points at white-box analyses (LOCAT,
+LITE) to further cut tuning cost.  This package provides the building
+blocks on top of the simulator: one-at-a-time knob sensitivity, pairwise
+interaction probes, and resource-breakdown profiles of execution
+results.
+"""
+
+from repro.analysis.breakdown import ResourceProfile, resource_profile
+from repro.analysis.interactions import interaction_strength
+from repro.analysis.sensitivity import KnobSensitivity, knob_sensitivity
+
+__all__ = [
+    "KnobSensitivity",
+    "knob_sensitivity",
+    "interaction_strength",
+    "ResourceProfile",
+    "resource_profile",
+]

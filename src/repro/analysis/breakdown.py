@@ -1,0 +1,59 @@
+"""Resource-breakdown profiles of execution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.result import ExecutionResult
+
+__all__ = ["ResourceProfile", "resource_profile"]
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Where a job's time went, summed over stages (critical-path view)."""
+
+    cpu_s: float
+    disk_s: float
+    network_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.cpu_s + self.disk_s + self.network_s + self.overhead_s
+
+    @property
+    def dominant(self) -> str:
+        """The largest component's name (cpu/disk/network/overhead)."""
+        parts = {
+            "cpu": self.cpu_s,
+            "disk": self.disk_s,
+            "network": self.network_s,
+            "overhead": self.overhead_s,
+        }
+        return max(parts, key=parts.get)
+
+    def share(self, component: str) -> float:
+        """Fraction of profiled time spent in ``component``."""
+        value = getattr(self, f"{component}_s")
+        total = self.total_s
+        return value / total if total > 0 else 0.0
+
+
+def resource_profile(result: ExecutionResult) -> ResourceProfile:
+    """Aggregate a result's per-stage components into one profile.
+
+    Components are the engine's *pre-overlap* resource times, so shares
+    describe demand, not wall-clock (overlapped demand exceeds the job
+    duration by design).
+    """
+    if not result.success:
+        raise ValueError(
+            f"cannot profile a failed run: {result.failure_reason}"
+        )
+    return ResourceProfile(
+        cpu_s=float(sum(s.cpu_seconds for s in result.stages)),
+        disk_s=float(sum(s.disk_seconds for s in result.stages)),
+        network_s=float(sum(s.network_seconds for s in result.stages)),
+        overhead_s=float(sum(s.overhead_seconds for s in result.stages)),
+    )

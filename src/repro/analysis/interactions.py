@@ -1,0 +1,66 @@
+"""Pairwise knob interaction probe.
+
+Measures how non-additive two knobs are: evaluate a 2D grid over the
+pair (others fixed) and compare against the best additive approximation
+``f(u, v) ≈ a(u) + b(v)``.  Large residuals mean the knobs interact —
+e.g. ``spark.executor.memory`` and ``spark.memory.storageFraction``
+jointly decide whether a cached dataset fits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.space import ConfigurationSpace
+from repro.sim.engine import SparkSimulator
+from repro.sim.faults import FAILURE_PERF_FACTOR
+
+__all__ = ["interaction_strength"]
+
+
+def interaction_strength(
+    simulator: SparkSimulator,
+    space: ConfigurationSpace,
+    knob_a: str,
+    knob_b: str,
+    base_config: dict | None = None,
+    n_points: int = 5,
+) -> float:
+    """Normalized interaction strength of two knobs in [0, ~1].
+
+    0 means perfectly additive effects; larger values mean the response
+    surface needs a joint term.  Computed as the RMS residual of the
+    best additive fit (by alternating row/column means) over the grid,
+    normalized by the grid's duration spread.
+    """
+    if knob_a == knob_b:
+        raise ValueError("need two distinct knobs")
+    for name in (knob_a, knob_b):
+        if name not in space:
+            raise KeyError(f"unknown knob {name!r}")
+    if n_points < 2:
+        raise ValueError("need at least 2 grid points")
+
+    base = base_config if base_config is not None else space.defaults()
+    base_vec = space.encode(base)
+    ia, ib = space.names.index(knob_a), space.names.index(knob_b)
+    penalty = FAILURE_PERF_FACTOR * simulator.default_duration(space)
+
+    grid = np.linspace(0.0, 1.0, n_points)
+    surface = np.empty((n_points, n_points))
+    for i, u in enumerate(grid):
+        for j, v in enumerate(grid):
+            vec = base_vec.copy()
+            vec[ia], vec[ib] = u, v
+            res = simulator.evaluate(space.decode(vec))
+            surface[i, j] = res.duration_s if res.success else penalty
+
+    # Two-way ANOVA-style additive fit: grand mean + row + column effects.
+    grand = surface.mean()
+    row = surface.mean(axis=1, keepdims=True) - grand
+    col = surface.mean(axis=0, keepdims=True) - grand
+    residual = surface - (grand + row + col)
+    spread = surface.max() - surface.min()
+    if spread <= 1e-9:
+        return 0.0
+    return float(np.sqrt(np.mean(residual**2)) / spread)

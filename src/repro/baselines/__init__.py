@@ -1,0 +1,25 @@
+"""Baseline tuners the paper compares against.
+
+* :class:`CDBTune` — DDPG with TD-error prioritized replay (Zhang et al.
+  2019), the state-of-the-art DRL database tuner.
+* :class:`OtterTune` — GP regression + Expected Improvement with Lasso
+  knob ranking and workload mapping (Van Aken et al. 2017).
+* :class:`RandomSearchTuner` / :class:`BestConfigTuner` /
+  :class:`BayesOptTuner` — search-based extension baselines from the
+  paper's related-work families (the paper discusses but does not plot
+  them).
+"""
+
+from repro.baselines.bestconfig import BestConfigTuner
+from repro.baselines.bo import BayesOptTuner
+from repro.baselines.cdbtune import CDBTune
+from repro.baselines.ottertune.tuner import OtterTune
+from repro.baselines.random_search import RandomSearchTuner
+
+__all__ = [
+    "CDBTune",
+    "OtterTune",
+    "RandomSearchTuner",
+    "BestConfigTuner",
+    "BayesOptTuner",
+]

@@ -1,0 +1,26 @@
+"""OtterTune baseline (Van Aken et al., SIGMOD 2017).
+
+Pipeline stages, each implemented from scratch on numpy/scipy:
+
+* :mod:`lasso` — Lasso-path knob ranking (which knobs matter);
+* :mod:`gp` — Gaussian-process regression surrogate;
+* :mod:`ei` — Expected Improvement acquisition;
+* :mod:`mapping` — workload mapping: match the target workload to the
+  most similar workload in the repository by metric signatures;
+* :mod:`tuner` — the online tuning loop tying them together.
+"""
+
+from repro.baselines.ottertune.ei import expected_improvement
+from repro.baselines.ottertune.gp import GaussianProcessRegressor
+from repro.baselines.ottertune.lasso import lasso_coordinate_descent, rank_knobs
+from repro.baselines.ottertune.mapping import WorkloadRepository
+from repro.baselines.ottertune.tuner import OtterTune
+
+__all__ = [
+    "GaussianProcessRegressor",
+    "expected_improvement",
+    "lasso_coordinate_descent",
+    "rank_knobs",
+    "WorkloadRepository",
+    "OtterTune",
+]

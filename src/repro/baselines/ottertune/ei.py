@@ -1,0 +1,50 @@
+"""Expected Improvement acquisition (minimization form).
+
+OtterTune recommends the candidate maximizing the expected improvement of
+execution time below the incumbent best:
+
+    EI(x) = (y* − μ(x)) Φ(z) + σ(x) φ(z),   z = (y* − μ(x)) / σ(x)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+__all__ = ["expected_improvement"]
+
+
+def expected_improvement(
+    mean: np.ndarray,
+    std: np.ndarray,
+    best_y: float,
+    xi: float = 0.0,
+) -> np.ndarray:
+    """EI for minimization, vectorized over candidates.
+
+    Parameters
+    ----------
+    mean, std:
+        GP predictive mean and standard deviation, shape (m,).
+    best_y:
+        Incumbent best (lowest) observed target.
+    xi:
+        Exploration margin subtracted from the incumbent.
+    """
+    mean = np.asarray(mean, dtype=np.float64).ravel()
+    std = np.asarray(std, dtype=np.float64).ravel()
+    if mean.shape != std.shape:
+        raise ValueError("mean and std must align")
+    if np.any(std < 0):
+        raise ValueError("std must be non-negative")
+    improvement = best_y - xi - mean
+    ei = np.zeros_like(mean)
+    positive_std = std > 1e-12
+    z = np.zeros_like(mean)
+    z[positive_std] = improvement[positive_std] / std[positive_std]
+    ei[positive_std] = improvement[positive_std] * norm.cdf(
+        z[positive_std]
+    ) + std[positive_std] * norm.pdf(z[positive_std])
+    # Deterministic points: improvement only if strictly better.
+    ei[~positive_std] = np.maximum(improvement[~positive_std], 0.0)
+    return np.maximum(ei, 0.0)

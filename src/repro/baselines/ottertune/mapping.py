@@ -1,0 +1,124 @@
+"""Workload repository and workload mapping.
+
+OtterTune keeps every workload it has ever tuned; when a new tuning
+request arrives it *maps* the target to the most similar repository
+workload by comparing metric signatures under comparable configurations,
+then seeds the GP with that workload's data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WorkloadObservations", "WorkloadRepository"]
+
+
+@dataclass
+class WorkloadObservations:
+    """All observations for one workload: configs, metrics, performance."""
+
+    workload_id: str
+    configs: list[np.ndarray] = field(default_factory=list)
+    metrics: list[np.ndarray] = field(default_factory=list)
+    perfs: list[float] = field(default_factory=list)
+
+    def add(self, config: np.ndarray, metrics: np.ndarray, perf: float) -> None:
+        if perf <= 0:
+            raise ValueError("performance must be positive")
+        self.configs.append(np.asarray(config, dtype=np.float64))
+        self.metrics.append(np.asarray(metrics, dtype=np.float64))
+        self.perfs.append(float(perf))
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(X, M, y) as stacked arrays."""
+        return (
+            np.vstack(self.configs),
+            np.vstack(self.metrics),
+            np.asarray(self.perfs),
+        )
+
+
+class WorkloadRepository:
+    """Stores per-workload observation sets and performs mapping."""
+
+    def __init__(self):
+        self._workloads: dict[str, WorkloadObservations] = {}
+
+    def observe(
+        self, workload_id: str, config: np.ndarray, metrics: np.ndarray,
+        perf: float,
+    ) -> None:
+        self._workloads.setdefault(
+            workload_id, WorkloadObservations(workload_id)
+        ).add(config, metrics, perf)
+
+    def workloads(self) -> list[str]:
+        return sorted(self._workloads)
+
+    def get(self, workload_id: str) -> WorkloadObservations:
+        try:
+            return self._workloads[workload_id]
+        except KeyError:
+            raise KeyError(f"unknown workload {workload_id!r}") from None
+
+    def __contains__(self, workload_id: str) -> bool:
+        return workload_id in self._workloads
+
+    def map_workload(
+        self,
+        target_configs: np.ndarray,
+        target_metrics: np.ndarray,
+        exclude: str | None = None,
+    ) -> str | None:
+        """Find the repository workload most similar to the target.
+
+        For each candidate workload, each target observation is matched
+        to the candidate observation with the nearest *configuration*,
+        and the distance between their (standardized) metric vectors is
+        accumulated; the lowest mean metric distance wins.  This is
+        OtterTune's matching-under-comparable-configs scheme with
+        nearest-config matching in place of per-metric GPs.
+        """
+        target_configs = np.atleast_2d(np.asarray(target_configs, dtype=float))
+        target_metrics = np.atleast_2d(np.asarray(target_metrics, dtype=float))
+        if target_configs.shape[0] != target_metrics.shape[0]:
+            raise ValueError("configs and metrics must align")
+        candidates = [w for w in self.workloads() if w != exclude]
+        if not candidates:
+            return None
+        if target_configs.shape[0] == 0:
+            # No target observations yet (first online step): fall back to
+            # the workload with the richest observation set.
+            return max(candidates, key=lambda w: len(self._workloads[w]))
+
+        # Standardize metrics across the whole repository for fair distances.
+        all_metrics = np.vstack(
+            [np.vstack(self._workloads[w].metrics) for w in candidates]
+        )
+        mu = all_metrics.mean(axis=0)
+        sd = all_metrics.std(axis=0)
+        sd = np.where(sd > 1e-12, sd, 1.0)
+
+        best_workload, best_score = None, float("inf")
+        for w in candidates:
+            x, m, _ = self._workloads[w].arrays()
+            mz = (m - mu) / sd
+            tz = (target_metrics - mu) / sd
+            # nearest candidate config for each target config
+            d_cfg = (
+                np.sum(target_configs**2, axis=1)[:, None]
+                + np.sum(x**2, axis=1)[None, :]
+                - 2.0 * target_configs @ x.T
+            )
+            nearest = np.argmin(d_cfg, axis=1)
+            score = float(
+                np.mean(np.linalg.norm(tz - mz[nearest], axis=1))
+            )
+            if score < best_score:
+                best_workload, best_score = w, score
+        return best_workload

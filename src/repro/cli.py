@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli train   --workload TS --dataset D1 --iterations 1500 \
+                                --model model.npz
+    python -m repro.cli tune    --workload TS --dataset D1 --model model.npz \
+                                --steps 5
+    python -m repro.cli evaluate --workload TS --dataset D1 [--set k=v ...]
+    python -m repro.cli bench-report --scale quick
+
+``train`` runs the offline stage and saves the model; ``tune`` loads it
+and serves an online tuning request; ``evaluate`` runs a single
+configuration on the simulator (the HiBench-equivalent one-off run);
+``bench-report`` regenerates EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.baselines.cdbtune import CDBTune
+from repro.cluster.hardware import CLUSTER_A, CLUSTER_B
+from repro.core.deepcat import DeepCAT
+from repro.core.persistence import load_tuner, save_tuner
+from repro.factory import make_env
+
+__all__ = ["main", "build_parser"]
+
+_CLUSTERS = {"cluster-a": CLUSTER_A, "cluster-b": CLUSTER_B}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DeepCAT reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--workload", default="TS",
+                       choices=("WC", "TS", "PR", "KM",
+                                "BAY", "AGG", "JOIN"))
+        p.add_argument("--dataset", default="D1",
+                       choices=("D1", "D2", "D3"))
+        p.add_argument("--cluster", default="cluster-a",
+                       choices=sorted(_CLUSTERS))
+        p.add_argument("--seed", type=int, default=0)
+
+    p_train = sub.add_parser("train", help="offline-train a tuner")
+    common(p_train)
+    p_train.add_argument("--tuner", default="deepcat",
+                         choices=("deepcat", "cdbtune"))
+    p_train.add_argument("--iterations", type=int, default=1500)
+    p_train.add_argument("--model", required=True,
+                         help="output .npz path")
+
+    p_tune = sub.add_parser("tune", help="serve an online tuning request")
+    common(p_tune)
+    p_tune.add_argument("--model", required=True, help="trained .npz path")
+    p_tune.add_argument("--steps", type=int, default=5)
+    p_tune.add_argument("--time-budget", type=float, default=None,
+                        help="total tuning cost constraint in seconds")
+
+    p_eval = sub.add_parser(
+        "evaluate", help="run one configuration on the simulator"
+    )
+    common(p_eval)
+    p_eval.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override a parameter (repeatable)",
+    )
+
+    p_rep = sub.add_parser(
+        "bench-report", help="regenerate EXPERIMENTS.md"
+    )
+    p_rep.add_argument("--scale", default="quick",
+                       choices=("quick", "standard", "full"))
+    p_rep.add_argument("--output", default="EXPERIMENTS.md")
+
+    p_corpus = sub.add_parser(
+        "corpus", help="generate an offline sample corpus (.npz)"
+    )
+    common(p_corpus)
+    p_corpus.add_argument("--samples", type=int, default=500)
+    p_corpus.add_argument("--sampler", default="uniform",
+                          choices=("uniform", "lhs"))
+    p_corpus.add_argument("--output", required=True, help="output .npz path")
+    return parser
+
+
+def _coerce(param, raw: str):
+    """Parse a CLI override against the parameter's type."""
+    from repro.config.parameter import (
+        BoolParameter,
+        CategoricalParameter,
+        FloatParameter,
+        IntParameter,
+    )
+
+    if isinstance(param, BoolParameter):
+        if raw.lower() in ("true", "1", "yes"):
+            return True
+        if raw.lower() in ("false", "0", "no"):
+            return False
+        raise ValueError(f"{param.name}: cannot parse boolean {raw!r}")
+    if isinstance(param, IntParameter):
+        return int(raw)
+    if isinstance(param, FloatParameter):
+        return float(raw)
+    if isinstance(param, CategoricalParameter):
+        return raw
+    raise TypeError(f"unknown parameter type for {param.name}")
+
+
+def _cmd_train(args) -> int:
+    env = make_env(args.workload, args.dataset,
+                   cluster=_CLUSTERS[args.cluster], seed=args.seed)
+    cls = DeepCAT if args.tuner == "deepcat" else CDBTune
+    tuner = cls.from_env(env, seed=args.seed)
+    print(
+        f"offline-training {args.tuner} on {args.workload}-{args.dataset} "
+        f"({args.iterations} iterations)..."
+    )
+    log = tuner.train_offline(env, args.iterations)
+    save_tuner(tuner, args.model)
+    print(
+        f"saved {args.model}; best configuration seen offline "
+        f"{log.best_duration_s:.1f}s (default {env.default_duration:.1f}s)"
+    )
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    tuner = load_tuner(args.model, seed=args.seed)
+    env = make_env(args.workload, args.dataset,
+                   cluster=_CLUSTERS[args.cluster], seed=1000 + args.seed)
+    session = tuner.tune_online(
+        env, steps=args.steps, time_budget_s=args.time_budget
+    )
+    for step in session.steps:
+        status = "ok" if step.success else "FAILED"
+        print(
+            f"step {step.step + 1}: {step.duration_s:8.1f}s "
+            f"(reward {step.reward:+.2f}, {status})"
+        )
+    print(
+        f"best {session.best_duration_s:.1f}s "
+        f"({session.speedup_over_default:.2f}x over default), "
+        f"total tuning cost {session.total_tuning_seconds:.1f}s"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    env = make_env(args.workload, args.dataset,
+                   cluster=_CLUSTERS[args.cluster], seed=args.seed)
+    config = env.space.defaults()
+    for item in args.set:
+        if "=" not in item:
+            print(f"bad --set {item!r}, expected KEY=VALUE", file=sys.stderr)
+            return 2
+        key, raw = item.split("=", 1)
+        if key not in env.space:
+            print(f"unknown parameter {key!r}", file=sys.stderr)
+            return 2
+        config[key] = _coerce(env.space[key], raw)
+    outcome = env.step(env.space.encode(config))
+    result = outcome.result
+    status = "OK" if result.success else f"FAILED: {result.failure_reason}"
+    print(
+        f"{args.workload}-{args.dataset} on {args.cluster}: "
+        f"{result.duration_s:.1f}s [{status}]"
+    )
+    from repro.sim.timeline import render_timeline
+
+    print(render_timeline(result))
+    return 0
+
+
+def _cmd_bench_report(args) -> int:
+    from repro.experiments.report import build_report
+
+    report = build_report(args.scale)
+    with open(args.output, "w") as fh:
+        fh.write(report)
+    print(f"wrote {args.output} at scale {args.scale!r}")
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    import numpy as np
+
+    from repro.data import generate_corpus, save_corpus
+
+    env = make_env(args.workload, args.dataset,
+                   cluster=_CLUSTERS[args.cluster], seed=args.seed)
+    corpus = generate_corpus(
+        env,
+        f"{args.workload}-{args.dataset}",
+        args.samples,
+        np.random.default_rng(args.seed),
+        sampler=args.sampler,
+    )
+    save_corpus(corpus, args.output)
+    print(
+        f"wrote {args.output}: {len(corpus)} samples, "
+        f"{corpus.failure_rate * 100:.1f}% failed, "
+        f"best {corpus.best_duration_s:.1f}s"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "train": _cmd_train,
+        "tune": _cmd_tune,
+        "evaluate": _cmd_evaluate,
+        "bench-report": _cmd_bench_report,
+        "corpus": _cmd_corpus,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

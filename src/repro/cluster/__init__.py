@@ -1,0 +1,25 @@
+"""Cluster hardware and resource-management substrate.
+
+Models the parts of a Spark-on-YARN deployment that turn a configuration
+dictionary into *physical resources*: node hardware, YARN's container
+allocation arithmetic, Spark's unified memory model, and disk / network /
+HDFS throughput curves.  The simulation engine (:mod:`repro.sim`) composes
+these into execution times.
+"""
+
+from repro.cluster.hardware import CLUSTER_A, CLUSTER_B, ClusterSpec, NodeSpec
+from repro.cluster.yarn import ExecutorPlacement, plan_executors
+from repro.cluster.memory import MemoryModel, TaskMemoryVerdict
+from repro.cluster.state import ClusterStateTracker
+
+__all__ = [
+    "NodeSpec",
+    "ClusterSpec",
+    "CLUSTER_A",
+    "CLUSTER_B",
+    "ExecutorPlacement",
+    "plan_executors",
+    "MemoryModel",
+    "TaskMemoryVerdict",
+    "ClusterStateTracker",
+]

@@ -1,0 +1,56 @@
+"""Disk throughput model.
+
+Concurrent task streams on a spinning disk degrade from sequential to
+near-random throughput; larger stream buffers (``io.file.buffer.size``,
+``spark.shuffle.file.buffer``) recover part of the sequential rate by
+batching writes.  Throughput is per *node* and shared by that node's
+concurrently running tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.hardware import NodeSpec
+
+__all__ = ["effective_disk_mbps", "disk_seconds"]
+
+
+def effective_disk_mbps(
+    node: NodeSpec,
+    concurrent_streams: int,
+    buffer_kb: float,
+) -> float:
+    """Aggregate node disk throughput under ``concurrent_streams`` streams.
+
+    With one stream the disk delivers its sequential rate.  As streams are
+    added the head thrashes and aggregate throughput decays toward the
+    random floor; a bigger per-stream buffer moves the curve back toward
+    sequential (batched I/O amortizes seeks).
+    """
+    if concurrent_streams < 1:
+        raise ValueError("need at least one stream")
+    if buffer_kb <= 0:
+        raise ValueError("buffer must be positive")
+    # Buffer quality: 0 (tiny buffer) .. 1 (>= ~512 KB buffer).
+    quality = float(np.clip(np.log2(buffer_kb / 16.0) / np.log2(512.0 / 16.0),
+                            0.0, 1.0))
+    # Interference grows with streams; good buffering halves its slope.
+    interference = (concurrent_streams - 1) * (0.30 - 0.22 * quality)
+    floor = node.disk_rand_mbps / node.disk_seq_mbps
+    share = max(floor, 1.0 / (1.0 + interference))
+    return node.disk_seq_mbps * share
+
+
+def disk_seconds(
+    mb: float,
+    node: NodeSpec,
+    concurrent_streams: int,
+    buffer_kb: float,
+) -> float:
+    """Seconds for a node to move ``mb`` megabytes at the effective rate."""
+    if mb < 0:
+        raise ValueError("bytes cannot be negative")
+    if mb == 0:
+        return 0.0
+    return mb / effective_disk_mbps(node, concurrent_streams, buffer_kb)

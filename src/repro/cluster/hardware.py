@@ -1,0 +1,95 @@
+"""Hardware specifications for the simulated clusters.
+
+``CLUSTER_A`` mirrors the paper's physical testbed (§4.1): three nodes,
+each one Intel i7-10700 (16 logical cores @ 2.9 GHz), 16 GB DDR4, 1 TB
+HDD, linked by 1-Gigabit Ethernet.  ``CLUSTER_B`` mirrors the VM cluster
+of §5.3.2: three VMs totalling 24 cores / 24 GB / 150 GB disk, with the
+typical virtualization haircut on disk and network throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NodeSpec", "ClusterSpec", "CLUSTER_A", "CLUSTER_B"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One worker node's physical resources."""
+
+    cores: int
+    memory_mb: int
+    disk_seq_mbps: float  # sequential read/write throughput
+    disk_rand_mbps: float  # random/concurrent-stream throughput floor
+    cpu_ghz: float
+
+    def __post_init__(self):
+        if self.cores <= 0 or self.memory_mb <= 0:
+            raise ValueError("node must have positive cores and memory")
+        if self.disk_seq_mbps <= 0 or self.disk_rand_mbps <= 0:
+            raise ValueError("disk throughput must be positive")
+        if self.disk_rand_mbps > self.disk_seq_mbps:
+            raise ValueError("random throughput cannot exceed sequential")
+        if self.cpu_ghz <= 0:
+            raise ValueError("cpu_ghz must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``n_nodes`` identical workers."""
+
+    name: str
+    n_nodes: int
+    node: NodeSpec
+    network_mbps: float  # per-link bandwidth (MB/s)
+    network_latency_ms: float = 0.5
+
+    def __post_init__(self):
+        if self.n_nodes <= 0:
+            raise ValueError("cluster needs at least one node")
+        if self.network_mbps <= 0:
+            raise ValueError("network bandwidth must be positive")
+        if self.network_latency_ms < 0:
+            raise ValueError("latency cannot be negative")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.node.cores
+
+    @property
+    def total_memory_mb(self) -> int:
+        return self.n_nodes * self.node.memory_mb
+
+    def scale_cpu(self) -> float:
+        """Relative CPU speed versus a 2.9 GHz reference core."""
+        return self.node.cpu_ghz / 2.9
+
+
+# The paper's physical 3-node testbed: i7-10700, 16 GB, 1 TB HDD, 1 GbE.
+CLUSTER_A = ClusterSpec(
+    name="cluster-a",
+    n_nodes=3,
+    node=NodeSpec(
+        cores=16,
+        memory_mb=16384,
+        disk_seq_mbps=140.0,  # 7200rpm HDD sequential
+        disk_rand_mbps=35.0,
+        cpu_ghz=2.9,
+    ),
+    network_mbps=117.0,  # 1 GbE practical goodput
+)
+
+# The paper's VM cluster: 3 nodes, 24 cores / 24 GB / 150 GB total.
+CLUSTER_B = ClusterSpec(
+    name="cluster-b",
+    n_nodes=3,
+    node=NodeSpec(
+        cores=8,
+        memory_mb=8192,
+        disk_seq_mbps=110.0,  # virtio-backed disk
+        disk_rand_mbps=30.0,
+        cpu_ghz=2.6,
+    ),
+    network_mbps=100.0,
+)

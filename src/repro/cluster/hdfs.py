@@ -1,0 +1,98 @@
+"""HDFS read/write model.
+
+HDFS knobs act through three channels:
+
+* ``dfs.blocksize`` determines the number of input splits (= map tasks)
+  and the metadata load per gigabyte;
+* ``dfs.replication`` multiplies write traffic (pipeline replication puts
+  ``r-1`` extra copies on the wire/disks);
+* handler counts bound RPC throughput — with few handlers, many
+  concurrent clients queue on the NameNode/DataNodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.cluster.disk import effective_disk_mbps
+from repro.cluster.hardware import ClusterSpec
+from repro.utils.stats import saturating
+
+__all__ = ["HdfsModel"]
+
+
+class HdfsModel:
+    """HDFS behaviour under a given configuration on a given cluster."""
+
+    def __init__(self, config: Mapping[str, Any], cluster: ClusterSpec):
+        self.cluster = cluster
+        self.blocksize_mb = int(config["dfs.blocksize"])
+        self.replication = int(config["dfs.replication"])
+        self.nn_handlers = int(config["dfs.namenode.handler.count"])
+        self.dn_handlers = int(config["dfs.datanode.handler.count"])
+        self.io_buffer_kb = int(config["io.file.buffer.size"])
+        if self.blocksize_mb <= 0 or self.replication <= 0:
+            raise ValueError("invalid HDFS configuration")
+
+    def input_splits(self, input_mb: float) -> int:
+        """Number of map-side input splits for ``input_mb`` of data."""
+        if input_mb < 0:
+            raise ValueError("input size cannot be negative")
+        return max(1, int(np.ceil(input_mb / self.blocksize_mb)))
+
+    def _rpc_slowdown(self, concurrent_clients: int) -> float:
+        """>= 1 multiplier from RPC handler contention.
+
+        Served capacity saturates with handler count; when concurrent
+        clients outnumber effective handlers, requests queue.
+        """
+        nn_capacity = saturating(float(self.nn_handlers), 120.0)
+        dn_capacity = saturating(float(self.dn_handlers), 60.0)
+        capacity = min(nn_capacity * 4.0, dn_capacity * 6.0)
+        if concurrent_clients <= capacity:
+            return 1.0
+        return 1.0 + 0.12 * (concurrent_clients / capacity - 1.0)
+
+    def read_seconds(self, mb: float, concurrent_tasks_per_node: int) -> float:
+        """Cluster-wide time to read ``mb`` spread over all nodes.
+
+        Reads are data-local in the common case, so the cost is disk-bound
+        with RPC overhead for block lookups.
+        """
+        if mb < 0:
+            raise ValueError("bytes cannot be negative")
+        if mb == 0:
+            return 0.0
+        per_node_mb = mb / self.cluster.n_nodes
+        rate = effective_disk_mbps(
+            self.cluster.node,
+            max(1, concurrent_tasks_per_node),
+            float(self.io_buffer_kb),
+        )
+        base = per_node_mb / rate
+        total_clients = concurrent_tasks_per_node * self.cluster.n_nodes
+        return base * self._rpc_slowdown(total_clients)
+
+    def write_seconds(self, mb: float, concurrent_tasks_per_node: int) -> float:
+        """Cluster-wide time to write ``mb`` with pipeline replication.
+
+        Each byte is written ``replication`` times to disks; ``r-1`` copies
+        also traverse the network.  The slower of the two pipelines binds.
+        """
+        if mb < 0:
+            raise ValueError("bytes cannot be negative")
+        if mb == 0:
+            return 0.0
+        disk_mb_per_node = mb * self.replication / self.cluster.n_nodes
+        rate = effective_disk_mbps(
+            self.cluster.node,
+            max(1, concurrent_tasks_per_node),
+            float(self.io_buffer_kb),
+        )
+        disk_time = disk_mb_per_node / rate
+        net_mb_per_node = mb * max(self.replication - 1, 0) / self.cluster.n_nodes
+        net_time = net_mb_per_node / self.cluster.network_mbps
+        total_clients = concurrent_tasks_per_node * self.cluster.n_nodes
+        return max(disk_time, net_time) * self._rpc_slowdown(total_clients)

@@ -1,0 +1,132 @@
+"""Spark unified memory model: spill, garbage collection, and OOM.
+
+Implements the Spark ≥1.6 unified memory manager arithmetic:
+
+* usable heap = heap − 300 MB reserve,
+* unified region = usable × ``spark.memory.fraction``,
+* execution region = unified × (1 − ``spark.memory.storageFraction``)
+  (execution may borrow from storage, so the borrowable share is modelled
+  as partially available),
+* per-*task* execution memory = execution region / concurrent tasks.
+
+A task whose working set exceeds its execution share **spills** to disk
+(extra I/O handled by the engine); one that exceeds the whole heap head-
+room **fails with OOM**.  GC overhead grows super-linearly with heap
+occupancy — the classic reason over-packed executors crawl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["TaskMemoryVerdict", "MemoryModel", "HEAP_RESERVE_MB"]
+
+HEAP_RESERVE_MB = 300  # Spark's RESERVED_SYSTEM_MEMORY_BYTES
+
+
+@dataclass(frozen=True)
+class TaskMemoryVerdict:
+    """Memory outcome for one stage's tasks."""
+
+    spill_fraction: float  # fraction of the working set that spills (>= 0)
+    gc_multiplier: float  # >= 1; CPU-time inflation from GC pressure
+    oom: bool
+    exec_share_mb: float  # per-task execution memory actually available
+    storage_deficit: float  # fraction of desired cache that does not fit
+
+
+class MemoryModel:
+    """Evaluates task memory behaviour for a given executor configuration."""
+
+    def __init__(self, config: Mapping[str, Any], executor_heap_mb: int,
+                 executor_cores: int):
+        if executor_heap_mb <= 0 or executor_cores <= 0:
+            raise ValueError("executor heap and cores must be positive")
+        self.heap_mb = float(executor_heap_mb)
+        self.cores = int(executor_cores)
+        self.memory_fraction = float(config["spark.memory.fraction"])
+        self.storage_fraction = float(config["spark.memory.storageFraction"])
+
+        usable = max(self.heap_mb - HEAP_RESERVE_MB, 1.0)
+        self.unified_mb = usable * self.memory_fraction
+        # Execution can evict borrowed storage, so half of the storage
+        # share is effectively reachable by execution under pressure.
+        base_exec = self.unified_mb * (1.0 - self.storage_fraction)
+        borrowable = self.unified_mb * self.storage_fraction * 0.5
+        self.exec_region_mb = base_exec + borrowable
+        self.storage_region_mb = self.unified_mb * self.storage_fraction
+        # Everything outside the unified region: user data structures,
+        # metadata, code caches.
+        self.user_region_mb = usable * (1.0 - self.memory_fraction)
+
+    def per_task_exec_mb(self) -> float:
+        """Execution memory available to each of the concurrent tasks."""
+        return self.exec_region_mb / self.cores
+
+    def evaluate_task(
+        self,
+        working_set_mb: float,
+        cache_demand_mb: float = 0.0,
+        rigid_fraction: float = 0.35,
+    ) -> TaskMemoryVerdict:
+        """Judge a task with the given per-task working set.
+
+        Parameters
+        ----------
+        working_set_mb:
+            Execution-side memory the task wants (shuffle/sort/aggregation
+            buffers, deserialized records in flight).
+        cache_demand_mb:
+            Per-executor storage demand for cached RDDs (iterative
+            workloads).  What does not fit is recomputed/read back.
+        rigid_fraction:
+            Share of the working set that cannot spill (see
+            :attr:`repro.workloads.base.StageSpec.rigid_memory_fraction`).
+        """
+        if working_set_mb < 0 or cache_demand_mb < 0:
+            raise ValueError("memory demands cannot be negative")
+        if not 0.0 < rigid_fraction <= 1.0:
+            raise ValueError("rigid_fraction must be in (0, 1]")
+        share = self.per_task_exec_mb()
+
+        # --- OOM: the spillable part of the working set goes to disk, but
+        # the rigid part (live object graphs, in-flight records) must be
+        # resident; when it cannot fit even borrowing the user region's
+        # slack, the JVM dies.
+        hard_limit = self.exec_region_mb + 0.5 * self.user_region_mb
+        oom = working_set_mb * rigid_fraction > hard_limit
+
+        # --- spill: fraction of the working set beyond the per-task share.
+        if working_set_mb <= share:
+            spill_fraction = 0.0
+        else:
+            spill_fraction = (working_set_mb - share) / working_set_mb
+
+        # --- cache misses for iterative workloads.
+        if cache_demand_mb <= 0:
+            storage_deficit = 0.0
+        else:
+            fits = min(cache_demand_mb, self.storage_region_mb)
+            storage_deficit = 1.0 - fits / cache_demand_mb
+
+        # --- GC pressure: occupancy of the heap by live data.
+        live = min(working_set_mb, share) * self.cores + min(
+            cache_demand_mb, self.storage_region_mb
+        )
+        occupancy = live / max(self.heap_mb - HEAP_RESERVE_MB, 1.0)
+        occupancy = min(occupancy, 1.0)
+        # Sub-linear below ~70% occupancy, steep above.
+        gc_multiplier = 1.0 + 2.2 * occupancy**3.5
+        # An over-grown unified region starves user data structures and
+        # code caches, producing old-gen churn.
+        if self.memory_fraction > 0.78:
+            gc_multiplier += 2.0 * (self.memory_fraction - 0.78)
+
+        return TaskMemoryVerdict(
+            spill_fraction=float(spill_fraction),
+            gc_multiplier=float(gc_multiplier),
+            oom=bool(oom),
+            exec_share_mb=float(share),
+            storage_deficit=float(storage_deficit),
+        )

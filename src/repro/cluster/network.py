@@ -1,0 +1,60 @@
+"""Network transfer model for shuffles and broadcasts.
+
+An all-to-all shuffle on an ``n``-node cluster moves roughly
+``(n-1)/n`` of the shuffled bytes across the wire; each node's NIC is the
+bottleneck link.  ``spark.reducer.maxSizeInFlight`` bounds fetch
+pipelining: too small and reducers stall on round-trips, large enough and
+the link saturates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.hardware import ClusterSpec
+
+__all__ = ["shuffle_network_seconds", "broadcast_seconds"]
+
+
+def shuffle_network_seconds(
+    shuffle_mb: float,
+    cluster: ClusterSpec,
+    max_in_flight_mb: float,
+    n_fetch_rounds_hint: int = 1,
+) -> float:
+    """Seconds of wire time to shuffle ``shuffle_mb`` across the cluster."""
+    if shuffle_mb < 0:
+        raise ValueError("shuffle bytes cannot be negative")
+    if shuffle_mb == 0:
+        return 0.0
+    if max_in_flight_mb <= 0:
+        raise ValueError("maxSizeInFlight must be positive")
+    n = cluster.n_nodes
+    cross_mb = shuffle_mb * (n - 1) / n if n > 1 else 0.0
+    if cross_mb == 0.0:
+        return 0.0
+    per_node_mb = cross_mb / n
+    # Pipelining efficiency: saturates once ~48 MB is in flight.
+    efficiency = float(np.clip(max_in_flight_mb / 48.0, 0.15, 1.0)) ** 0.35
+    bandwidth = cluster.network_mbps * efficiency
+    latency_s = cluster.network_latency_ms / 1000.0
+    rounds = max(1, int(np.ceil(per_node_mb / max_in_flight_mb)))
+    rounds = max(rounds, n_fetch_rounds_hint)
+    return per_node_mb / bandwidth + rounds * latency_s
+
+
+def broadcast_seconds(
+    broadcast_mb: float,
+    cluster: ClusterSpec,
+    block_size_mb: float,
+) -> float:
+    """Torrent-broadcast time: bandwidth-bound plus per-block latency."""
+    if broadcast_mb < 0:
+        raise ValueError("broadcast bytes cannot be negative")
+    if broadcast_mb == 0:
+        return 0.0
+    if block_size_mb <= 0:
+        raise ValueError("block size must be positive")
+    blocks = max(1.0, broadcast_mb / block_size_mb)
+    latency_s = cluster.network_latency_ms / 1000.0
+    return broadcast_mb / cluster.network_mbps + blocks * latency_s

@@ -1,0 +1,62 @@
+"""Cluster state metrics — the DRL observation.
+
+The paper (§3.1) uses the ``uptime`` load averages of each server as the
+state.  We synthesize the 1/5/15-minute load averages per node from the
+utilization profile of the most recent evaluation: the 1-minute average
+tracks current pressure, the 5- and 15-minute averages are exponential
+blends of history, exactly how the kernel's decaying averages behave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.hardware import ClusterSpec
+
+__all__ = ["ClusterStateTracker"]
+
+
+class ClusterStateTracker:
+    """Maintains per-node load averages across successive evaluations."""
+
+    #: state dimensionality per node (load1, load5, load15)
+    PER_NODE = 3
+
+    def __init__(self, cluster: ClusterSpec, rng: np.random.Generator):
+        self.cluster = cluster
+        self._rng = rng
+        self._load5 = np.zeros(cluster.n_nodes)
+        self._load15 = np.zeros(cluster.n_nodes)
+
+    @property
+    def dim(self) -> int:
+        return self.cluster.n_nodes * self.PER_NODE
+
+    def reset(self) -> np.ndarray:
+        """Idle cluster: small background load from daemons."""
+        idle = 0.05 * self.cluster.node.cores
+        self._load5 = np.full(self.cluster.n_nodes, idle)
+        self._load15 = np.full(self.cluster.n_nodes, idle)
+        return self.observe(cpu_demand_per_node=np.full(self.cluster.n_nodes, idle))
+
+    def observe(self, cpu_demand_per_node: np.ndarray) -> np.ndarray:
+        """Fold the latest run's per-node runnable-task demand into the
+        decaying averages and return the normalized state vector.
+
+        ``cpu_demand_per_node`` is the average number of runnable threads
+        per node during the evaluation (≈ busy cores, can exceed the core
+        count when oversubscribed).
+        """
+        demand = np.asarray(cpu_demand_per_node, dtype=np.float64)
+        if demand.shape != (self.cluster.n_nodes,):
+            raise ValueError(
+                f"expected shape ({self.cluster.n_nodes},), got {demand.shape}"
+            )
+        jitter = 1.0 + self._rng.normal(0.0, 0.03, size=demand.shape)
+        load1 = np.maximum(demand * jitter, 0.0)
+        # Kernel-style decaying blends (coarse: one sample per run).
+        self._load5 = 0.6 * self._load5 + 0.4 * load1
+        self._load15 = 0.85 * self._load15 + 0.15 * load1
+        cores = self.cluster.node.cores
+        state = np.concatenate([load1, self._load5, self._load15]) / cores
+        return np.clip(state, 0.0, 4.0)

@@ -1,0 +1,28 @@
+"""Configuration parameter space for the HDFS + YARN + Spark pipeline.
+
+The paper tunes 32 performance-critical parameters (Table 2): 20 from
+Spark (including Spark-on-YARN connector parameters), 7 from YARN and 5
+from HDFS.  Actions in the DRL formulation are points in the normalized
+cube [0,1]^32; this package owns the bidirectional mapping between that
+cube and concrete parameter dictionaries.
+"""
+
+from repro.config.parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    FloatParameter,
+    IntParameter,
+    Parameter,
+)
+from repro.config.pipeline import build_pipeline_space
+from repro.config.space import ConfigurationSpace
+
+__all__ = [
+    "Parameter",
+    "IntParameter",
+    "FloatParameter",
+    "BoolParameter",
+    "CategoricalParameter",
+    "ConfigurationSpace",
+    "build_pipeline_space",
+]

@@ -1,0 +1,43 @@
+"""The 5 tuned HDFS parameters.
+
+HDFS knobs chiefly influence read/write throughput and the number of map
+tasks (via the block size).  ``io.file.buffer.size`` lives in core-site
+but the paper counts it with HDFS.
+"""
+
+from __future__ import annotations
+
+from repro.config.parameter import IntParameter, Parameter
+
+__all__ = ["hdfs_parameters"]
+
+
+def hdfs_parameters() -> list[Parameter]:
+    """Return the 5 HDFS parameter definitions in a stable order."""
+    c = "hdfs"
+    return [
+        IntParameter(
+            "dfs.blocksize", c, default=128, low=32, high=512, log=True,
+            description="HDFS block size (drives input-split count)",
+            unit="MB",
+        ),
+        IntParameter(
+            "dfs.replication", c, default=3, low=1, high=3,
+            description="Replicas per block (write amplification)",
+        ),
+        IntParameter(
+            "dfs.namenode.handler.count", c, default=10, low=10, high=200,
+            log=True,
+            description="NameNode RPC handler threads",
+        ),
+        IntParameter(
+            "dfs.datanode.handler.count", c, default=10, low=10, high=100,
+            log=True,
+            description="DataNode RPC handler threads",
+        ),
+        IntParameter(
+            "io.file.buffer.size", c, default=64, low=4, high=1024, log=True,
+            description="Buffer for sequence-file and stream I/O",
+            unit="KB",
+        ),
+    ]

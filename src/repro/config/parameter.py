@@ -1,0 +1,186 @@
+"""Typed configuration parameters with normalized [0,1] encodings.
+
+Each dimension of the DRL action vector corresponds to one parameter
+(§3.1 of the paper: "each dimension in a_t is normalized to [0,1] to
+tackle with the different categories ... as well as various value scales").
+Numeric parameters may use a log scale so that e.g. block sizes spanning
+32 MB–512 MB get uniform tuning resolution per octave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "IntParameter",
+    "FloatParameter",
+    "BoolParameter",
+    "CategoricalParameter",
+]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """Base class: a named, documented knob belonging to a component."""
+
+    name: str
+    component: str  # "spark" | "yarn" | "hdfs"
+    default: Any
+    description: str = ""
+    unit: str = ""
+
+    def encode(self, value: Any) -> float:
+        """Map a concrete value to u ∈ [0,1]."""
+        raise NotImplementedError
+
+    def decode(self, u: float) -> Any:
+        """Map u ∈ [0,1] to a concrete value (inverse of :meth:`encode`)."""
+        raise NotImplementedError
+
+    def clip(self, value: Any) -> Any:
+        """Clamp a concrete value into this parameter's legal range."""
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> bool:
+        """True iff ``value`` is legal for this parameter."""
+        try:
+            return self.clip(value) == value
+        except (TypeError, ValueError):
+            return False
+
+
+def _check_unit_interval(u: float) -> float:
+    u = float(u)
+    if not 0.0 <= u <= 1.0:
+        raise ValueError(f"encoded value must lie in [0,1], got {u}")
+    return u
+
+
+@dataclass(frozen=True)
+class FloatParameter(Parameter):
+    """Continuous numeric parameter on a linear or log scale."""
+
+    low: float = 0.0
+    high: float = 1.0
+    log: bool = False
+
+    def __post_init__(self):
+        if not self.low < self.high:
+            raise ValueError(f"{self.name}: low must be < high")
+        if self.log and self.low <= 0:
+            raise ValueError(f"{self.name}: log scale requires low > 0")
+        if not self.low <= self.default <= self.high:
+            raise ValueError(f"{self.name}: default outside [low, high]")
+
+    def encode(self, value: Any) -> float:
+        v = float(np.clip(value, self.low, self.high))
+        if self.log:
+            return float(
+                (np.log(v) - np.log(self.low))
+                / (np.log(self.high) - np.log(self.low))
+            )
+        return (v - self.low) / (self.high - self.low)
+
+    def decode(self, u: float) -> float:
+        u = _check_unit_interval(u)
+        if self.log:
+            return float(
+                np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low)))
+            )
+        return self.low + u * (self.high - self.low)
+
+    def clip(self, value: Any) -> float:
+        return float(np.clip(float(value), self.low, self.high))
+
+
+@dataclass(frozen=True)
+class IntParameter(Parameter):
+    """Integer numeric parameter; decode rounds to the nearest integer."""
+
+    low: int = 0
+    high: int = 1
+    log: bool = False
+
+    def __post_init__(self):
+        if not self.low < self.high:
+            raise ValueError(f"{self.name}: low must be < high")
+        if self.log and self.low <= 0:
+            raise ValueError(f"{self.name}: log scale requires low > 0")
+        if not self.low <= self.default <= self.high:
+            raise ValueError(f"{self.name}: default outside [low, high]")
+
+    def encode(self, value: Any) -> float:
+        v = float(np.clip(int(round(float(value))), self.low, self.high))
+        if self.log:
+            return float(
+                (np.log(v) - np.log(self.low))
+                / (np.log(self.high) - np.log(self.low))
+            )
+        return (v - self.low) / (self.high - self.low)
+
+    def decode(self, u: float) -> int:
+        u = _check_unit_interval(u)
+        if self.log:
+            raw = np.exp(
+                np.log(self.low) + u * (np.log(self.high) - np.log(self.low))
+            )
+        else:
+            raw = self.low + u * (self.high - self.low)
+        return int(np.clip(int(round(float(raw))), self.low, self.high))
+
+    def clip(self, value: Any) -> int:
+        return int(np.clip(int(round(float(value))), self.low, self.high))
+
+
+@dataclass(frozen=True)
+class BoolParameter(Parameter):
+    """Boolean flag; u >= 0.5 decodes to True."""
+
+    def encode(self, value: Any) -> float:
+        return 1.0 if bool(value) else 0.0
+
+    def decode(self, u: float) -> bool:
+        return _check_unit_interval(u) >= 0.5
+
+    def clip(self, value: Any) -> bool:
+        return bool(value)
+
+
+@dataclass(frozen=True)
+class CategoricalParameter(Parameter):
+    """Unordered choice over a fixed list; [0,1] is split into equal bins."""
+
+    choices: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "choices", tuple(self.choices))
+        if len(self.choices) < 2:
+            raise ValueError(f"{self.name}: need at least 2 choices")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"{self.name}: duplicate choices")
+        if self.default not in self.choices:
+            raise ValueError(f"{self.name}: default not among choices")
+
+    def encode(self, value: Any) -> float:
+        try:
+            idx = self.choices.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{self.name}: {value!r} not in {self.choices}"
+            ) from None
+        # Bin centres, so encode/decode round-trips exactly.
+        return (idx + 0.5) / len(self.choices)
+
+    def decode(self, u: float) -> str:
+        u = _check_unit_interval(u)
+        idx = min(int(u * len(self.choices)), len(self.choices) - 1)
+        return self.choices[idx]
+
+    def clip(self, value: Any) -> str:
+        if value in self.choices:
+            return value
+        raise ValueError(f"{self.name}: {value!r} not in {self.choices}")

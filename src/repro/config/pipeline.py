@@ -1,0 +1,21 @@
+"""Assembly of the full 32-parameter pipeline configuration space."""
+
+from __future__ import annotations
+
+from repro.config.hdfs_params import hdfs_parameters
+from repro.config.space import ConfigurationSpace
+from repro.config.spark_params import spark_parameters
+from repro.config.yarn_params import yarn_parameters
+
+__all__ = ["build_pipeline_space"]
+
+
+def build_pipeline_space() -> ConfigurationSpace:
+    """The paper's tuning space: 20 Spark + 7 YARN + 5 HDFS parameters.
+
+    Order is stable (Spark, YARN, HDFS) so that encoded action vectors are
+    comparable across models and sessions.
+    """
+    return ConfigurationSpace(
+        [*spark_parameters(), *yarn_parameters(), *hdfs_parameters()]
+    )

@@ -1,0 +1,98 @@
+"""Reduced configuration spaces: tune only the knobs that matter.
+
+The paper's future work points to white-box analyses (LOCAT, LITE) that
+shrink the tuning problem.  A :class:`ReducedConfigurationSpace` exposes
+only a chosen subset of parameters as action dimensions while pinning
+the rest to fixed values — the environment and agents work unchanged on
+the smaller cube, and every decoded configuration is still complete.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.config.space import ConfigurationSpace
+
+__all__ = ["ReducedConfigurationSpace"]
+
+
+class ReducedConfigurationSpace(ConfigurationSpace):
+    """A view of a full space with most parameters pinned.
+
+    Parameters
+    ----------
+    full_space:
+        The complete pipeline space.
+    free:
+        Names of the parameters exposed as action dimensions (order is
+        taken from the full space for stability).
+    pinned_values:
+        Concrete values for the remaining parameters; anything not given
+        pins to the full space's default.
+    """
+
+    def __init__(
+        self,
+        full_space: ConfigurationSpace,
+        free: Iterable[str],
+        pinned_values: Mapping[str, Any] | None = None,
+    ):
+        free_set = set(free)
+        unknown = free_set - set(full_space.names)
+        if unknown:
+            raise KeyError(f"unknown parameters: {sorted(unknown)}")
+        if not free_set:
+            raise ValueError("need at least one free parameter")
+        free_params = [p for p in full_space if p.name in free_set]
+        super().__init__(free_params)
+        self.full_space = full_space
+        pinned = {
+            p.name: p.default
+            for p in full_space
+            if p.name not in free_set
+        }
+        if pinned_values:
+            stray = set(pinned_values) - set(pinned)
+            overlap = stray & free_set
+            if overlap:
+                raise ValueError(
+                    f"cannot pin free parameters: {sorted(overlap)}"
+                )
+            if stray - free_set:
+                raise KeyError(
+                    f"unknown pinned parameters: {sorted(stray - free_set)}"
+                )
+            for name, value in pinned_values.items():
+                pinned[name] = full_space[name].clip(value)
+        self.pinned = pinned
+
+    # -- dict <-> vector over the *reduced* cube, yielding full configs ----
+
+    def decode(self, vector: np.ndarray) -> dict[str, Any]:
+        """Decode a reduced vector into a COMPLETE configuration dict."""
+        free_config = super().decode(vector)
+        return {**self.pinned, **free_config}
+
+    def encode(self, config: Mapping[str, Any]) -> np.ndarray:
+        """Encode a complete (or free-only) configuration's free part."""
+        free_only = {
+            name: config[name] for name in self.names if name in config
+        }
+        missing = set(self.names) - set(free_only)
+        if missing:
+            raise KeyError(f"missing parameters: {sorted(missing)}")
+        return super().encode(free_only)
+
+    def defaults(self) -> dict[str, Any]:
+        """Complete defaults: free defaults merged over pinned values."""
+        free_defaults = {p.name: p.default for p in self.parameters}
+        return {**self.pinned, **free_defaults}
+
+    def clip_config(self, config: Mapping[str, Any]) -> dict[str, Any]:
+        """Clip a complete configuration (free parts clipped, pinned kept)."""
+        out = dict(self.pinned)
+        for p in self.parameters:
+            out[p.name] = p.clip(config[p.name])
+        return out

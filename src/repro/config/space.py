@@ -1,0 +1,150 @@
+"""The configuration space: a vectorized view over a list of parameters."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.config.parameter import Parameter
+
+__all__ = ["ConfigurationSpace"]
+
+
+class ConfigurationSpace:
+    """An ordered collection of parameters with [0,1]^d vector semantics.
+
+    The DRL agents act in the normalized cube; the simulator consumes
+    concrete parameter dictionaries.  This class owns both directions plus
+    sampling, clipping and component filtering.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        if not parameters:
+            raise ValueError("configuration space cannot be empty")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate parameter names: {dupes}")
+        self._params = tuple(parameters)
+        self._index = {p.name: i for i, p in enumerate(self._params)}
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return len(self._params)
+
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        return self._params
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self._params]
+
+    def __len__(self) -> int:
+        return self.dim
+
+    def __iter__(self):
+        return iter(self._params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Parameter:
+        try:
+            return self._params[self._index[name]]
+        except KeyError:
+            raise KeyError(f"unknown parameter {name!r}") from None
+
+    def component_counts(self) -> dict[str, int]:
+        """Number of parameters per component (the paper's Table 2)."""
+        counts: dict[str, int] = {}
+        for p in self._params:
+            counts[p.component] = counts.get(p.component, 0) + 1
+        return counts
+
+    def subset(self, components: Iterable[str]) -> "ConfigurationSpace":
+        """A new space containing only the given components' parameters."""
+        wanted = set(components)
+        params = [p for p in self._params if p.component in wanted]
+        if not params:
+            raise ValueError(f"no parameters for components {sorted(wanted)}")
+        return ConfigurationSpace(params)
+
+    # -- dict <-> vector -----------------------------------------------------
+
+    def defaults(self) -> dict[str, Any]:
+        """The framework-default configuration as a dict."""
+        return {p.name: p.default for p in self._params}
+
+    def default_vector(self) -> np.ndarray:
+        """The default configuration encoded into [0,1]^d."""
+        return self.encode(self.defaults())
+
+    def encode(self, config: Mapping[str, Any]) -> np.ndarray:
+        """Encode a full configuration dict into the normalized cube.
+
+        Missing keys raise; unknown keys raise — silent drift between the
+        tuner's view and the cluster's view is a classic config-tuning bug.
+        """
+        unknown = set(config) - set(self._index)
+        if unknown:
+            raise KeyError(f"unknown parameters: {sorted(unknown)}")
+        missing = set(self._index) - set(config)
+        if missing:
+            raise KeyError(f"missing parameters: {sorted(missing)}")
+        return np.array(
+            [p.encode(config[p.name]) for p in self._params], dtype=np.float64
+        )
+
+    def decode(self, vector: np.ndarray) -> dict[str, Any]:
+        """Decode a [0,1]^d vector into a concrete configuration dict."""
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {vec.shape}")
+        return {p.name: p.decode(u) for p, u in zip(self._params, vec)}
+
+    def clip_vector(self, vector: np.ndarray) -> np.ndarray:
+        """Clamp a raw action into [0,1]^d (out-of-range explorations)."""
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {vec.shape}")
+        return np.clip(vec, 0.0, 1.0)
+
+    def clip_config(self, config: Mapping[str, Any]) -> dict[str, Any]:
+        """Clamp each concrete value into its legal range.
+
+        Used for hardware adaptability (§5.3.2): a model trained on a
+        larger cluster may recommend values outside the new environment's
+        scope, which must be clipped to the boundary.
+        """
+        return {p.name: p.clip(config[p.name]) for p in self._params}
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample_vector(self, rng: np.random.Generator) -> np.ndarray:
+        """One uniform sample from the normalized cube."""
+        return rng.uniform(0.0, 1.0, size=self.dim)
+
+    def sample_vectors(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` uniform samples, shape ``(n, dim)``."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        return rng.uniform(0.0, 1.0, size=(n, self.dim))
+
+    def sample_config(self, rng: np.random.Generator) -> dict[str, Any]:
+        """One uniform concrete configuration."""
+        return self.decode(self.sample_vector(rng))
+
+    def latin_hypercube(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Latin-hypercube sample of ``n`` vectors — space-filling starts
+        for OtterTune's GP and for the BestConfig-style baseline."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        u = (rng.permuted(
+            np.tile(np.arange(n, dtype=np.float64)[:, None], (1, self.dim)),
+            axis=0,
+        ) + rng.uniform(0.0, 1.0, size=(n, self.dim))) / n
+        return u

@@ -1,0 +1,113 @@
+"""The 20 tuned Spark parameters (including Spark-on-YARN connector knobs).
+
+Ranges and defaults follow Apache Spark 2.2 documentation and the paper's
+experimental platform (3 nodes, 16 cores / 16 GB each).  Memory values are
+in MB, buffer sizes in KB unless the unit says otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.config.parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    FloatParameter,
+    IntParameter,
+    Parameter,
+)
+
+__all__ = ["spark_parameters"]
+
+
+def spark_parameters() -> list[Parameter]:
+    """Return the 20 Spark parameter definitions in a stable order."""
+    c = "spark"
+    return [
+        IntParameter(
+            "spark.executor.cores", c, default=1, low=1, high=8,
+            description="CPU cores per executor", unit="cores",
+        ),
+        IntParameter(
+            "spark.executor.memory", c, default=1024, low=1024, high=8192,
+            log=True, description="Heap size per executor", unit="MB",
+        ),
+        IntParameter(
+            "spark.executor.instances", c, default=2, low=1, high=12,
+            description="Requested executor count (YARN connector)",
+        ),
+        IntParameter(
+            "spark.executor.memoryOverhead", c, default=384, low=384, high=2048,
+            log=True, description="Off-heap overhead per executor (YARN)",
+            unit="MB",
+        ),
+        IntParameter(
+            "spark.driver.memory", c, default=1024, low=1024, high=8192,
+            log=True, description="Driver heap size", unit="MB",
+        ),
+        IntParameter(
+            "spark.driver.cores", c, default=1, low=1, high=4,
+            description="Driver CPU cores", unit="cores",
+        ),
+        IntParameter(
+            "spark.default.parallelism", c, default=24, low=8, high=400,
+            log=True,
+            description="Default number of partitions for shuffles/joins",
+        ),
+        FloatParameter(
+            "spark.memory.fraction", c, default=0.6, low=0.3, high=0.9,
+            description="Fraction of heap for execution+storage",
+        ),
+        FloatParameter(
+            "spark.memory.storageFraction", c, default=0.5, low=0.1, high=0.9,
+            description="Storage share of the unified memory region",
+        ),
+        BoolParameter(
+            "spark.shuffle.compress", c, default=True,
+            description="Compress map output files",
+        ),
+        BoolParameter(
+            "spark.shuffle.spill.compress", c, default=True,
+            description="Compress data spilled during shuffles",
+        ),
+        BoolParameter(
+            "spark.rdd.compress", c, default=False,
+            description="Compress serialized cached RDD partitions",
+        ),
+        CategoricalParameter(
+            "spark.io.compression.codec", c, default="lz4",
+            choices=("lz4", "snappy", "zstd"),
+            description="Codec for internal data (shuffle, spill, RDD)",
+        ),
+        CategoricalParameter(
+            "spark.serializer", c, default="java",
+            choices=("java", "kryo"),
+            description="Serializer for shuffled/cached data",
+        ),
+        IntParameter(
+            "spark.shuffle.file.buffer", c, default=32, low=16, high=512,
+            log=True, description="In-memory buffer per shuffle file stream",
+            unit="KB",
+        ),
+        IntParameter(
+            "spark.reducer.maxSizeInFlight", c, default=48, low=8, high=128,
+            log=True, description="Max shuffle data fetched concurrently",
+            unit="MB",
+        ),
+        IntParameter(
+            "spark.shuffle.sort.bypassMergeThreshold", c, default=200,
+            low=50, high=800,
+            description="Reducer count below which sort-merge is bypassed",
+        ),
+        BoolParameter(
+            "spark.speculation", c, default=False,
+            description="Re-launch slow tasks speculatively",
+        ),
+        FloatParameter(
+            "spark.locality.wait", c, default=3.0, low=0.0, high=10.0,
+            description="Wait before giving up on data-local scheduling",
+            unit="s",
+        ),
+        IntParameter(
+            "spark.broadcast.blockSize", c, default=4, low=1, high=16,
+            description="Block size for TorrentBroadcast", unit="MB",
+        ),
+    ]

@@ -1,0 +1,59 @@
+"""The 7 tuned YARN parameters.
+
+These govern how many executor containers the cluster can actually host —
+in a real Spark-on-YARN deployment the interplay between
+``yarn.nodemanager.resource.*`` and the per-container allocation bounds is
+what decides whether a requested executor fits at all.
+"""
+
+from __future__ import annotations
+
+from repro.config.parameter import FloatParameter, IntParameter, Parameter
+
+__all__ = ["yarn_parameters"]
+
+
+def yarn_parameters() -> list[Parameter]:
+    """Return the 7 YARN parameter definitions in a stable order."""
+    c = "yarn"
+    return [
+        IntParameter(
+            "yarn.nodemanager.resource.memory-mb", c, default=8192,
+            low=4096, high=14336, log=True,
+            description="Memory a NodeManager offers to containers",
+            unit="MB",
+        ),
+        IntParameter(
+            "yarn.nodemanager.resource.cpu-vcores", c, default=8,
+            low=4, high=16,
+            description="Vcores a NodeManager offers to containers",
+        ),
+        IntParameter(
+            "yarn.scheduler.minimum-allocation-mb", c, default=1024,
+            low=256, high=2048, log=True,
+            description="Container memory requests round up to this",
+            unit="MB",
+        ),
+        IntParameter(
+            "yarn.scheduler.maximum-allocation-mb", c, default=8192,
+            low=6144, high=14336, log=True,
+            description="Largest container the scheduler will grant",
+            unit="MB",
+        ),
+        IntParameter(
+            "yarn.scheduler.maximum-allocation-vcores", c, default=8,
+            low=6, high=16,
+            description="Largest vcore count per container",
+        ),
+        FloatParameter(
+            "yarn.nodemanager.vmem-pmem-ratio", c, default=2.1,
+            low=1.0, high=5.0,
+            description="Virtual/physical memory ratio before kill",
+        ),
+        IntParameter(
+            "yarn.nodemanager.resource.percentage-physical-cpu-limit", c,
+            default=100, low=50, high=100,
+            description="Percent of node CPU usable by containers",
+            unit="%",
+        ),
+    ]

@@ -1,0 +1,29 @@
+"""DeepCAT — the paper's primary contribution.
+
+* :class:`~repro.core.deepcat.DeepCAT`: TD3 + RDPER offline training and
+  Twin-Q-optimized online tuning.
+* :func:`~repro.core.twinq.twin_q_optimize`: Algorithm 1.
+* :class:`~repro.core.offline.OfflineTrainer` /
+  :class:`~repro.core.online.OnlineTuner`: the two stages of Figure 1.
+* :mod:`~repro.core.persistence`: save/load trained tuners.
+"""
+
+from repro.core.deepcat import DeepCAT
+from repro.core.offline import OfflineTrainer, OfflineTrainingLog
+from repro.core.online import OnlineTuner
+from repro.core.persistence import load_tuner, save_tuner
+from repro.core.result import OnlineSession, TuningStepRecord
+from repro.core.twinq import TwinQOutcome, twin_q_optimize
+
+__all__ = [
+    "DeepCAT",
+    "OfflineTrainer",
+    "OfflineTrainingLog",
+    "OnlineTuner",
+    "OnlineSession",
+    "TuningStepRecord",
+    "twin_q_optimize",
+    "TwinQOutcome",
+    "save_tuner",
+    "load_tuner",
+]

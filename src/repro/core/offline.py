@@ -1,0 +1,131 @@
+"""Offline training stage (left half of the paper's Figure 1).
+
+The agent interacts with the standard environment by trial and error:
+recommend a configuration, evaluate it, store the transition, update the
+networks from replayed batches.  Works with any agent/buffer combination
+(TD3+RDPER for DeepCAT, DDPG+PER for CDBTune, TD3+uniform for the
+Figure 4 ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.envs.tuning_env import TuningEnv
+from repro.replay.base import Transition
+from repro.replay.per import PrioritizedReplayBuffer
+
+__all__ = ["OfflineTrainer", "OfflineTrainingLog"]
+
+
+@dataclass
+class OfflineTrainingLog:
+    """Per-iteration traces of the offline stage.
+
+    ``min_q`` holds the conservative critic estimate of each executed
+    action *before* the corresponding update — exactly the quantity
+    Figure 3 plots against the real reward.
+    """
+
+    rewards: list[float] = field(default_factory=list)
+    min_q: list[float] = field(default_factory=list)
+    durations: list[float] = field(default_factory=list)
+    critic_losses: list[float] = field(default_factory=list)
+    best_duration_s: float = float("inf")
+    best_action: np.ndarray | None = None
+
+    @property
+    def iterations(self) -> int:
+        return len(self.rewards)
+
+
+class OfflineTrainer:
+    """Drives agent-environment interaction plus replay updates."""
+
+    def __init__(
+        self,
+        agent,
+        buffer,
+        updates_per_step: int = 1,
+        logger=None,
+    ):
+        if updates_per_step < 0:
+            raise ValueError("updates_per_step cannot be negative")
+        self.agent = agent
+        self.buffer = buffer
+        self.updates_per_step = updates_per_step
+        self.log = OfflineTrainingLog()
+        if logger is None:
+            from repro.utils.logging import NullLogger
+
+            logger = NullLogger()
+        self.logger = logger
+
+    def train(
+        self,
+        env: TuningEnv,
+        iterations: int,
+        callback: Callable[[int, OfflineTrainingLog], None] | None = None,
+    ) -> OfflineTrainingLog:
+        """Run ``iterations`` environment steps with interleaved updates.
+
+        Each iteration is one costly configuration evaluation on the
+        target cluster — the unit the paper's Figure 4 x-axis counts.
+        """
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        state = env.state
+        warmup = self.agent.hp.warmup_steps
+        for it in range(iterations):
+            if len(self.buffer) < warmup:
+                action = self.agent.random_action()
+            else:
+                action = self.agent.act(state, explore=True)
+
+            # Critic's view of this action before learning from it.
+            if hasattr(self.agent, "min_q"):
+                q_est = self.agent.min_q(state, action)
+            else:
+                q_est = self.agent.q_value(state, action)
+
+            outcome = env.step(action)
+            self.buffer.push(
+                Transition(
+                    state=outcome.state,
+                    action=outcome.action,
+                    reward=outcome.reward,
+                    next_state=outcome.next_state,
+                )
+            )
+            state = outcome.next_state
+
+            if self.buffer.can_sample(self.agent.hp.batch_size):
+                for _ in range(self.updates_per_step):
+                    batch = self.buffer.sample(self.agent.hp.batch_size)
+                    diag = self.agent.update(batch)
+                    if isinstance(self.buffer, PrioritizedReplayBuffer):
+                        self.buffer.update_priorities(
+                            batch.indices, diag["td_errors"]
+                        )
+                    self.log.critic_losses.append(diag["critic_loss"])
+
+            self.log.rewards.append(outcome.reward)
+            self.log.min_q.append(q_est)
+            self.log.durations.append(outcome.duration_s)
+            if outcome.success and outcome.duration_s < self.log.best_duration_s:
+                self.log.best_duration_s = outcome.duration_s
+                self.log.best_action = outcome.action.copy()
+            self.logger.event(
+                "offline-step",
+                iteration=it,
+                reward=float(outcome.reward),
+                duration_s=float(outcome.duration_s),
+                success=bool(outcome.success),
+                best_s=float(self.log.best_duration_s),
+            )
+            if callback is not None:
+                callback(it, self.log)
+        return self.log

@@ -1,0 +1,165 @@
+"""Online tuning stage (right half of the paper's Figure 1).
+
+When a tuning request arrives, the offline model is fine-tuned with a
+small number of sequential online steps.  Each step: the actor recommends
+an action for the current state; DeepCAT passes it through the Twin-Q
+Optimizer (baselines skip this); the — possibly optimized — configuration
+is evaluated on the target cluster; the transition feeds fine-tuning
+updates.  The session ends at the step constraint or when the time budget
+is exhausted, and the best configuration ever found is reported.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.result import OnlineSession, TuningStepRecord
+from repro.core.twinq import twin_q_optimize
+from repro.envs.tuning_env import TuningEnv
+from repro.replay.base import Transition
+from repro.replay.per import PrioritizedReplayBuffer
+
+__all__ = ["OnlineTuner"]
+
+
+class OnlineTuner:
+    """Runs the online tuning phase for any actor-critic tuner."""
+
+    def __init__(
+        self,
+        agent,
+        buffer,
+        name: str,
+        use_twin_q: bool = False,
+        q_threshold: float = 0.3,
+        twinq_noise_sigma: float = 0.1,
+        fine_tune_updates: int = 2,
+        exploration_sigma: float = 0.3,
+        rng: np.random.Generator | None = None,
+        logger=None,
+    ):
+        if fine_tune_updates < 0:
+            raise ValueError("fine_tune_updates cannot be negative")
+        if logger is None:
+            from repro.utils.logging import NullLogger
+
+            logger = NullLogger()
+        self.logger = logger
+        self.agent = agent
+        self.buffer = buffer
+        self.name = name
+        self.use_twin_q = use_twin_q
+        self.q_threshold = q_threshold
+        self.twinq_noise_sigma = twinq_noise_sigma
+        self.fine_tune_updates = fine_tune_updates
+        self.exploration_sigma = exploration_sigma
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def _recommend(self, state: np.ndarray) -> tuple[np.ndarray, dict]:
+        """Produce the action for this step; returns (action, twinq diag)."""
+        action = self.agent.act(state, explore=False)
+        if self.exploration_sigma > 0:
+            action = np.clip(
+                action
+                + self._rng.normal(0.0, self.exploration_sigma, action.shape),
+                0.0,
+                1.0,
+            )
+        diag: dict = {}
+        if self.use_twin_q:
+            outcome = twin_q_optimize(
+                self.agent,
+                state,
+                action,
+                q_threshold=self.q_threshold,
+                noise_sigma=self.twinq_noise_sigma,
+                rng=self._rng,
+            )
+            action = outcome.action
+            diag = {
+                "twinq_iterations": outcome.iterations,
+                "twinq_accepted": outcome.accepted,
+                "original_q": outcome.original_q,
+                "final_q": outcome.q_value,
+            }
+        return action, diag
+
+    def tune(
+        self,
+        env: TuningEnv,
+        steps: int = 5,
+        time_budget_s: float | None = None,
+    ) -> OnlineSession:
+        """Run up to ``steps`` online tuning steps (5 in the paper).
+
+        ``time_budget_s`` optionally bounds the *total tuning cost*
+        (evaluation + recommendation time); the session stops once it is
+        exceeded (§5.2.3's tuning-cost constraint).
+        """
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        session = OnlineSession(
+            tuner=self.name,
+            workload=env.runner.workload.code,
+            dataset=env.runner.dataset.label,
+            default_duration_s=env.default_duration,
+        )
+        state = env.state
+        for step in range(steps):
+            t0 = time.perf_counter()
+            action, diag = self._recommend(state)
+            recommendation_s = time.perf_counter() - t0
+
+            outcome = env.step(action)
+            state = outcome.next_state
+
+            if self.buffer is not None:
+                self.buffer.push(
+                    Transition(
+                        state=outcome.state,
+                        action=outcome.action,
+                        reward=outcome.reward,
+                        next_state=outcome.next_state,
+                    )
+                )
+                if self.buffer.can_sample(self.agent.hp.batch_size):
+                    for _ in range(self.fine_tune_updates):
+                        batch = self.buffer.sample(self.agent.hp.batch_size)
+                        d = self.agent.update(batch)
+                        if isinstance(self.buffer, PrioritizedReplayBuffer):
+                            self.buffer.update_priorities(
+                                batch.indices, d["td_errors"]
+                            )
+
+            session.add(
+                TuningStepRecord(
+                    step=step,
+                    duration_s=outcome.duration_s,
+                    recommendation_s=recommendation_s,
+                    reward=outcome.reward,
+                    success=outcome.success,
+                    config=outcome.config,
+                    action=outcome.action,
+                    twinq_iterations=diag.get("twinq_iterations"),
+                    twinq_accepted=diag.get("twinq_accepted"),
+                    original_q=diag.get("original_q"),
+                    final_q=diag.get("final_q"),
+                )
+            )
+            self.logger.event(
+                "online-step",
+                tuner=self.name,
+                step=step,
+                duration_s=float(outcome.duration_s),
+                reward=float(outcome.reward),
+                success=bool(outcome.success),
+                recommendation_s=float(recommendation_s),
+            )
+            if (
+                time_budget_s is not None
+                and session.total_tuning_seconds >= time_budget_s
+            ):
+                break
+        return session

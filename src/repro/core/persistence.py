@@ -1,0 +1,141 @@
+"""Save/load trained tuner models.
+
+The offline stage is trained once and reused for every tuning request
+(Figure 1), so models must outlive the training process.  Network
+parameters are stored in a single ``.npz`` archive together with the
+metadata needed to rebuild the agent (dimensions, hyper-parameters,
+DeepCAT thresholds).  Replay buffers are deliberately *not* persisted:
+a fresh request starts fine-tuning from the offline weights, and the
+paper's online stage only pushes new transitions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.agents.base import AgentHyperParams
+from repro.agents.ddpg import DDPGAgent
+from repro.agents.td3 import TD3Agent
+from repro.baselines.cdbtune import CDBTune
+from repro.core.deepcat import DeepCAT
+
+__all__ = ["save_tuner", "load_tuner"]
+
+_FORMAT_VERSION = 1
+
+_TD3_NETS = (
+    "actor", "actor_target",
+    "critic1", "critic2", "critic1_target", "critic2_target",
+)
+_DDPG_NETS = ("actor", "actor_target", "critic", "critic_target")
+
+
+def _collect_arrays(agent, nets: tuple[str, ...]) -> dict[str, np.ndarray]:
+    arrays: dict[str, np.ndarray] = {}
+    for net_name in nets:
+        net = getattr(agent, net_name)
+        for i, p in enumerate(net.parameters()):
+            arrays[f"{net_name}/{i}"] = p.data
+    return arrays
+
+
+def _restore_arrays(agent, nets: tuple[str, ...], arrays) -> None:
+    for net_name in nets:
+        net = getattr(agent, net_name)
+        for i, p in enumerate(net.parameters()):
+            key = f"{net_name}/{i}"
+            if key not in arrays:
+                raise ValueError(f"archive missing tensor {key}")
+            data = arrays[key]
+            if data.shape != p.data.shape:
+                raise ValueError(
+                    f"{key}: shape {data.shape} != expected {p.data.shape}"
+                )
+            p.data[...] = data
+
+
+def _meta_for(tuner) -> dict:
+    if isinstance(tuner, DeepCAT):
+        return {
+            "kind": "deepcat",
+            "state_dim": tuner.agent.state_dim,
+            "action_dim": tuner.agent.action_dim,
+            "hp": asdict(tuner.hp),
+            "use_rdper": tuner.use_rdper,
+            "use_twin_q": tuner.use_twin_q,
+            "reward_threshold": tuner.reward_threshold,
+            "beta": tuner.beta,
+            "q_threshold": tuner.q_threshold,
+            "twinq_noise_sigma": tuner.twinq_noise_sigma,
+        }
+    if isinstance(tuner, CDBTune):
+        return {
+            "kind": "cdbtune",
+            "state_dim": tuner.agent.state_dim,
+            "action_dim": tuner.agent.action_dim,
+            "hp": asdict(tuner.hp),
+        }
+    raise TypeError(f"cannot persist {type(tuner).__name__}")
+
+
+def save_tuner(tuner, path: str | Path) -> Path:
+    """Serialize a trained DeepCAT or CDBTune model to ``path`` (.npz)."""
+    path = Path(path)
+    meta = _meta_for(tuner)  # validates the tuner type first
+    if isinstance(tuner, DeepCAT):
+        arrays = _collect_arrays(tuner.agent, _TD3_NETS)
+    else:
+        arrays = _collect_arrays(tuner.agent, _DDPG_NETS)
+    meta["format_version"] = _FORMAT_VERSION
+    np.savez_compressed(
+        path, __meta__=np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ), **arrays,
+    )
+    # numpy appends .npz when missing
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_tuner(path: str | Path, seed: int = 0):
+    """Rebuild a tuner from :func:`save_tuner` output.
+
+    ``seed`` re-seeds the *runtime* randomness (exploration noise, replay
+    sampling); the learned weights are restored exactly.
+    """
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported archive version {meta.get('format_version')}"
+            )
+        hp_dict = dict(meta["hp"])
+        hp_dict["hidden"] = tuple(hp_dict["hidden"])
+        hp = AgentHyperParams(**hp_dict)
+        if meta["kind"] == "deepcat":
+            tuner = DeepCAT(
+                meta["state_dim"],
+                meta["action_dim"],
+                seed=seed,
+                hp=hp,
+                reward_threshold=meta["reward_threshold"],
+                beta=meta["beta"],
+                q_threshold=meta["q_threshold"],
+                twinq_noise_sigma=meta["twinq_noise_sigma"],
+                use_rdper=meta["use_rdper"],
+                use_twin_q=meta["use_twin_q"],
+            )
+            _restore_arrays(tuner.agent, _TD3_NETS, archive)
+        elif meta["kind"] == "cdbtune":
+            tuner = CDBTune(
+                meta["state_dim"], meta["action_dim"], seed=seed, hp=hp
+            )
+            _restore_arrays(tuner.agent, _DDPG_NETS, archive)
+        else:
+            raise ValueError(f"unknown tuner kind {meta['kind']!r}")
+    return tuner

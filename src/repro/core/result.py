@@ -1,0 +1,108 @@
+"""Session records shared by all tuners (DeepCAT, CDBTune, OtterTune)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TuningStepRecord", "OnlineSession"]
+
+
+@dataclass(frozen=True)
+class TuningStepRecord:
+    """One online tuning step: a recommendation plus its evaluation."""
+
+    step: int
+    duration_s: float  # evaluation cost (execution time of the config)
+    recommendation_s: float  # wall-clock spent recommending the action
+    reward: float
+    success: bool
+    config: dict[str, Any]
+    action: np.ndarray
+    #: Twin-Q diagnostics (DeepCAT only; None for baselines)
+    twinq_iterations: int | None = None
+    twinq_accepted: bool | None = None
+    original_q: float | None = None
+    final_q: float | None = None
+
+
+@dataclass
+class OnlineSession:
+    """The full record of one online tuning phase (5 steps in the paper)."""
+
+    tuner: str
+    workload: str
+    dataset: str
+    steps: list[TuningStepRecord] = field(default_factory=list)
+    default_duration_s: float = 0.0
+
+    def add(self, record: TuningStepRecord) -> None:
+        self.steps.append(record)
+
+    # -- aggregates the paper reports -----------------------------------
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def best_step(self) -> TuningStepRecord:
+        successes = [s for s in self.steps if s.success]
+        if not successes:
+            raise ValueError("no successful step in session")
+        return min(successes, key=lambda s: s.duration_s)
+
+    @property
+    def best_duration_s(self) -> float:
+        """Execution time of the best configuration found (Figure 6)."""
+        return self.best_step.duration_s
+
+    @property
+    def best_config(self) -> dict[str, Any]:
+        return self.best_step.config
+
+    @property
+    def speedup_over_default(self) -> float:
+        """Best-config speedup over the default configuration (Figure 6)."""
+        if self.default_duration_s <= 0:
+            raise ValueError("default duration not recorded")
+        return self.default_duration_s / self.best_duration_s
+
+    @property
+    def evaluation_seconds(self) -> float:
+        """Total configuration-evaluation time across steps (Figure 7)."""
+        return float(sum(s.duration_s for s in self.steps))
+
+    @property
+    def recommendation_seconds(self) -> float:
+        """Total recommendation wall-clock across steps (Figure 7, black)."""
+        return float(sum(s.recommendation_s for s in self.steps))
+
+    @property
+    def total_tuning_seconds(self) -> float:
+        """Evaluation + recommendation: the total online tuning cost."""
+        return self.evaluation_seconds + self.recommendation_seconds
+
+    def best_so_far(self) -> list[float]:
+        """Best execution time after each step (Figure 8, upper series).
+
+        Failed steps carry the previous best forward; leading failures
+        carry the default duration.
+        """
+        best = float("inf")
+        out = []
+        for s in self.steps:
+            if s.success:
+                best = min(best, s.duration_s)
+            out.append(best if best < float("inf") else self.default_duration_s)
+        return out
+
+    def accumulated_cost(self) -> list[float]:
+        """Cumulative tuning cost after each step (Figure 8, lower series)."""
+        acc, out = 0.0, []
+        for s in self.steps:
+            acc += s.duration_s + s.recommendation_s
+            out.append(acc)
+        return out

@@ -1,0 +1,18 @@
+"""DRL environment for configuration tuning (§3.1 of the paper).
+
+:class:`TuningEnv` is the single-workload environment of the paper's
+evaluation; :class:`DynamicTuningEnv` (extension) chains several
+workload phases behind the same interface for drift experiments.
+"""
+
+from repro.envs.dynamic import DynamicTuningEnv, Phase
+from repro.envs.reward import RewardFunction
+from repro.envs.tuning_env import StepOutcome, TuningEnv
+
+__all__ = [
+    "RewardFunction",
+    "TuningEnv",
+    "StepOutcome",
+    "DynamicTuningEnv",
+    "Phase",
+]

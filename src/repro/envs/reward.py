@@ -1,0 +1,51 @@
+"""The immediate reward function — Eq. (1) of the paper.
+
+    r_t = (perf_e − perf_t) / perf_e
+
+where ``perf`` is execution time (lower is better) and ``perf_e`` is the
+*expected* performance, set as a speedup with respect to the default
+execution time ("According to the performance improvement achieved by
+prior studies, we set perf_e to be a speedup with respect to the default
+execution time").
+
+With an ambitious expected speedup, most configurations earn a negative
+reward and only close-to-optimal ones a positive reward — the sparse
+high-reward regime that motivates RDPER.
+"""
+
+from __future__ import annotations
+
+from repro.sim.faults import FAILURE_PERF_FACTOR
+
+__all__ = ["RewardFunction"]
+
+
+class RewardFunction:
+    """Eq. (1), parameterized by the expected speedup over default."""
+
+    def __init__(self, default_perf: float, expected_speedup: float = 4.0):
+        if default_perf <= 0:
+            raise ValueError("default performance must be positive")
+        if expected_speedup <= 0:
+            raise ValueError("expected speedup must be positive")
+        self.default_perf = float(default_perf)
+        self.expected_speedup = float(expected_speedup)
+        #: perf_e — the target execution time
+        self.perf_e = self.default_perf / self.expected_speedup
+
+    def __call__(self, perf_t: float, success: bool = True) -> float:
+        """Reward for an evaluation with execution time ``perf_t``.
+
+        Failed evaluations (OOM, YARN rejection) are charged
+        ``FAILURE_PERF_FACTOR`` x the default execution time — the
+        operator's cost of falling back to the default after a crash.
+        """
+        if perf_t <= 0:
+            raise ValueError("perf_t must be positive")
+        if not success:
+            perf_t = FAILURE_PERF_FACTOR * self.default_perf
+        return (self.perf_e - perf_t) / self.perf_e
+
+    def perf_from_reward(self, reward: float) -> float:
+        """Invert Eq. (1): the execution time implying ``reward``."""
+        return self.perf_e * (1.0 - reward)

@@ -1,0 +1,122 @@
+"""The configuration-tuning environment.
+
+State: per-node ``uptime`` load averages (normalized).
+Action: a point in [0,1]^32, decoded into a configuration.
+Reward: Eq. (1) against the default execution time.
+
+Episodes are step sequences of configuration evaluations; there is no
+terminal state in the MDP sense — the paper bounds episodes by a step
+count, which the trainer controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.hardware import ClusterSpec
+from repro.cluster.state import ClusterStateTracker
+from repro.config.space import ConfigurationSpace
+from repro.envs.reward import RewardFunction
+from repro.hibench.runner import BenchmarkRunner
+from repro.sim.result import ExecutionResult
+from repro.workloads.base import DatasetSpec, Workload
+
+__all__ = ["TuningEnv", "StepOutcome"]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Everything one environment step produced."""
+
+    state: np.ndarray  # state the action was taken in
+    action: np.ndarray  # normalized configuration vector
+    reward: float
+    next_state: np.ndarray
+    duration_s: float  # evaluation cost of this step (the tuning cost)
+    success: bool
+    config: dict[str, Any]
+    result: ExecutionResult
+
+
+class TuningEnv:
+    """Online/offline tuning environment over the simulated cluster."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        dataset: DatasetSpec | str,
+        cluster: ClusterSpec,
+        space: ConfigurationSpace,
+        rng: np.random.Generator,
+        expected_speedup: float = 4.0,
+        noise_sigma: float = 0.10,
+    ):
+        state_rng, sim_rng = rng.spawn(2)
+        self.space = space
+        self.runner = BenchmarkRunner(
+            workload, dataset, cluster, sim_rng, noise_sigma=noise_sigma
+        )
+        self.cluster = cluster
+        self._tracker = ClusterStateTracker(cluster, state_rng)
+        default_perf = self.runner.simulator.default_duration(space)
+        self.reward_fn = RewardFunction(default_perf, expected_speedup)
+        self._state = self._tracker.reset()
+        self.total_evaluation_seconds = 0.0
+        self.steps_taken = 0
+
+    @property
+    def state_dim(self) -> int:
+        return self._tracker.dim
+
+    @property
+    def action_dim(self) -> int:
+        return self.space.dim
+
+    @property
+    def state(self) -> np.ndarray:
+        """Current observation (copy)."""
+        return self._state.copy()
+
+    @property
+    def default_duration(self) -> float:
+        return self.reward_fn.default_perf
+
+    def reset(self) -> np.ndarray:
+        """Reset the load-average history (a fresh tuning request)."""
+        self._state = self._tracker.reset()
+        return self.state
+
+    def step(self, action: np.ndarray) -> StepOutcome:
+        """Evaluate the configuration encoded by ``action``.
+
+        The action is clipped into [0,1]^d (mirroring the paper's boundary
+        clipping for out-of-scope recommendations), decoded, and run on
+        the cluster.
+        """
+        prev_state = self.state
+        vec = self.space.clip_vector(np.asarray(action, dtype=np.float64))
+        config = self.space.decode(vec)
+        report = self.runner.run(config)
+        result = report.result
+        reward = self.reward_fn(result.duration_s, success=result.success)
+        demand = (
+            result.cpu_demand_per_node
+            if result.cpu_demand_per_node.size
+            else np.full(self.cluster.n_nodes, 0.1)
+        )
+        self._state = self._tracker.observe(demand)
+        self.total_evaluation_seconds += result.duration_s
+        self.steps_taken += 1
+        return StepOutcome(
+            state=prev_state,
+            action=vec,
+            reward=float(reward),
+            next_state=self.state,
+            duration_s=result.duration_s,
+            success=result.success,
+            config=config,
+            result=result,
+        )

@@ -1,0 +1,135 @@
+"""Component ablations beyond the paper's figures.
+
+DESIGN.md calls out two design choices (TD3-over-DDPG, RDPER-over-
+uniform/PER); this experiment crosses them into a matrix so each
+component's contribution is measurable in isolation:
+
+  agent  x  replay   ->  {TD3, DDPG} x {RDPER, PER, uniform}
+
+TD3+RDPER is DeepCAT's offline configuration, DDPG+PER is CDBTune's.
+Every cell trains offline on the same budget and is scored by the best
+execution time found in a 5-step online session (no Twin-Q, to isolate
+offline quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.agents.base import AgentHyperParams
+from repro.agents.ddpg import DDPGAgent
+from repro.agents.td3 import TD3Agent
+from repro.core.offline import OfflineTrainer
+from repro.core.online import OnlineTuner
+from repro.experiments.common import get_scale, online_env
+from repro.factory import make_env
+from repro.replay.per import PrioritizedReplayBuffer
+from repro.replay.rdper import RewardDrivenReplayBuffer
+from repro.replay.uniform import UniformReplayBuffer
+from repro.utils.tables import format_table
+
+__all__ = ["AblationResult", "run", "format_result"]
+
+AGENTS = ("TD3", "DDPG")
+REPLAYS = ("RDPER", "PER", "uniform")
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    #: best[(agent, replay)] -> seed-averaged best execution time
+    best: dict[tuple[str, str], float]
+    eval_cost: dict[tuple[str, str], float]
+    workload: str
+    dataset: str
+
+    def cell(self, agent: str, replay: str) -> float:
+        return self.best[(agent, replay)]
+
+
+def _build_cell(
+    agent_name: str, replay_name: str, state_dim: int, action_dim: int,
+    seed: int, capacity: int = 20_000,
+):
+    rng = np.random.default_rng(seed)
+    agent_rng, buf_rng = rng.spawn(2)
+    hp = AgentHyperParams()
+    agent_cls = TD3Agent if agent_name == "TD3" else DDPGAgent
+    agent = agent_cls(state_dim, action_dim, agent_rng, hp)
+    if replay_name == "RDPER":
+        buffer = RewardDrivenReplayBuffer(
+            capacity, state_dim, action_dim, buf_rng
+        )
+    elif replay_name == "PER":
+        buffer = PrioritizedReplayBuffer(
+            capacity, state_dim, action_dim, buf_rng
+        )
+    else:
+        buffer = UniformReplayBuffer(capacity, state_dim, action_dim, buf_rng)
+    return agent, buffer
+
+
+def run(
+    scale: str = "quick",
+    workload: str = "TS",
+    dataset: str = "D1",
+    seeds: tuple[int, ...] | None = None,
+) -> AblationResult:
+    sc = get_scale(scale)
+    seeds = seeds if seeds is not None else tuple(range(max(2, len(sc.seeds))))
+    best: dict[tuple[str, str], list[float]] = {}
+    cost: dict[tuple[str, str], list[float]] = {}
+    for agent_name in AGENTS:
+        for replay_name in REPLAYS:
+            for seed in seeds:
+                env = make_env(workload, dataset, seed=seed)
+                agent, buffer = _build_cell(
+                    agent_name, replay_name, env.state_dim, env.action_dim,
+                    seed,
+                )
+                OfflineTrainer(agent, buffer).train(
+                    env, sc.offline_iterations
+                )
+                tuner = OnlineTuner(
+                    agent, buffer,
+                    name=f"{agent_name}+{replay_name}",
+                    use_twin_q=False,
+                    rng=np.random.default_rng(seed + 999),
+                )
+                s = tuner.tune(
+                    online_env(workload, dataset, seed),
+                    steps=sc.online_steps,
+                )
+                key = (agent_name, replay_name)
+                best.setdefault(key, []).append(s.best_duration_s)
+                cost.setdefault(key, []).append(s.evaluation_seconds)
+    return AblationResult(
+        best={k: float(np.mean(v)) for k, v in best.items()},
+        eval_cost={k: float(np.mean(v)) for k, v in cost.items()},
+        workload=workload,
+        dataset=dataset,
+    )
+
+
+def format_result(r: AblationResult) -> str:
+    rows = []
+    for agent in AGENTS:
+        for replay in REPLAYS:
+            label = f"{agent}+{replay}"
+            if (agent, replay) == ("TD3", "RDPER"):
+                label += "  (DeepCAT offline)"
+            elif (agent, replay) == ("DDPG", "PER"):
+                label += "  (CDBTune offline)"
+            rows.append(
+                (label, r.best[(agent, replay)],
+                 r.eval_cost[(agent, replay)])
+            )
+    return format_table(
+        headers=("configuration", "best exec (s)", "eval cost (s)"),
+        rows=rows,
+        title=(
+            f"Component ablation on {r.workload}-{r.dataset}: "
+            "agent x replay matrix"
+        ),
+    )

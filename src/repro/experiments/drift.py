@@ -1,0 +1,99 @@
+"""Continuous tuning under workload drift (extension experiment).
+
+The paper motivates online tuning with time-varying workloads (§1) and
+evaluates one-shot transfers (Figure 9).  This experiment goes one step
+further: a *stream* of tuning requests as the workload drifts
+TS -> PR -> KM, served by a single tuner instance that carries its
+fine-tuned state across phases.  DeepCAT (trained offline on the first
+phase only) is compared with CDBTune under the identical stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    fork_tuner,
+    get_scale,
+    online_env,
+    train_cdbtune,
+    train_deepcat,
+)
+from repro.utils.tables import format_table
+
+__all__ = ["DriftResult", "run", "format_result", "DEFAULT_STREAM"]
+
+#: the drift schedule: each entry is one online tuning request
+DEFAULT_STREAM = (("TS", "D1"), ("PR", "D1"), ("KM", "D1"))
+
+
+@dataclass(frozen=True)
+class DriftResult:
+    stream: tuple[tuple[str, str], ...]
+    #: speedup[(tuner, phase_index)] — best-config speedup per phase
+    speedup: dict[tuple[str, int], float]
+    total_cost: dict[str, float]
+
+    def mean_speedup(self, tuner: str) -> float:
+        vals = [
+            v for (t, _), v in self.speedup.items() if t == tuner
+        ]
+        return float(np.mean(vals))
+
+
+def run(
+    scale: str = "quick",
+    stream: tuple[tuple[str, str], ...] = DEFAULT_STREAM,
+    seeds: tuple[int, ...] | None = None,
+) -> DriftResult:
+    sc = get_scale(scale)
+    seeds = seeds if seeds is not None else tuple(range(max(2, len(sc.seeds))))
+    first_w, first_d = stream[0]
+
+    speedup: dict[tuple[str, int], list[float]] = {}
+    cost: dict[str, list[float]] = {}
+    for seed in seeds:
+        tuners = {
+            "DeepCAT": fork_tuner(train_deepcat(first_w, first_d, seed, sc)),
+            "CDBTune": fork_tuner(train_cdbtune(first_w, first_d, seed, sc)),
+        }
+        for name, tuner in tuners.items():
+            total = 0.0
+            for phase_idx, (w, d) in enumerate(stream):
+                env = online_env(w, d, seed * 31 + phase_idx)
+                session = tuner.tune_online(env, steps=sc.online_steps)
+                speedup.setdefault((name, phase_idx), []).append(
+                    session.speedup_over_default
+                )
+                total += session.total_tuning_seconds
+            cost.setdefault(name, []).append(total)
+
+    return DriftResult(
+        stream=tuple(stream),
+        speedup={k: float(np.mean(v)) for k, v in speedup.items()},
+        total_cost={k: float(np.mean(v)) for k, v in cost.items()},
+    )
+
+
+def format_result(r: DriftResult) -> str:
+    rows = []
+    for name in ("DeepCAT", "CDBTune"):
+        row = [name]
+        for i in range(len(r.stream)):
+            row.append(f"{r.speedup[(name, i)]:.2f}x")
+        row.append(f"{r.total_cost[name]:.0f}")
+        rows.append(tuple(row))
+    phase_headers = tuple(
+        f"{w}-{d} (phase {i})" for i, (w, d) in enumerate(r.stream)
+    )
+    return format_table(
+        headers=("tuner", *phase_headers, "total cost (s)"),
+        rows=rows,
+        title=(
+            "Workload-drift stream (offline model from phase 0 only; "
+            f"DeepCAT mean {r.mean_speedup('DeepCAT'):.2f}x vs CDBTune "
+            f"{r.mean_speedup('CDBTune'):.2f}x)"
+        ),
+    )

@@ -1,0 +1,87 @@
+"""Figure 10: adaptability to a different hardware environment.
+
+All three tuners are trained on Cluster-A (the physical testbed) and then
+online-tune WordCount-D1 and PageRank-D1 on Cluster-B (the smaller VM
+cluster).  Recommended parameters outside the new environment's scope are
+clipped to the boundary — which happens automatically because the action
+cube decodes against the same parameter ranges and YARN then clips
+against the smaller NodeManager budgets.  Paper speedups on Cluster-B:
+WC 1.68/1.30/1.17x, PR 1.42/1.25/1.09x (DeepCAT/CDBTune/OtterTune).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.hardware import CLUSTER_B
+from repro.experiments.common import (
+    fork_tuner,
+    get_scale,
+    online_env,
+    train_cdbtune,
+    train_deepcat,
+    train_ottertune,
+)
+from repro.utils.tables import format_table
+
+__all__ = ["Fig10Result", "run", "format_result"]
+
+WORKLOADS = ("WC", "PR")
+TUNERS = ("DeepCAT", "CDBTune", "OtterTune")
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    #: speedup[(workload, tuner)] over Cluster-B's default execution
+    speedup: dict[tuple[str, str], float]
+    total_cost: dict[tuple[str, str], float]
+
+
+def run(scale: str = "quick", seeds: tuple[int, ...] | None = None) -> Fig10Result:
+    sc = get_scale(scale)
+    seeds = seeds if seeds is not None else tuple(range(max(3, len(sc.seeds))))
+    speedup: dict[tuple[str, str], list[float]] = {}
+    cost: dict[tuple[str, str], list[float]] = {}
+    for workload in WORKLOADS:
+        for seed in seeds:
+            tuners = {
+                "DeepCAT": fork_tuner(
+                    train_deepcat(workload, "D1", seed, sc)
+                ),
+                "CDBTune": fork_tuner(
+                    train_cdbtune(workload, "D1", seed, sc)
+                ),
+                "OtterTune": fork_tuner(
+                    train_ottertune(workload, "D1", seed, sc)
+                ),
+            }
+            for name, tuner in tuners.items():
+                env_b = online_env(workload, "D1", seed, cluster=CLUSTER_B)
+                s = tuner.tune_online(env_b, steps=sc.online_steps)
+                speedup.setdefault((workload, name), []).append(
+                    s.speedup_over_default
+                )
+                cost.setdefault((workload, name), []).append(
+                    s.total_tuning_seconds
+                )
+    return Fig10Result(
+        speedup={k: float(np.mean(v)) for k, v in speedup.items()},
+        total_cost={k: float(np.mean(v)) for k, v in cost.items()},
+    )
+
+
+def format_result(r: Fig10Result) -> str:
+    rows = []
+    for w in WORKLOADS:
+        for t in TUNERS:
+            rows.append(
+                (w, t, r.speedup[(w, t)], r.total_cost[(w, t)])
+            )
+    return format_table(
+        headers=("workload", "tuner", "speedup on Cluster-B (x)",
+                 "total cost (s)"),
+        rows=rows,
+        title="Figure 10: hardware adaptability (trained on A, tuned on B)",
+    )

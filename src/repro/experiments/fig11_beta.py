@@ -1,0 +1,78 @@
+"""Figure 11: RDPER's high-reward ratio β.
+
+Train one offline model per β in {0.1 ... 0.9} and compare the best
+execution time and total online cost.  The paper finds a U-shape —
+all-good or all-bad batches both over-fit — with the sweet spot around
+β ∈ [0.4, 0.7] and picks 0.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    fork_tuner,
+    get_scale,
+    online_env,
+    train_deepcat,
+)
+from repro.utils.tables import format_table
+
+__all__ = ["Fig11Result", "run", "format_result"]
+
+DEFAULT_BETAS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    betas: tuple[float, ...]
+    best: tuple[float, ...]  # best execution time per beta
+    total_cost: tuple[float, ...]
+
+    def best_beta(self) -> float:
+        return self.betas[int(np.argmin(self.best))]
+
+
+def run(
+    scale: str = "quick",
+    workload: str = "TS",
+    dataset: str = "D1",
+    betas: tuple[float, ...] = DEFAULT_BETAS,
+    seeds: tuple[int, ...] | None = None,
+) -> Fig11Result:
+    sc = get_scale(scale)
+    seeds = seeds if seeds is not None else tuple(range(max(3, len(sc.seeds))))
+    best, cost = [], []
+    for beta in betas:
+        b_seeds, c_seeds = [], []
+        for seed in seeds:
+            tuner = fork_tuner(
+                train_deepcat(workload, dataset, seed, sc, beta=beta)
+            )
+            s = tuner.tune_online(
+                online_env(workload, dataset, seed), steps=sc.online_steps
+            )
+            b_seeds.append(s.best_duration_s)
+            c_seeds.append(s.total_tuning_seconds)
+        best.append(float(np.mean(b_seeds)))
+        cost.append(float(np.mean(c_seeds)))
+    return Fig11Result(
+        betas=tuple(betas), best=tuple(best), total_cost=tuple(cost)
+    )
+
+
+def format_result(r: Fig11Result) -> str:
+    from repro.utils.ascii_plot import line_plot
+
+    rows = list(zip(r.betas, r.best, r.total_cost))
+    table = format_table(
+        headers=("beta", "best exec time (s)", "total tuning cost (s)"),
+        rows=rows,
+        title=f"Figure 11: RDPER ratio sweep (best at beta={r.best_beta():.1f})",
+    )
+    plot = line_plot(
+        {"best exec (s)": r.best}, x=r.betas, height=10, width=54,
+    )
+    return table + "\n\n" + plot

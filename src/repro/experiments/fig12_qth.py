@@ -1,0 +1,81 @@
+"""Figure 12: the Twin-Q Optimizer's Q-value threshold.
+
+From the same offline model, run the online phase with Q_th in
+{0.1 ... 0.5}.  The paper finds Q_th = 0.5 reaches the best configuration
+but at the highest total cost (risky exploration), while Q_th = 0.3 is
+the cost-performance sweet spot it adopts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    fork_tuner,
+    get_scale,
+    online_env,
+    train_deepcat,
+)
+from repro.utils.tables import format_table
+
+__all__ = ["Fig12Result", "run", "format_result"]
+
+DEFAULT_THRESHOLDS = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    thresholds: tuple[float, ...]
+    best: tuple[float, ...]
+    total_cost: tuple[float, ...]
+
+    def cheapest_threshold(self) -> float:
+        return self.thresholds[int(np.argmin(self.total_cost))]
+
+
+def run(
+    scale: str = "quick",
+    workload: str = "TS",
+    dataset: str = "D1",
+    thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
+    seeds: tuple[int, ...] | None = None,
+) -> Fig12Result:
+    sc = get_scale(scale)
+    seeds = seeds if seeds is not None else tuple(range(max(3, len(sc.seeds))))
+    best, cost = [], []
+    for q_th in thresholds:
+        b_seeds, c_seeds = [], []
+        for seed in seeds:
+            tuner = fork_tuner(train_deepcat(workload, dataset, seed, sc))
+            tuner.q_threshold = q_th
+            s = tuner.tune_online(
+                online_env(workload, dataset, seed), steps=sc.online_steps
+            )
+            b_seeds.append(s.best_duration_s)
+            c_seeds.append(s.total_tuning_seconds)
+        best.append(float(np.mean(b_seeds)))
+        cost.append(float(np.mean(c_seeds)))
+    return Fig12Result(
+        thresholds=tuple(thresholds), best=tuple(best), total_cost=tuple(cost)
+    )
+
+
+def format_result(r: Fig12Result) -> str:
+    from repro.utils.ascii_plot import line_plot
+
+    rows = list(zip(r.thresholds, r.best, r.total_cost))
+    table = format_table(
+        headers=("Q_th", "best exec time (s)", "total tuning cost (s)"),
+        rows=rows,
+        title=(
+            "Figure 12: Q-value threshold sweep "
+            f"(cheapest at Q_th={r.cheapest_threshold():.1f})"
+        ),
+    )
+    plot = line_plot(
+        {"best (s)": r.best, "cost (s)": r.total_cost},
+        x=r.thresholds, height=10, width=54,
+    )
+    return table + "\n\n" + plot

@@ -1,0 +1,98 @@
+"""Figure 2: CDF of 200 random configurations (TeraSort).
+
+The paper plots, for 200 uniformly random configurations, the cumulative
+distribution of performance *relative to the found optimal*: easy to beat
+the default, but close-to-optimal configurations are rare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.factory import make_env
+from repro.sim.faults import FAILURE_PERF_FACTOR
+from repro.utils.stats import empirical_cdf
+from repro.utils.tables import format_table
+
+__all__ = ["Fig2Result", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """CDF of relative performance (execution time / best execution time)."""
+
+    relative_perf: np.ndarray  # sorted, one per sampled config
+    cumulative_prob: np.ndarray
+    best_duration_s: float
+    default_duration_s: float
+    n_failed: int
+
+    def prob_within(self, factor: float) -> float:
+        """Fraction of random configs within ``factor`` x of the optimum."""
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        return float(np.mean(self.relative_perf <= factor))
+
+
+def run(
+    scale: str = "quick",
+    workload: str = "TS",
+    dataset: str = "D1",
+    n_samples: int = 200,
+    seed: int = 0,
+) -> Fig2Result:
+    """Sample ``n_samples`` random configurations and build the CDF."""
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    env = make_env(workload, dataset, seed=seed)
+    rng = np.random.default_rng(seed + 77)
+    durations = []
+    n_failed = 0
+    for _ in range(n_samples):
+        outcome = env.step(env.space.sample_vector(rng))
+        if outcome.success:
+            durations.append(outcome.duration_s)
+        else:
+            n_failed += 1
+            durations.append(FAILURE_PERF_FACTOR * env.default_duration)
+    durations = np.asarray(durations)
+    best = float(durations.min())
+    rel, prob = empirical_cdf(durations / best)
+    return Fig2Result(
+        relative_perf=rel,
+        cumulative_prob=prob,
+        best_duration_s=best,
+        default_duration_s=env.default_duration,
+        n_failed=n_failed,
+    )
+
+
+def format_result(r: Fig2Result) -> str:
+    """The CDF at the paper-relevant factors."""
+    from repro.utils.ascii_plot import line_plot
+
+    rows = [
+        (f"within {f:.1f}x of optimum", f"{r.prob_within(f) * 100:.1f}%")
+        for f in (1.1, 1.2, 1.5, 2.0, 3.0)
+    ]
+    rows.append(("better than default",
+                 f"{float(np.mean(r.relative_perf * r.best_duration_s < r.default_duration_s)) * 100:.1f}%"))
+    table = format_table(
+        headers=("relative performance", "cumulative probability"),
+        rows=rows,
+        title=(
+            "Figure 2: CDF of random configurations "
+            f"(best {r.best_duration_s:.1f}s, default {r.default_duration_s:.1f}s, "
+            f"{r.n_failed} failed)"
+        ),
+    )
+    # clip the x-axis at 5x the optimum so the body of the CDF is visible
+    mask = r.relative_perf <= 5.0
+    plot = line_plot(
+        {"CDF": r.cumulative_prob[mask]},
+        x=r.relative_perf[mask], height=10, width=56,
+        y_label="P",
+    )
+    return table + "\n\n" + plot

@@ -1,0 +1,141 @@
+"""Figure 4: RDPER ablation — convergence of offline training.
+
+Train TD3 with conventional (uniform) replay and with RDPER on the same
+budget schedule and compare the quality of the offline model at each
+budget.  The paper's claims: TD3+RDPER converges ~1.6x faster and lands
+on a better configuration.
+
+Measurement note: the paper scores each budget by a 5-step online
+session's best execution time.  A best-of-5 under multiplicative
+evaluation noise is a min-statistic whose spread (~±10%) swamps the
+few-percent RDPER effect at practical seed counts, so this experiment
+scores each budget by the *greedy policy's* configuration evaluated
+``POLICY_EVALS`` times and averaged — the same underlying quantity
+(offline-model quality) with far less variance.  The online-session
+protocol itself is exercised by Figures 5-8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.common import get_scale, online_env, train_deepcat
+from repro.sim.faults import FAILURE_PERF_FACTOR
+from repro.utils.tables import format_table
+
+__all__ = ["Fig4Result", "run", "format_result", "POLICY_EVALS"]
+
+#: noisy evaluations averaged per policy measurement
+POLICY_EVALS = 3
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    iterations: tuple[int, ...]
+    best_with_rdper: tuple[float, ...]  # seconds, averaged over seeds
+    best_without_rdper: tuple[float, ...]
+    seeds: tuple[int, ...] = field(default=(0,))
+
+    def convergence_speedup(self) -> float:
+        """The paper's Figure-4 metric: the iteration budget at which
+        uniform replay first reaches its own final level, divided by the
+        budget at which RDPER reaches that same level (their "converge
+        faster by a factor of 1.60 (2000 v.s. 3200)").
+
+        Both curves are made monotone (running minimum over budgets)
+        first: a longer-trained model has, information-wise, strictly
+        more than a shorter one, so upticks in the raw curves are
+        evaluation noise.
+        """
+        rdper = np.minimum.accumulate(self.best_with_rdper)
+        plain = np.minimum.accumulate(self.best_without_rdper)
+        # 10% tolerance: the paper treats configurations ~12% apart as
+        # "extremely close" when making the same comparison (§5.1.1)
+        target = plain[-1] * 1.10
+        it_plain = next(
+            it for it, b in zip(self.iterations, plain) if b <= target
+        )
+        it_rdper = next(
+            (it for it, b in zip(self.iterations, rdper) if b <= target),
+            self.iterations[-1],
+        )
+        return it_plain / max(it_rdper, 1)
+
+
+def _policy_quality(tuner, workload: str, dataset: str, seed: int) -> float:
+    """Mean evaluated duration of the tuner's greedy policy action."""
+    env = online_env(workload, dataset, seed)
+    durations = []
+    for _ in range(POLICY_EVALS):
+        action = tuner.agent.act(env.state, explore=False)
+        outcome = env.step(action)
+        durations.append(
+            outcome.duration_s
+            if outcome.success
+            else FAILURE_PERF_FACTOR * env.default_duration
+        )
+    return float(np.mean(durations))
+
+
+def run(
+    scale: str = "quick",
+    workload: str = "TS",
+    dataset: str = "D1",
+    iteration_grid: tuple[int, ...] | None = None,
+    seeds: tuple[int, ...] | None = None,
+) -> Fig4Result:
+    sc = get_scale(scale)
+    seeds = seeds if seeds is not None else tuple(range(max(4, len(sc.seeds))))
+    if iteration_grid is None:
+        top = sc.offline_iterations
+        iteration_grid = tuple(
+            int(x) for x in np.linspace(top // 6, top, 6)
+        )
+    rdper_rows, plain_rows = [], []
+    for iters in iteration_grid:
+        r_seeds, p_seeds = [], []
+        for seed in seeds:
+            t_rdper = train_deepcat(
+                workload, dataset, seed, sc, iterations=iters
+            )
+            t_plain = train_deepcat(
+                workload, dataset, seed, sc, iterations=iters, use_rdper=False
+            )
+            r_seeds.append(_policy_quality(t_rdper, workload, dataset, seed))
+            p_seeds.append(_policy_quality(t_plain, workload, dataset, seed))
+        rdper_rows.append(float(np.mean(r_seeds)))
+        plain_rows.append(float(np.mean(p_seeds)))
+    return Fig4Result(
+        iterations=tuple(iteration_grid),
+        best_with_rdper=tuple(rdper_rows),
+        best_without_rdper=tuple(plain_rows),
+        seeds=tuple(seeds),
+    )
+
+
+def format_result(r: Fig4Result) -> str:
+    from repro.utils.ascii_plot import line_plot
+
+    rows = [
+        (it, w, wo)
+        for it, w, wo in zip(
+            r.iterations, r.best_with_rdper, r.best_without_rdper
+        )
+    ]
+    table = format_table(
+        headers=("offline iterations", "TD3+RDPER policy (s)",
+                 "TD3 policy (s)"),
+        rows=rows,
+        title=(
+            "Figure 4: RDPER convergence "
+            f"(convergence speedup {r.convergence_speedup():.2f}x)"
+        ),
+    )
+    plot = line_plot(
+        {"TD3+RDPER": r.best_with_rdper, "TD3": r.best_without_rdper},
+        x=r.iterations, height=12, width=56,
+        y_label="policy (s)",
+    )
+    return table + "\n\n" + plot

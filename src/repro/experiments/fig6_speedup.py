@@ -1,0 +1,57 @@
+"""Figure 6: speedup of the best recommended configuration over default.
+
+For every workload-input pair and every tuner, the best execution time
+found in 5 online steps, expressed as a speedup over the default
+configuration.  Paper aggregates: DeepCAT 4.66x, CDBTune 3.21x,
+OtterTune 2.82x (so DeepCAT/CDBTune = 1.45x, DeepCAT/OtterTune = 1.65x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.sessions import TUNERS, SessionGrid, comparison_grid
+from repro.utils.tables import format_table
+
+__all__ = ["Fig6Result", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    grid: SessionGrid
+
+    def average_speedups(self) -> dict[str, float]:
+        return {t: self.grid.average_speedup(t) for t in TUNERS}
+
+    def relative_speedup(self, over: str) -> float:
+        """DeepCAT's average speedup over the baseline's (1.45x/1.65x)."""
+        s = self.average_speedups()
+        return s["DeepCAT"] / s[over]
+
+
+def run(scale: str = "quick", pairs=None) -> Fig6Result:
+    return Fig6Result(grid=comparison_grid(scale, pairs))
+
+
+def format_result(r: Fig6Result) -> str:
+    rows = []
+    for w, d in r.grid.pairs:
+        rows.append(
+            (
+                f"{w}-{d}",
+                r.grid.mean_speedup("DeepCAT", w, d),
+                r.grid.mean_speedup("CDBTune", w, d),
+                r.grid.mean_speedup("OtterTune", w, d),
+            )
+        )
+    avg = r.average_speedups()
+    rows.append(("average", avg["DeepCAT"], avg["CDBTune"], avg["OtterTune"]))
+    return format_table(
+        headers=("pair", "DeepCAT (x)", "CDBTune (x)", "OtterTune (x)"),
+        rows=rows,
+        title=(
+            "Figure 6: speedup over default "
+            f"(DeepCAT vs CDBTune {r.relative_speedup('CDBTune'):.2f}x, "
+            f"vs OtterTune {r.relative_speedup('OtterTune'):.2f}x)"
+        ),
+    )

@@ -1,0 +1,54 @@
+"""Figure 7: total online tuning cost with recommendation-time breakdown.
+
+Total cost = configuration-evaluation time + recommendation time over the
+5 online steps.  Paper: DeepCAT cuts total cost 24.64% on average (up to
+50.08%) vs CDBTune and 39.71% (up to 53.39%) vs OtterTune; DRL
+recommendation time is sub-second while OtterTune's GP retraining makes
+its recommendation share noticeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.sessions import SessionGrid, comparison_grid
+from repro.utils.tables import format_table
+
+__all__ = ["Fig7Result", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    grid: SessionGrid
+
+    def reduction_vs_cdbtune(self) -> tuple[float, float]:
+        return self.grid.cost_reduction_vs("DeepCAT", "CDBTune")
+
+    def reduction_vs_ottertune(self) -> tuple[float, float]:
+        return self.grid.cost_reduction_vs("DeepCAT", "OtterTune")
+
+
+def run(scale: str = "quick", pairs=None) -> Fig7Result:
+    return Fig7Result(grid=comparison_grid(scale, pairs))
+
+
+def format_result(r: Fig7Result) -> str:
+    rows = []
+    for w, d in r.grid.pairs:
+        row = [f"{w}-{d}"]
+        for t in ("DeepCAT", "CDBTune", "OtterTune"):
+            total = r.grid.mean_total_cost(t, w, d)
+            rec = r.grid.mean_rec_cost(t, w, d)
+            row.append(f"{total:.1f} (rec {rec:.3f})")
+        rows.append(tuple(row))
+    avg_c, max_c = r.reduction_vs_cdbtune()
+    avg_o, max_o = r.reduction_vs_ottertune()
+    return format_table(
+        headers=("pair", "DeepCAT (s)", "CDBTune (s)", "OtterTune (s)"),
+        rows=rows,
+        title=(
+            "Figure 7: total online tuning cost "
+            f"(vs CDBTune -{avg_c:.1f}% avg / -{max_c:.1f}% max; "
+            f"vs OtterTune -{avg_o:.1f}% avg / -{max_o:.1f}% max)"
+        ),
+    )

@@ -1,0 +1,61 @@
+"""Figure 8: best-so-far execution time and accumulated tuning cost
+per online step.
+
+For each pair and tuner, the execution time of the current best
+configuration after each of the 5 steps, alongside the accumulated
+tuning cost — the paper's evidence that DeepCAT reaches a better
+configuration earlier and cheaper, so under any tuning-cost constraint it
+wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.sessions import TUNERS, SessionGrid, comparison_grid
+from repro.utils.tables import format_table
+
+__all__ = ["Fig8Result", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    grid: SessionGrid
+
+    def series(
+        self, tuner: str, workload: str, dataset: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(best-so-far, accumulated cost), seed-averaged, per step."""
+        ss = self.grid.sessions[(tuner, workload, dataset)]
+        best = np.mean([s.best_so_far() for s in ss], axis=0)
+        cost = np.mean([s.accumulated_cost() for s in ss], axis=0)
+        return best, cost
+
+    def final_cost(self, tuner: str, workload: str, dataset: str) -> float:
+        return float(self.series(tuner, workload, dataset)[1][-1])
+
+
+def run(scale: str = "quick", pairs=None) -> Fig8Result:
+    return Fig8Result(grid=comparison_grid(scale, pairs))
+
+
+def format_result(r: Fig8Result) -> str:
+    blocks = []
+    for w, d in r.grid.pairs:
+        rows = []
+        for step in range(len(r.series("DeepCAT", w, d)[0])):
+            row = [step + 1]
+            for t in TUNERS:
+                best, cost = r.series(t, w, d)
+                row.append(f"{best[step]:.1f}/{cost[step]:.0f}")
+            rows.append(tuple(row))
+        blocks.append(
+            format_table(
+                headers=("step", *(f"{t} best/cost" for t in TUNERS)),
+                rows=rows,
+                title=f"Figure 8 [{w}-{d}]: best-so-far (s) / accumulated cost (s)",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,107 @@
+"""Figure 9: adaptability to different workloads.
+
+Models offline-trained on WC/TS/KM (and PR itself) each online-tune
+PageRank-D1; CDBTune and OtterTune are trained on PR directly.  Paper
+findings: transferred DeepCAT models stay within ~11-19% of the natively
+trained DeepCAT, still beat both baselines, and M_TS->PR is the worst
+transfer (TeraSort's characteristics differ most from PageRank's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import OnlineSession
+from repro.experiments.common import (
+    fork_tuner,
+    get_scale,
+    online_env,
+    train_cdbtune,
+    train_deepcat,
+    train_ottertune,
+)
+from repro.utils.tables import format_table
+
+__all__ = ["Fig9Result", "run", "format_result"]
+
+TARGET = ("PR", "D1")
+SOURCES = ("PR", "WC", "TS", "KM")
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    #: best execution time per model label (M_PR, M_WC->PR, ...)
+    best: dict[str, float]
+    total_cost: dict[str, float]
+
+    def transfer_penalty_pct(self, source: str) -> float:
+        """Extra execution time of M_<source>->PR vs native M_PR."""
+        if source == "PR":
+            return 0.0
+        return 100.0 * (
+            self.best[f"M_{source}->PR"] / self.best["M_PR"] - 1.0
+        )
+
+
+def _label(source: str) -> str:
+    return "M_PR" if source == "PR" else f"M_{source}->PR"
+
+
+def run(scale: str = "quick", seeds: tuple[int, ...] | None = None) -> Fig9Result:
+    sc = get_scale(scale)
+    seeds = seeds if seeds is not None else tuple(range(max(3, len(sc.seeds))))
+    workload, dataset = TARGET
+    best: dict[str, list[float]] = {}
+    cost: dict[str, list[float]] = {}
+
+    def record(label: str, session: OnlineSession) -> None:
+        best.setdefault(label, []).append(session.best_duration_s)
+        cost.setdefault(label, []).append(session.total_tuning_seconds)
+
+    for seed in seeds:
+        for source in SOURCES:
+            tuner = fork_tuner(train_deepcat(source, "D1", seed, sc))
+            s = tuner.tune_online(
+                online_env(workload, dataset, seed), steps=sc.online_steps
+            )
+            record(_label(source), s)
+        cb = fork_tuner(train_cdbtune(workload, dataset, seed, sc))
+        record(
+            "CDBTune",
+            cb.tune_online(
+                online_env(workload, dataset, seed), steps=sc.online_steps
+            ),
+        )
+        ot = fork_tuner(train_ottertune(workload, dataset, seed, sc))
+        record(
+            "OtterTune",
+            ot.tune_online(
+                online_env(workload, dataset, seed), steps=sc.online_steps
+            ),
+        )
+
+    return Fig9Result(
+        best={k: float(np.mean(v)) for k, v in best.items()},
+        total_cost={k: float(np.mean(v)) for k, v in cost.items()},
+    )
+
+
+def format_result(r: Fig9Result) -> str:
+    rows = [
+        (label, r.best[label], r.total_cost[label])
+        for label in (*map(_label, SOURCES), "CDBTune", "OtterTune")
+    ]
+    worst = max(
+        (s for s in SOURCES if s != "PR"), key=r.transfer_penalty_pct
+    )
+    return format_table(
+        headers=("model", "best exec time (s)", "total tuning cost (s)"),
+        rows=rows,
+        title=(
+            "Figure 9: workload adaptability on PageRank-D1 "
+            f"(worst transfer M_{worst}->PR, "
+            f"+{r.transfer_penalty_pct(worst):.1f}% vs native)"
+        ),
+    )

@@ -1,0 +1,117 @@
+"""Headline-claim checker.
+
+Condenses the paper's abstract-level claims into one structured check
+over an existing session grid — used by the benchmark suite's final
+gate and handy for CI-style regression checks after simulator or agent
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.sessions import SessionGrid, comparison_grid
+
+__all__ = ["HeadlineCheck", "check_headlines"]
+
+
+@dataclass(frozen=True)
+class HeadlineCheck:
+    """Outcome of one claim check."""
+
+    claim: str
+    passed: bool
+    measured: str
+
+
+def check_headlines(
+    grid: SessionGrid | None = None, scale: str = "quick"
+) -> list[HeadlineCheck]:
+    """Evaluate the paper's headline claims against a session grid.
+
+    Claims (paper values in parentheses):
+
+    1. DeepCAT's average best-config speedup exceeds CDBTune's (1.45x).
+    2. DeepCAT's average best-config speedup exceeds OtterTune's (1.65x).
+    3. DeepCAT's total online tuning cost undercuts CDBTune's on average
+       (-24.64%).
+    4. DeepCAT's total online tuning cost undercuts OtterTune's on
+       average (-39.71%).
+    5. The KMeans margin over CDBTune exceeds the all-workload margin
+       (§5.2.1: KM is DeepCAT's best case).
+    6. DRL recommendation time is at least an order of magnitude below
+       OtterTune's.
+    """
+    grid = grid if grid is not None else comparison_grid(scale)
+    checks: list[HeadlineCheck] = []
+
+    dc = grid.average_speedup("DeepCAT")
+    cb = grid.average_speedup("CDBTune")
+    ot = grid.average_speedup("OtterTune")
+    checks.append(
+        HeadlineCheck(
+            "DeepCAT avg speedup > CDBTune (paper 1.45x)",
+            dc > cb,
+            f"{dc:.2f}x vs {cb:.2f}x ({dc / cb:.2f}x)",
+        )
+    )
+    checks.append(
+        HeadlineCheck(
+            "DeepCAT avg speedup > OtterTune (paper 1.65x)",
+            dc > ot,
+            f"{dc:.2f}x vs {ot:.2f}x ({dc / ot:.2f}x)",
+        )
+    )
+
+    avg_c, max_c = grid.cost_reduction_vs("DeepCAT", "CDBTune")
+    avg_o, max_o = grid.cost_reduction_vs("DeepCAT", "OtterTune")
+    checks.append(
+        HeadlineCheck(
+            "DeepCAT cheaper than CDBTune on avg (paper -24.64%)",
+            avg_c > 0,
+            f"-{avg_c:.1f}% avg, -{max_c:.1f}% max",
+        )
+    )
+    checks.append(
+        HeadlineCheck(
+            "DeepCAT cheaper than OtterTune on avg (paper -39.71%)",
+            avg_o > 0,
+            f"-{avg_o:.1f}% avg, -{max_o:.1f}% max",
+        )
+    )
+
+    km_pairs = [(w, d) for w, d in grid.pairs if w == "KM"]
+    if km_pairs:
+        km_margin = sum(
+            grid.mean_speedup("DeepCAT", w, d)
+            / grid.mean_speedup("CDBTune", w, d)
+            for w, d in km_pairs
+        ) / len(km_pairs)
+        overall_margin = dc / cb
+        checks.append(
+            HeadlineCheck(
+                "KMeans margin over CDBTune exceeds overall (paper §5.2.1)",
+                km_margin >= overall_margin * 0.95,
+                f"KM {km_margin:.2f}x vs overall {overall_margin:.2f}x",
+            )
+        )
+
+    w, d = grid.pairs[0]
+    rec_dc = grid.mean_rec_cost("DeepCAT", w, d)
+    rec_ot = grid.mean_rec_cost("OtterTune", w, d)
+    checks.append(
+        HeadlineCheck(
+            "DRL recommendation time << OtterTune's (paper 0.69s vs 43s)",
+            rec_ot > 10 * rec_dc,
+            f"{rec_dc * 1e3:.1f}ms vs {rec_ot * 1e3:.0f}ms",
+        )
+    )
+    return checks
+
+
+def format_checks(checks: list[HeadlineCheck]) -> str:
+    lines = ["Headline claims:"]
+    for c in checks:
+        mark = "PASS" if c.passed else "MISS"
+        lines.append(f"  [{mark}] {c.claim}: {c.measured}")
+    return "\n".join(lines)

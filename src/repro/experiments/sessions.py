@@ -1,0 +1,123 @@
+"""Shared session grid for Figures 6, 7 and 8.
+
+Runs the full comparison — every workload-input pair, tuned online by
+DeepCAT, CDBTune and OtterTune from their offline models — once per
+(scale, pairs) request and caches the resulting sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import OnlineSession
+from repro.experiments.common import (
+    fork_tuner,
+    get_scale,
+    online_env,
+    train_cdbtune,
+    train_deepcat,
+    train_ottertune,
+)
+
+__all__ = ["SessionGrid", "comparison_grid", "ALL_PAIRS", "QUICK_PAIRS"]
+
+#: the paper's 12 workload-input pairs
+ALL_PAIRS: tuple[tuple[str, str], ...] = tuple(
+    (w, d) for w in ("WC", "TS", "PR", "KM") for d in ("D1", "D2", "D3")
+)
+#: a 4-pair subset (one per workload) for the quick scale
+QUICK_PAIRS: tuple[tuple[str, str], ...] = (
+    ("WC", "D1"),
+    ("TS", "D1"),
+    ("PR", "D1"),
+    ("KM", "D1"),
+)
+
+TUNERS = ("DeepCAT", "CDBTune", "OtterTune")
+
+_GRID_CACHE: dict[tuple, "SessionGrid"] = {}
+
+
+@dataclass(frozen=True)
+class SessionGrid:
+    """Sessions indexed by (tuner, workload, dataset); seed-averaged
+    scalars are computed on demand."""
+
+    pairs: tuple[tuple[str, str], ...]
+    seeds: tuple[int, ...]
+    #: sessions[(tuner, workload, dataset)] -> list over seeds
+    sessions: dict[tuple[str, str, str], list[OnlineSession]]
+
+    def mean_speedup(self, tuner: str, workload: str, dataset: str) -> float:
+        ss = self.sessions[(tuner, workload, dataset)]
+        return float(np.mean([s.speedup_over_default for s in ss]))
+
+    def mean_best(self, tuner: str, workload: str, dataset: str) -> float:
+        ss = self.sessions[(tuner, workload, dataset)]
+        return float(np.mean([s.best_duration_s for s in ss]))
+
+    def mean_eval_cost(self, tuner: str, workload: str, dataset: str) -> float:
+        ss = self.sessions[(tuner, workload, dataset)]
+        return float(np.mean([s.evaluation_seconds for s in ss]))
+
+    def mean_rec_cost(self, tuner: str, workload: str, dataset: str) -> float:
+        ss = self.sessions[(tuner, workload, dataset)]
+        return float(np.mean([s.recommendation_seconds for s in ss]))
+
+    def mean_total_cost(self, tuner: str, workload: str, dataset: str) -> float:
+        ss = self.sessions[(tuner, workload, dataset)]
+        return float(np.mean([s.total_tuning_seconds for s in ss]))
+
+    def average_speedup(self, tuner: str) -> float:
+        """Arithmetic mean speedup across all pairs (the paper's 4.66x /
+        3.21x / 2.82x aggregates)."""
+        return float(
+            np.mean([self.mean_speedup(tuner, w, d) for w, d in self.pairs])
+        )
+
+    def cost_reduction_vs(self, tuner: str, baseline: str) -> tuple[float, float]:
+        """(average %, maximum %) total-cost reduction of ``tuner`` against
+        ``baseline`` across pairs (the paper's 24.64%/50.08% numbers)."""
+        reductions = []
+        for w, d in self.pairs:
+            ours = self.mean_total_cost(tuner, w, d)
+            theirs = self.mean_total_cost(baseline, w, d)
+            reductions.append(100.0 * (1.0 - ours / theirs))
+        return float(np.mean(reductions)), float(np.max(reductions))
+
+
+def comparison_grid(
+    scale: str = "quick",
+    pairs: tuple[tuple[str, str], ...] | None = None,
+) -> SessionGrid:
+    """Run (or fetch) the tuner-comparison grid at the given scale."""
+    sc = get_scale(scale)
+    if pairs is None:
+        pairs = QUICK_PAIRS if sc.name == "quick" else ALL_PAIRS
+    key = (sc.name, pairs, sc.seeds)
+    if key in _GRID_CACHE:
+        return _GRID_CACHE[key]
+
+    sessions: dict[tuple[str, str, str], list[OnlineSession]] = {}
+    for workload, dataset in pairs:
+        for seed in sc.seeds:
+            tuners = {
+                "DeepCAT": fork_tuner(
+                    train_deepcat(workload, dataset, seed, sc)
+                ),
+                "CDBTune": fork_tuner(
+                    train_cdbtune(workload, dataset, seed, sc)
+                ),
+                "OtterTune": fork_tuner(
+                    train_ottertune(workload, dataset, seed, sc)
+                ),
+            }
+            for name, tuner in tuners.items():
+                env = online_env(workload, dataset, seed)
+                s = tuner.tune_online(env, steps=sc.online_steps)
+                sessions.setdefault((name, workload, dataset), []).append(s)
+    grid = SessionGrid(pairs=pairs, seeds=sc.seeds, sessions=sessions)
+    _GRID_CACHE[key] = grid
+    return grid

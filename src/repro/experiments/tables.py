@@ -1,0 +1,35 @@
+"""Tables 1 and 2 of the paper."""
+
+from __future__ import annotations
+
+from repro.config.pipeline import build_pipeline_space
+from repro.utils.tables import format_table
+from repro.workloads.registry import table1_rows
+
+__all__ = ["table1", "table2"]
+
+
+def table1() -> str:
+    """Table 1: workload characteristics."""
+    return format_table(
+        headers=("Workload", "Category", "Input Datasets (D1, D2, D3)"),
+        rows=table1_rows(),
+        title="Table 1: Workload characteristics",
+    )
+
+
+def table2() -> str:
+    """Table 2: number of tuned parameters in the pipeline."""
+    space = build_pipeline_space()
+    counts = space.component_counts()
+    rows = [
+        ("Spark", f"{counts['spark']}*"),
+        ("YARN", str(counts["yarn"])),
+        ("HDFS", str(counts["hdfs"])),
+    ]
+    table = format_table(
+        headers=("Component of the pipeline", "Number of parameters"),
+        rows=rows,
+        title="Table 2: Number of tuned parameters in the pipeline",
+    )
+    return table + "\n*Including the Spark-YARN connector parameters"

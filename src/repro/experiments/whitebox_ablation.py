@@ -1,0 +1,122 @@
+"""White-box extension ablation (the paper's future-work direction).
+
+Compares, at a *matched total evaluation budget*, full-space DeepCAT
+against white-box-assisted DeepCAT: the sensitivity probe's evaluations
+are charged against the reduced tuner's offline budget, so any win comes
+from spending the same currency smarter, not from extra information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.core.deepcat import DeepCAT
+from repro.envs.tuning_env import TuningEnv
+from repro.experiments.common import get_scale, online_env, train_deepcat, fork_tuner
+from repro.extensions.whitebox import build_whitebox_plan
+from repro.factory import EXPECTED_SPEEDUPS, make_env
+from repro.sim.engine import SparkSimulator
+from repro.utils.tables import format_table
+from repro.workloads.registry import get_workload
+
+__all__ = ["WhiteboxAblationResult", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class WhiteboxAblationResult:
+    workload: str
+    dataset: str
+    budget: int
+    full_best: float
+    reduced_best: float
+    top_k: int
+    probe_evaluations: int
+
+    @property
+    def improvement_pct(self) -> float:
+        return 100.0 * (1.0 - self.reduced_best / self.full_best)
+
+
+def run(
+    scale: str = "quick",
+    workload: str = "TS",
+    dataset: str = "D1",
+    top_k: int = 10,
+    n_points: int = 5,
+    seeds: tuple[int, ...] | None = None,
+) -> WhiteboxAblationResult:
+    sc = get_scale(scale)
+    seeds = seeds if seeds is not None else tuple(range(max(2, len(sc.seeds))))
+    budget = sc.offline_iterations
+
+    full_bests, reduced_bests = [], []
+    probe_evals = 0
+    for seed in seeds:
+        # Full-space DeepCAT at the whole budget.
+        full = fork_tuner(train_deepcat(workload, dataset, seed, sc))
+        s_full = full.tune_online(
+            online_env(workload, dataset, seed), steps=sc.online_steps
+        )
+        full_bests.append(s_full.best_duration_s)
+
+        # White-box plan (probe charged against the budget) + reduced DeepCAT.
+        probe_sim = SparkSimulator(
+            get_workload(workload), dataset, CLUSTER_A,
+            np.random.default_rng(seed), noise_sigma=0.0,
+        )
+        base_env = make_env(workload, dataset, seed=seed)
+        plan = build_whitebox_plan(
+            probe_sim, base_env.space, top_k=top_k, n_points=n_points
+        )
+        probe_evals = plan.probe_evaluations
+        remaining = max(budget - plan.probe_evaluations,
+                        2 * DeepCAT.from_env(base_env).hp.warmup_steps)
+        reduced_env = TuningEnv(
+            workload=get_workload(workload), dataset=dataset,
+            cluster=CLUSTER_A, space=plan.reduced_space,
+            rng=np.random.default_rng(seed),
+            expected_speedup=EXPECTED_SPEEDUPS.get(workload, 2.0),
+        )
+        reduced = DeepCAT.from_env(reduced_env, seed=seed)
+        reduced.train_offline(reduced_env, remaining)
+        request = TuningEnv(
+            workload=get_workload(workload), dataset=dataset,
+            cluster=CLUSTER_A, space=plan.reduced_space,
+            rng=np.random.default_rng(10_000 + seed),
+            expected_speedup=EXPECTED_SPEEDUPS.get(workload, 2.0),
+        )
+        s_reduced = reduced.tune_online(request, steps=sc.online_steps)
+        reduced_bests.append(s_reduced.best_duration_s)
+
+    return WhiteboxAblationResult(
+        workload=workload,
+        dataset=dataset,
+        budget=budget,
+        full_best=float(np.mean(full_bests)),
+        reduced_best=float(np.mean(reduced_bests)),
+        top_k=top_k,
+        probe_evaluations=probe_evals,
+    )
+
+
+def format_result(r: WhiteboxAblationResult) -> str:
+    rows = [
+        ("full 32-dim DeepCAT", r.budget, r.full_best),
+        (
+            f"white-box DeepCAT (top {r.top_k} knobs)",
+            r.budget,
+            r.reduced_best,
+        ),
+    ]
+    return format_table(
+        headers=("tuner", "eval budget", "best exec (s)"),
+        rows=rows,
+        title=(
+            f"White-box extension on {r.workload}-{r.dataset} "
+            f"(probe {r.probe_evaluations} evals charged; "
+            f"reduced-space improvement {r.improvement_pct:+.1f}%)"
+        ),
+    )

@@ -1,0 +1,12 @@
+"""Extensions beyond the paper's published system.
+
+The paper's conclusion names white-box analysis (LOCAT, LITE) as future
+work for further cutting tuning cost.  :mod:`whitebox` implements that
+direction on our stack: a sensitivity analysis over the simulator picks
+the high-impact knobs, and DeepCAT then trains/tunes in the reduced
+action space.
+"""
+
+from repro.extensions.whitebox import WhiteBoxPlan, build_whitebox_plan
+
+__all__ = ["WhiteBoxPlan", "build_whitebox_plan"]

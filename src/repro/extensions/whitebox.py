@@ -1,0 +1,133 @@
+"""White-box-assisted tuning (the paper's future-work direction).
+
+Pipeline:
+
+1. run a one-at-a-time sensitivity sweep on the simulator (the analytic
+   stand-in for LOCAT/LITE's application analysis);
+2. keep the ``top_k`` highest-impact knobs as the tunable action space
+   and pin each remaining knob to the best value its own sweep found;
+3. hand the resulting :class:`~repro.config.reduced.ReducedConfigurationSpace`
+   to any tuner — a DeepCAT agent over 10-12 dimensions trains in far
+   fewer evaluations than over the full 32.
+
+The sensitivity sweep costs ``n_knobs x n_points`` evaluations once,
+which is the same currency as offline training iterations, so the plan
+reports its own probe cost for fair accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.sensitivity import KnobSensitivity, knob_sensitivity
+from repro.config.reduced import ReducedConfigurationSpace
+from repro.config.space import ConfigurationSpace
+from repro.sim.engine import SparkSimulator
+
+__all__ = ["WhiteBoxPlan", "build_whitebox_plan"]
+
+
+@dataclass(frozen=True)
+class WhiteBoxPlan:
+    """Outcome of the white-box analysis."""
+
+    reduced_space: ReducedConfigurationSpace
+    sensitivities: tuple[KnobSensitivity, ...]
+    probe_evaluations: int  # evaluations spent on the sweep
+
+    @property
+    def free_knobs(self) -> list[str]:
+        return self.reduced_space.names
+
+    @property
+    def pinned_knobs(self) -> dict[str, object]:
+        return dict(self.reduced_space.pinned)
+
+
+#: a knob whose sweep moves the duration by less than this (relative)
+#: is considered flat and pinned at its framework default — its "best"
+#: sweep position is straggler noise, not signal
+FLAT_SPREAD = 0.04
+
+
+def _improved_base(
+    space: ConfigurationSpace, results, top_k: int
+) -> dict:
+    """Assemble a base config from the top knobs' solo-best positions.
+
+    Only the high-impact knobs move (their solo effects are real);
+    everything else stays at defaults to avoid compounding noise.
+    """
+    vec = space.default_vector().copy()
+    names = space.names
+    for r in results[:top_k]:
+        vec[names.index(r.name)] = r.best_position
+    return space.decode(vec)
+
+
+def build_whitebox_plan(
+    simulator: SparkSimulator,
+    space: ConfigurationSpace,
+    top_k: int = 12,
+    n_points: int = 7,
+    base_config: dict | None = None,
+) -> WhiteBoxPlan:
+    """Run the two-pass analysis and build the reduced tuning space.
+
+    Pass 1 sweeps around the default (or ``base_config``) to find the
+    high-impact knobs; a provisional base applies their solo-best values
+    so pass 2 measures sensitivities in a *usefully provisioned* regime
+    (around the raw default, most knobs are masked by the two-executor
+    bottleneck).  Pinned knobs take their pass-2 solo-best position when
+    their sweep carries signal and the framework default otherwise.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    if top_k >= space.dim:
+        raise ValueError("top_k must leave at least one knob pinned")
+
+    pass1 = knob_sensitivity(
+        simulator, space, base_config=base_config, n_points=n_points
+    )
+    base2 = _improved_base(space, pass1, top_k)
+    if not simulator.evaluate(base2).success:
+        base2 = base_config if base_config is not None else space.defaults()
+    pass2 = knob_sensitivity(
+        simulator, space, base_config=base2, n_points=n_points
+    )
+
+    free = [r.name for r in pass2[:top_k]]
+    solo_pins = {}
+    base2_vec = space.encode(base2)
+    names = space.names
+    for r in pass2[top_k:]:
+        param = space[r.name]
+        if r.relative_spread < FLAT_SPREAD:
+            solo_pins[r.name] = param.default
+        else:
+            # solo-best around the provisioned base; the sweep held the
+            # other knobs at base2, so re-decode in that context
+            vec = base2_vec.copy()
+            vec[names.index(r.name)] = r.best_position
+            solo_pins[r.name] = space.decode(vec)[r.name]
+
+    # Guard: solo-best pins are conditioned on base2's free-knob values
+    # and can be jointly harmful once the free knobs move.  Evaluate both
+    # pin strategies at their base and keep the better one.
+    candidates = [
+        ReducedConfigurationSpace(space, free, solo_pins),
+        ReducedConfigurationSpace(space, free),  # all pins at defaults
+    ]
+    scores = []
+    for cand in candidates:
+        res = simulator.evaluate(cand.defaults())
+        scores.append(res.duration_s if res.success else float("inf"))
+    reduced = candidates[int(np.argmin(scores))]
+
+    return WhiteBoxPlan(
+        reduced_space=reduced,
+        sensitivities=tuple(pass2),
+        probe_evaluations=2 * space.dim * n_points + 3,
+    )

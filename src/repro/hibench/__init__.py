@@ -1,0 +1,12 @@
+"""HiBench-style benchmark runner and report.
+
+HiBench reports, per application run, the input size, duration and
+throughput; :class:`BenchmarkRunner` produces the same record from the
+simulator so the tuning stack consumes results in the shape the paper's
+toolchain did.
+"""
+
+from repro.hibench.report import BenchReport
+from repro.hibench.runner import BenchmarkRunner
+
+__all__ = ["BenchReport", "BenchmarkRunner"]

@@ -1,0 +1,61 @@
+"""HiBench-style run report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.result import ExecutionResult
+
+__all__ = ["BenchReport"]
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """One line of a ``hibench.report`` file, plus the raw result.
+
+    HiBench reports ``Type Date Input_data_size Duration(s)
+    Throughput(bytes/s) Throughput/node``; we keep the same quantities in
+    MB for readability.
+    """
+
+    workload: str
+    dataset: str
+    input_mb: float
+    duration_s: float
+    throughput_mb_s: float
+    throughput_per_node_mb_s: float
+    success: bool
+    result: ExecutionResult
+
+    @classmethod
+    def from_result(
+        cls,
+        workload: str,
+        dataset: str,
+        input_mb: float,
+        n_nodes: int,
+        result: ExecutionResult,
+    ) -> "BenchReport":
+        if result.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        throughput = input_mb / result.duration_s if result.success else 0.0
+        return cls(
+            workload=workload,
+            dataset=dataset,
+            input_mb=input_mb,
+            duration_s=result.duration_s,
+            throughput_mb_s=throughput,
+            throughput_per_node_mb_s=throughput / n_nodes,
+            success=result.success,
+            result=result,
+        )
+
+    def report_line(self) -> str:
+        """The single-line textual form, HiBench style."""
+        status = "OK" if self.success else "FAILED"
+        return (
+            f"{self.workload:<10} {self.dataset:<3} "
+            f"{self.input_mb:>10.1f}MB {self.duration_s:>9.2f}s "
+            f"{self.throughput_mb_s:>9.2f}MB/s "
+            f"{self.throughput_per_node_mb_s:>9.2f}MB/s/node {status}"
+        )

@@ -1,0 +1,56 @@
+"""Benchmark runner: evaluate a configuration and produce a report."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.cluster.hardware import ClusterSpec
+from repro.hibench.report import BenchReport
+from repro.sim.engine import SparkSimulator
+from repro.workloads.base import DatasetSpec, Workload
+
+__all__ = ["BenchmarkRunner"]
+
+
+class BenchmarkRunner:
+    """Runs one workload-input pair repeatedly under different configs.
+
+    This is the object a tuning approach holds: each ``run`` is one costly
+    configuration evaluation, and the runner keeps the HiBench-style
+    history for reports.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        dataset: DatasetSpec | str,
+        cluster: ClusterSpec,
+        rng: np.random.Generator,
+        noise_sigma: float = 0.10,
+    ):
+        self.simulator = SparkSimulator(
+            workload, dataset, cluster, rng, noise_sigma=noise_sigma
+        )
+        self.workload = workload
+        self.dataset = self.simulator.dataset
+        self.cluster = cluster
+        self.history: list[BenchReport] = []
+
+    def run(self, config: Mapping[str, Any]) -> BenchReport:
+        """Evaluate ``config`` once; append and return the report."""
+        result = self.simulator.evaluate(config)
+        report = BenchReport.from_result(
+            workload=self.workload.code,
+            dataset=self.dataset.label,
+            input_mb=self.dataset.input_mb,
+            n_nodes=self.cluster.n_nodes,
+            result=result,
+        )
+        self.history.append(report)
+        return report
+
+    def report_text(self) -> str:
+        """The accumulated ``hibench.report`` content."""
+        return "\n".join(r.report_line() for r in self.history)

@@ -1,0 +1,36 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+network construction is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "he_uniform", "uniform_init"]
+
+
+def xavier_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform init — the right default for tanh networks."""
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He uniform init — the right default for ReLU networks."""
+    limit = float(np.sqrt(6.0 / fan_in))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def uniform_init(
+    rng: np.random.Generator, fan_in: int, fan_out: int, limit: float = 3e-3
+) -> np.ndarray:
+    """Small-uniform init for final actor/critic layers.
+
+    DDPG (Lillicrap et al. 2015, §7) initializes the output layers from
+    U(-3e-3, 3e-3) so that initial actions/Q-values are near zero.
+    """
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))

@@ -1,0 +1,143 @@
+"""Layers with explicit forward/backward passes.
+
+Every layer implements:
+
+* ``forward(x, cache=True)`` — compute output; stash what backward needs.
+* ``backward(grad_out)`` — given dLoss/dOutput, accumulate parameter
+  gradients and return dLoss/dInput.
+* ``parameters()`` — trainable :class:`~repro.nn.network.Parameter` list.
+
+Shapes are always ``(batch, features)``; all math is vectorized over the
+batch dimension (no Python loops per sample).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import he_uniform, uniform_init, xavier_uniform
+
+__all__ = ["Layer", "Linear", "ReLU", "Tanh", "Sigmoid", "make_activation"]
+
+
+class Layer:
+    """Base class; stateless layers only override forward/backward."""
+
+    def forward(self, x: np.ndarray, cache: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list:
+        return []
+
+
+class Linear(Layer):
+    """Affine layer ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        init: str = "he",
+        final_init_limit: float | None = None,
+        name: str = "",
+    ):
+        from repro.nn.network import Parameter  # local import avoids cycle
+
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError(f"invalid layer dims ({in_dim}, {out_dim})")
+        if final_init_limit is not None:
+            w = uniform_init(rng, in_dim, out_dim, final_init_limit)
+        elif init == "he":
+            w = he_uniform(rng, in_dim, out_dim)
+        elif init == "xavier":
+            w = xavier_uniform(rng, in_dim, out_dim)
+        else:
+            raise ValueError(f"unknown init {init!r}")
+        self.weight = Parameter(w, name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_dim), name=f"{name}.bias")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, cache: bool = True) -> np.ndarray:
+        if cache:
+            self._x = x
+        return x @ self.weight.data + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before a cached forward")
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data.T
+
+    def parameters(self) -> list:
+        return [self.weight, self.bias]
+
+
+class ReLU(Layer):
+    def __init__(self):
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, cache: bool = True) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        if cache:
+            self._mask = x > 0.0
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a cached forward")
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    def __init__(self):
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, cache: bool = True) -> np.ndarray:
+        out = np.tanh(x)
+        if cache:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before a cached forward")
+        return grad_out * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    def __init__(self):
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, cache: bool = True) -> np.ndarray:
+        # Numerically stable split on sign.
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        if cache:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before a cached forward")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+_ACTIVATIONS = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid}
+
+
+def make_activation(name: str) -> Layer:
+    """Instantiate an activation layer by name."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from None

@@ -1,0 +1,25 @@
+"""Loss functions returning (value, gradient) pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse_loss"]
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``pred``.
+
+    Both the critic TD losses of DDPG (Eq. 3) and TD3 use this.  The
+    gradient is ``2 (pred - target) / N`` where ``N`` is the batch size, so
+    feeding it straight into :meth:`Sequential.backward` yields gradients
+    of the *mean* loss.
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    n = pred.shape[0] if pred.ndim else 1
+    loss = float(np.mean(diff**2))
+    return loss, (2.0 / n) * diff

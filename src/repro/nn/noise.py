@@ -1,0 +1,75 @@
+"""Exploration noise processes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianNoise", "OrnsteinUhlenbeckNoise"]
+
+
+class GaussianNoise:
+    """I.i.d. Gaussian exploration noise, optionally decayed per call.
+
+    TD3's exploration and the Twin-Q Optimizer's action perturbation both
+    use zero-mean Gaussian noise; the optimizer draws fresh noise per
+    retry, the explorer decays sigma over training.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        sigma: float,
+        rng: np.random.Generator,
+        sigma_min: float = 0.0,
+        decay: float = 1.0,
+    ):
+        if sigma < 0 or sigma_min < 0:
+            raise ValueError("sigma values must be non-negative")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.dim = dim
+        self.sigma = sigma
+        self.sigma_min = sigma_min
+        self.decay = decay
+        self._rng = rng
+
+    def sample(self) -> np.ndarray:
+        noise = self._rng.normal(0.0, self.sigma, size=self.dim)
+        self.sigma = max(self.sigma_min, self.sigma * self.decay)
+        return noise
+
+    def reset(self, sigma: float | None = None) -> None:
+        if sigma is not None:
+            self.sigma = sigma
+
+
+class OrnsteinUhlenbeckNoise:
+    """Temporally correlated OU noise (the classic DDPG explorer)."""
+
+    def __init__(
+        self,
+        dim: int,
+        rng: np.random.Generator,
+        mu: float = 0.0,
+        theta: float = 0.15,
+        sigma: float = 0.2,
+        dt: float = 1.0,
+    ):
+        if sigma < 0 or theta < 0 or dt <= 0:
+            raise ValueError("invalid OU parameters")
+        self.dim = dim
+        self.mu = mu
+        self.theta = theta
+        self.sigma = sigma
+        self.dt = dt
+        self._rng = rng
+        self._state = np.full(dim, mu, dtype=np.float64)
+
+    def sample(self) -> np.ndarray:
+        drift = self.theta * (self.mu - self._state) * self.dt
+        diffusion = self.sigma * np.sqrt(self.dt) * self._rng.normal(size=self.dim)
+        self._state = self._state + drift + diffusion
+        return self._state.copy()
+
+    def reset(self) -> None:
+        self._state[...] = self.mu

@@ -1,0 +1,24 @@
+"""Target-network synchronization helpers."""
+
+from __future__ import annotations
+
+from repro.nn.network import Sequential
+
+__all__ = ["soft_update", "hard_update"]
+
+
+def soft_update(target: Sequential, source: Sequential, tau: float) -> None:
+    """Polyak averaging: ``θ' ← τ θ + (1 − τ) θ'`` (in place)."""
+    if not 0.0 < tau <= 1.0:
+        raise ValueError(f"tau must be in (0, 1], got {tau}")
+    t_params, s_params = target.parameters(), source.parameters()
+    if len(t_params) != len(s_params):
+        raise ValueError("target/source architectures differ")
+    for tp, sp in zip(t_params, s_params):
+        tp.data *= 1.0 - tau
+        tp.data += tau * sp.data
+
+
+def hard_update(target: Sequential, source: Sequential) -> None:
+    """Copy source parameters into the target network."""
+    target.copy_from(source)

@@ -1,0 +1,26 @@
+"""Experience replay buffers.
+
+Three mechanisms, matching the paper's comparison surface:
+
+* :class:`UniformReplayBuffer` — the conventional random replay.
+* :class:`PrioritizedReplayBuffer` — TD-error PER (Schaul et al. 2015),
+  the mechanism CDBTune-style tuners use.
+* :class:`RewardDrivenReplayBuffer` — the paper's RDPER (§3.3): two
+  pools split on a reward threshold ``R_th``; each batch draws a fixed
+  fraction β from the high-reward pool.
+"""
+
+from repro.replay.base import ReplayBatch, Transition
+from repro.replay.per import PrioritizedReplayBuffer
+from repro.replay.rdper import RewardDrivenReplayBuffer
+from repro.replay.sumtree import SumTree
+from repro.replay.uniform import UniformReplayBuffer
+
+__all__ = [
+    "Transition",
+    "ReplayBatch",
+    "UniformReplayBuffer",
+    "PrioritizedReplayBuffer",
+    "RewardDrivenReplayBuffer",
+    "SumTree",
+]

@@ -1,0 +1,78 @@
+"""A sum-tree for O(log n) proportional sampling (PER's data structure)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SumTree"]
+
+
+class SumTree:
+    """Complete binary tree whose leaves hold priorities.
+
+    Internal nodes store the sum of their children, so prefix-sum lookup
+    (sampling proportional to priority) and point updates are O(log n).
+    Implemented over a flat numpy array (standard heap indexing).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._tree = np.zeros(2 * capacity - 1)
+
+    @property
+    def total(self) -> float:
+        """Sum of all priorities."""
+        return float(self._tree[0])
+
+    def __getitem__(self, index: int) -> float:
+        if not 0 <= index < self.capacity:
+            raise IndexError("leaf index out of range")
+        return float(self._tree[index + self.capacity - 1])
+
+    def update(self, index: int, priority: float) -> None:
+        """Set leaf ``index`` to ``priority`` and repair ancestors."""
+        if not 0 <= index < self.capacity:
+            raise IndexError("leaf index out of range")
+        if priority < 0:
+            raise ValueError(f"priority cannot be negative, got {priority}")
+        node = index + self.capacity - 1
+        delta = priority - self._tree[node]
+        self._tree[node] = priority
+        while node > 0:
+            node = (node - 1) // 2
+            self._tree[node] += delta
+
+    def find_prefix(self, value: float) -> int:
+        """Return the leaf where the running prefix-sum reaches ``value``.
+
+        ``value`` must lie in [0, total]; used for proportional sampling.
+        """
+        if not 0.0 <= value <= self.total + 1e-9:
+            raise ValueError(f"value {value} outside [0, {self.total}]")
+        node = 0
+        while node < self.capacity - 1:  # until we hit a leaf
+            left = 2 * node + 1
+            left_sum = self._tree[left]
+            right_sum = self._tree[2 * node + 2]
+            # Descend right when the left subtree has no mass (so zero-
+            # priority leaves are never returned) or the prefix target
+            # lies beyond it.
+            if right_sum <= 0.0 or (left_sum > 0.0 and value <= left_sum):
+                node = left
+            else:
+                value -= left_sum
+                node = 2 * node + 2
+        return node - (self.capacity - 1)
+
+    def max_priority(self) -> float:
+        """Largest leaf priority (0 for an empty tree)."""
+        return float(self._tree[self.capacity - 1 :].max())
+
+    def min_priority(self, size: int) -> float:
+        """Smallest priority among the first ``size`` occupied leaves."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        leaves = self._tree[self.capacity - 1 : self.capacity - 1 + size]
+        return float(leaves.min())

@@ -1,0 +1,44 @@
+"""Conventional uniform-random experience replay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.replay.base import ReplayBatch, RingStorage, Transition
+
+__all__ = ["UniformReplayBuffer"]
+
+
+class UniformReplayBuffer:
+    """The off-policy default: sample transitions uniformly at random."""
+
+    def __init__(
+        self,
+        capacity: int,
+        state_dim: int,
+        action_dim: int,
+        rng: np.random.Generator,
+    ):
+        self._storage = RingStorage(capacity, state_dim, action_dim)
+        self._rng = rng
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def capacity(self) -> int:
+        return self._storage.capacity
+
+    def push(self, transition: Transition) -> None:
+        self._storage.push(transition)
+
+    def sample(self, batch_size: int) -> ReplayBatch:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if len(self) == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = self._rng.integers(0, len(self), size=batch_size)
+        return self._storage.gather(idx)
+
+    def can_sample(self, batch_size: int) -> bool:
+        return len(self) >= batch_size

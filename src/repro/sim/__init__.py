@@ -1,0 +1,27 @@
+"""The Spark execution simulator.
+
+Composes the cluster substrate (:mod:`repro.cluster`) with workload stage
+DAGs (:mod:`repro.workloads`) into an analytic wave-based execution model:
+``SparkSimulator.evaluate(config)`` returns an :class:`ExecutionResult`
+with the job duration, success flag, per-stage breakdown and the
+utilization profile that feeds the DRL state.
+
+This replaces the paper's physical 3-node cluster; see DESIGN.md §2 for
+the substitution rationale.
+"""
+
+from repro.sim.codecs import CodecProfile, SerializerProfile, codec_profile, serializer_profile
+from repro.sim.engine import SparkSimulator
+from repro.sim.result import ExecutionResult, StageResult
+from repro.sim.timeline import render_timeline
+
+__all__ = [
+    "SparkSimulator",
+    "ExecutionResult",
+    "StageResult",
+    "CodecProfile",
+    "SerializerProfile",
+    "codec_profile",
+    "serializer_profile",
+    "render_timeline",
+]

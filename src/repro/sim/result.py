@@ -1,0 +1,57 @@
+"""Execution result records produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["StageResult", "ExecutionResult"]
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Timing breakdown for one stage."""
+
+    name: str
+    seconds: float
+    n_tasks: int
+    waves: int
+    cpu_seconds: float  # critical-path CPU component
+    disk_seconds: float
+    network_seconds: float
+    overhead_seconds: float
+    spill_fraction: float
+    gc_multiplier: float
+    cache_deficit: float
+    oom: bool = False
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of evaluating one configuration on the simulated cluster."""
+
+    duration_s: float
+    success: bool
+    failure_reason: str = ""
+    stages: tuple[StageResult, ...] = field(default_factory=tuple)
+    #: average runnable-thread demand per node during the run (feeds the
+    #: uptime-style load-average state)
+    cpu_demand_per_node: np.ndarray = field(
+        default_factory=lambda: np.zeros(0)
+    )
+    #: placement summary for reports
+    n_executors: int = 0
+    executor_cores: int = 0
+    executor_heap_mb: int = 0
+
+    def __post_init__(self):
+        if self.duration_s < 0:
+            raise ValueError("duration cannot be negative")
+
+    def stage(self, name: str) -> StageResult:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage named {name!r}")

@@ -1,0 +1,50 @@
+"""Execution timeline rendering (a text-mode Spark-UI stage view)."""
+
+from __future__ import annotations
+
+from repro.sim.result import ExecutionResult
+
+__all__ = ["render_timeline"]
+
+
+def render_timeline(result: ExecutionResult, width: int = 60) -> str:
+    """Render a result's stages as a proportional text timeline.
+
+    Each stage gets a bar sized by its share of the job, annotated with
+    its dominant resource and memory behaviour — the view an engineer
+    uses to decide which knob to turn next.
+    """
+    if not result.success:
+        return f"job failed: {result.failure_reason}"
+    if not result.stages:
+        return "no stages recorded"
+    if width < 10:
+        raise ValueError("width too small")
+    total = sum(s.seconds for s in result.stages)
+    name_pad = max(len(s.name) for s in result.stages)
+    lines = [
+        f"total {result.duration_s:.1f}s on {result.n_executors} executors "
+        f"x {result.executor_cores} cores "
+        f"({result.executor_heap_mb} MB heap)"
+    ]
+    for s in result.stages:
+        bar_len = max(1, int(round(s.seconds / total * width)))
+        parts = {
+            "cpu": s.cpu_seconds,
+            "disk": s.disk_seconds,
+            "net": s.network_seconds,
+        }
+        dominant = max(parts, key=parts.get)
+        notes = [f"{dominant}-bound"]
+        if s.spill_fraction > 0.01:
+            notes.append(f"spill {s.spill_fraction * 100:.0f}%")
+        if s.cache_deficit > 0.01:
+            notes.append(f"cache miss {s.cache_deficit * 100:.0f}%")
+        if s.gc_multiplier > 1.15:
+            notes.append(f"gc x{s.gc_multiplier:.2f}")
+        lines.append(
+            f"{s.name:<{name_pad}} |{'#' * bar_len:<{width}}| "
+            f"{s.seconds:7.1f}s  {s.n_tasks} tasks / {s.waves} waves  "
+            f"[{', '.join(notes)}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Terminal plotting for figure-shaped artifacts.
+
+The paper's artifacts are mostly *plots*; the benchmark harness renders
+them as ASCII line/bar charts so the shape (trends, crossovers, U-curves)
+is visible directly in terminal output and in the persisted
+``benchmarks/results/*.txt`` files.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "bar_chart"]
+
+_MARKERS = "*o+x#@"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[float]],
+    x: Sequence[float] | None = None,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more named series as an ASCII line chart.
+
+    All series share the x grid (``x`` or indices) and the y scale.
+    Each series gets a marker from ``*o+x#@``; a legend maps them back.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    n = lengths.pop()
+    if n < 2:
+        raise ValueError("need at least two points")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    xs = np.asarray(x if x is not None else np.arange(n), dtype=float)
+    if xs.shape != (n,):
+        raise ValueError("x grid must match series length")
+
+    ys = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    y_all = np.concatenate(list(ys.values()))
+    y_min, y_max = float(y_all.min()), float(y_all.max())
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs.min()), float(xs.max())
+    if x_max - x_min < 1e-12:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, y), marker in zip(ys.items(), _MARKERS):
+        cols = np.round(
+            (xs - x_min) / (x_max - x_min) * (width - 1)
+        ).astype(int)
+        rows = np.round(
+            (y - y_min) / (y_max - y_min) * (height - 1)
+        ).astype(int)
+        # connect consecutive points with interpolated cells
+        for i in range(n - 1):
+            c0, c1 = cols[i], cols[i + 1]
+            r0, r1 = rows[i], rows[i + 1]
+            steps = max(abs(int(c1) - int(c0)), abs(int(r1) - int(r0)), 1)
+            for t in range(steps + 1):
+                c = int(round(c0 + (c1 - c0) * t / steps))
+                r = int(round(r0 + (r1 - r0) * t / steps))
+                grid[height - 1 - r][c] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    pad = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |{''.join(row)}")
+    lines.append(f"{'':>{pad}} +{'-' * width}")
+    lines.append(
+        f"{'':>{pad}}  {x_min:<.4g}{'':^{max(width - 12, 1)}}{x_max:>.4g}"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(ys.items(), _MARKERS)
+    )
+    lines.append(f"{'':>{pad}}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render named values as a horizontal bar chart."""
+    if not values:
+        raise ValueError("need at least one value")
+    numeric = {k: float(v) for k, v in values.items()}
+    if any(v < 0 for v in numeric.values()):
+        raise ValueError("bar_chart expects non-negative values")
+    v_max = max(numeric.values())
+    if v_max <= 0:
+        v_max = 1.0
+    name_pad = max(len(k) for k in numeric)
+    lines = [title] if title else []
+    for name, v in numeric.items():
+        bar = "#" * max(1, int(round(v / v_max * width))) if v > 0 else ""
+        lines.append(f"{name:<{name_pad}} |{bar:<{width}} {v:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Structured progress logging for training and tuning runs.
+
+A minimal observer interface: the trainer and tuner emit events; sinks
+render them (console) or persist them (JSON lines).  The default
+``NullLogger`` makes instrumentation free when unused.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = ["TuningLogger", "NullLogger", "ConsoleLogger", "JsonlLogger"]
+
+
+class TuningLogger:
+    """Observer interface; subclass and override what you need."""
+
+    def event(self, kind: str, **fields: Any) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (no-op by default)."""
+
+
+class NullLogger(TuningLogger):
+    """Discards everything (the default)."""
+
+    def event(self, kind: str, **fields: Any) -> None:
+        pass
+
+
+class ConsoleLogger(TuningLogger):
+    """Human-readable progress lines.
+
+    ``every`` throttles high-frequency events (offline iterations) so a
+    3000-iteration run prints tens, not thousands, of lines.
+    """
+
+    def __init__(self, stream: IO[str] | None = None, every: int = 100):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self._stream = stream if stream is not None else sys.stderr
+        self._every = every
+        self._counts: dict[str, int] = {}
+
+    def event(self, kind: str, **fields: Any) -> None:
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if kind == "offline-step" and self._counts[kind] % self._every:
+            return
+        body = " ".join(
+            f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in fields.items()
+        )
+        print(f"[{kind}] {body}", file=self._stream)
+
+
+class JsonlLogger(TuningLogger):
+    """Appends one JSON object per event to a file."""
+
+    def __init__(self, path: str | Path):
+        self._fh = open(Path(path), "a")
+
+    def event(self, kind: str, **fields: Any) -> None:
+        record = {"kind": kind, "ts": time.time(), **fields}
+        self._fh.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "JsonlLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,81 @@
+"""JSON export/import for session records.
+
+Experiment results outlive processes: the benchmark harness and the CLI
+persist :class:`~repro.core.result.OnlineSession` objects so runs can be
+compared across code versions.  Numpy arrays are stored as lists; the
+round-trip is exact for the fields experiments consume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.result import OnlineSession, TuningStepRecord
+
+__all__ = ["session_to_dict", "session_from_dict", "save_session", "load_session"]
+
+
+def session_to_dict(session: OnlineSession) -> dict:
+    """Convert a session into a JSON-serializable dict."""
+    return {
+        "tuner": session.tuner,
+        "workload": session.workload,
+        "dataset": session.dataset,
+        "default_duration_s": session.default_duration_s,
+        "steps": [
+            {
+                "step": s.step,
+                "duration_s": s.duration_s,
+                "recommendation_s": s.recommendation_s,
+                "reward": s.reward,
+                "success": s.success,
+                "config": s.config,
+                "action": np.asarray(s.action).tolist(),
+                "twinq_iterations": s.twinq_iterations,
+                "twinq_accepted": s.twinq_accepted,
+                "original_q": s.original_q,
+                "final_q": s.final_q,
+            }
+            for s in session.steps
+        ],
+    }
+
+
+def session_from_dict(data: dict) -> OnlineSession:
+    """Rebuild a session from :func:`session_to_dict` output."""
+    session = OnlineSession(
+        tuner=data["tuner"],
+        workload=data["workload"],
+        dataset=data["dataset"],
+        default_duration_s=data["default_duration_s"],
+    )
+    for s in data["steps"]:
+        session.add(
+            TuningStepRecord(
+                step=s["step"],
+                duration_s=s["duration_s"],
+                recommendation_s=s["recommendation_s"],
+                reward=s["reward"],
+                success=s["success"],
+                config=s["config"],
+                action=np.asarray(s["action"], dtype=np.float64),
+                twinq_iterations=s.get("twinq_iterations"),
+                twinq_accepted=s.get("twinq_accepted"),
+                original_q=s.get("original_q"),
+                final_q=s.get("final_q"),
+            )
+        )
+    return session
+
+
+def save_session(session: OnlineSession, path: str | Path) -> None:
+    """Write a session to a JSON file."""
+    Path(path).write_text(json.dumps(session_to_dict(session), indent=2))
+
+
+def load_session(path: str | Path) -> OnlineSession:
+    """Read a session from a JSON file."""
+    return session_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,119 @@
+"""Small statistics helpers shared across the simulator and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "RunningStats",
+    "empirical_cdf",
+    "geometric_mean",
+    "lognormal_noise_factor",
+    "saturating",
+]
+
+
+@dataclass
+class RunningStats:
+    """Online mean/variance via Welford's algorithm.
+
+    Used by agents and experiments to track reward/performance streams
+    without storing the full history.
+    """
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    _min: float = field(default=float("inf"))
+    _max: float = field(default=float("-inf"))
+
+    def push(self, x: float) -> None:
+        """Fold one observation into the running moments."""
+        x = float(x)
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    def extend(self, xs) -> None:
+        """Fold an iterable of observations."""
+        for x in xs:
+            self.push(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); NaN with fewer than two observations."""
+        return self._m2 / (self.count - 1) if self.count > 1 else float("nan")
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return float(np.sqrt(v)) if v == v else float("nan")
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else float("nan")
+
+
+def empirical_cdf(samples) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)``.
+
+    Probabilities are ``i/n`` for the i-th order statistic, i.e. the
+    fraction of samples ≤ each value — exactly what Figure 2 of the paper
+    plots for 200 random configurations.
+    """
+    xs = np.sort(np.asarray(samples, dtype=float))
+    if xs.size == 0:
+        return xs, xs
+    ps = np.arange(1, xs.size + 1, dtype=float) / xs.size
+    return xs, ps
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean; the conventional aggregate for speedup ratios."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def lognormal_noise_factor(rng: np.random.Generator, sigma: float) -> float:
+    """Multiplicative measurement-noise factor with unit median.
+
+    Execution-time measurements on a real cluster fluctuate
+    multiplicatively (JIT warmup, page cache, cron jobs...).  A lognormal
+    with ``mu=0`` keeps the median at 1.0 so noise never biases the
+    simulator's central tendency.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0:
+        return 1.0
+    return float(np.exp(rng.normal(0.0, sigma)))
+
+
+def saturating(x: float, capacity: float) -> float:
+    """Smooth saturating curve ``capacity * x / (x + capacity)``.
+
+    Models throughput ceilings (disk, network, RPC handlers): linear for
+    small ``x``, asymptoting to ``capacity``.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    if x < 0:
+        raise ValueError(f"x must be non-negative, got {x}")
+    return capacity * x / (x + capacity)

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benchmark/experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with two decimals; everything else via ``str``.
+    Used by the benchmark harness to print the same rows/series the paper's
+    tables and figures report.
+    """
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

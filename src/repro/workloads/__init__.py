@@ -1,0 +1,35 @@
+"""HiBench-style workload models.
+
+Each workload describes its execution as a DAG of stages with per-stage
+data volumes, CPU intensity, memory expansion and caching demands, derived
+from the structure of the actual algorithm (map/reduce for WordCount and
+TeraSort, iterative joins for PageRank, cached-dataset iterations for
+KMeans).  The registry exposes the paper's 12 workload-input pairs
+(Table 1).
+"""
+
+from repro.workloads.base import DatasetSpec, StageSpec, Workload
+from repro.workloads.kmeans import KMeans
+from repro.workloads.pagerank import PageRank
+from repro.workloads.registry import (
+    WORKLOADS,
+    get_workload,
+    table1_rows,
+    workload_pairs,
+)
+from repro.workloads.terasort import TeraSort
+from repro.workloads.wordcount import WordCount
+
+__all__ = [
+    "StageSpec",
+    "DatasetSpec",
+    "Workload",
+    "WordCount",
+    "TeraSort",
+    "PageRank",
+    "KMeans",
+    "WORKLOADS",
+    "get_workload",
+    "workload_pairs",
+    "table1_rows",
+]

@@ -1,0 +1,136 @@
+"""Workload and stage abstractions.
+
+A workload turns a dataset label (D1/D2/D3) into a list of
+:class:`StageSpec`.  Stage fields are *demands*; the simulation engine
+(:mod:`repro.sim.engine`) combines them with the configuration and
+hardware to produce times.  CPU costs are expressed in core-seconds per MB
+on the reference 2.9 GHz core so they scale with cluster CPU speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StageSpec", "DatasetSpec", "Workload"]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One Spark stage's resource demands.
+
+    Attributes
+    ----------
+    name:
+        Stage label for reports.
+    input_mb:
+        Bytes entering the stage (from HDFS if ``reads_hdfs`` else from the
+        previous stage's shuffle).
+    reads_hdfs:
+        Whether input comes from HDFS (input splits drive the task count)
+        or from a shuffle (``spark.default.parallelism`` drives it).
+    shuffle_write_mb:
+        Uncompressed map-output bytes this stage shuffles to the next.
+    hdfs_write_mb:
+        Bytes persisted to HDFS at the end of the stage.
+    cpu_per_mb:
+        Core-seconds of computation per MB of stage input (reference core).
+    memory_expansion:
+        Per-task working set as a multiple of the task's input split
+        (deserialized objects, sort buffers, hash maps).
+    cache_demand_mb:
+        Cluster-wide storage-memory demand for cached RDDs alive during
+        this stage (iterative workloads).
+    broadcast_mb:
+        Data broadcast to every executor before the stage runs.
+    sortish:
+        True when the stage performs a sort/merge whose CPU cost can be
+        bypassed by ``spark.shuffle.sort.bypassMergeThreshold``.
+    inherits_input_partitions:
+        True for narrow stages that sweep a cached RDD: they keep the
+        partition count of the original HDFS load (block-size driven)
+        instead of ``spark.default.parallelism``.
+    rigid_memory_fraction:
+        Share of the working set that cannot be spilled to disk (live
+        object graphs, in-flight deserialized records).  Sorts are highly
+        spillable (~0.25); hash aggregations and dense ML vectors much
+        less so.  When the rigid share exceeds the executor's hard memory
+        limit the task OOMs.
+    """
+
+    name: str
+    input_mb: float
+    reads_hdfs: bool = False
+    shuffle_write_mb: float = 0.0
+    hdfs_write_mb: float = 0.0
+    cpu_per_mb: float = 0.02
+    memory_expansion: float = 1.5
+    cache_demand_mb: float = 0.0
+    broadcast_mb: float = 0.0
+    sortish: bool = False
+    inherits_input_partitions: bool = False
+    rigid_memory_fraction: float = 0.35
+
+    def __post_init__(self):
+        for attr in (
+            "input_mb",
+            "shuffle_write_mb",
+            "hdfs_write_mb",
+            "cpu_per_mb",
+            "memory_expansion",
+            "cache_demand_mb",
+            "broadcast_mb",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{self.name}: {attr} cannot be negative")
+        if self.memory_expansion <= 0:
+            raise ValueError(f"{self.name}: memory_expansion must be positive")
+        if not 0.0 < self.rigid_memory_fraction <= 1.0:
+            raise ValueError(
+                f"{self.name}: rigid_memory_fraction must be in (0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named input scale for a workload."""
+
+    label: str  # "D1" | "D2" | "D3"
+    size: float  # in the workload's natural unit
+    unit: str  # "GB", "Million Pages", "Million Points"
+    input_mb: float = field(default=0.0)  # materialized on-disk size
+
+    def __post_init__(self):
+        if self.size <= 0 or self.input_mb <= 0:
+            raise ValueError(f"{self.label}: sizes must be positive")
+
+
+class Workload:
+    """Base class for benchmark applications."""
+
+    #: short code used throughout the paper (WC/TS/PR/KM)
+    code: str = ""
+    name: str = ""
+    category: str = ""
+
+    def datasets(self) -> dict[str, DatasetSpec]:
+        """Mapping of dataset label -> spec (D1, D2, D3)."""
+        raise NotImplementedError
+
+    def stages(self, dataset: DatasetSpec) -> list[StageSpec]:
+        """The stage DAG (as a topological list) for the given input."""
+        raise NotImplementedError
+
+    def dataset(self, label: str) -> DatasetSpec:
+        try:
+            return self.datasets()[label]
+        except KeyError:
+            raise KeyError(
+                f"{self.code}: unknown dataset {label!r}; "
+                f"have {sorted(self.datasets())}"
+            ) from None
+
+    def total_input_mb(self, dataset: DatasetSpec) -> float:
+        return dataset.input_mb
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(code={self.code!r})"

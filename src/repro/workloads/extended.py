@@ -1,0 +1,153 @@
+"""Extended HiBench workloads beyond the paper's four.
+
+The paper evaluates WordCount/TeraSort/PageRank/KMeans; HiBench itself
+is broader.  These models follow the same StageSpec methodology so the
+library covers more of the suite — useful for stress-testing tuners on
+workload shapes the paper never trained on:
+
+* **Bayes (BAY, ML)** — Naive Bayes training on text: tokenize + TF
+  counting (CPU heavy), a term-count shuffle, and a model aggregation
+  with rigid hash maps.
+* **Aggregation (AGG, SQL)** — scan + hash GROUP BY: input-scan bound
+  with a modest shuffle and rigid aggregation state.
+* **Join (JOIN, SQL)** — two table scans feeding a shuffle join: big
+  shuffles and join hash tables on the probe side.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DatasetSpec, StageSpec, Workload
+
+__all__ = ["Bayes", "Aggregation", "Join"]
+
+
+class Bayes(Workload):
+    code = "BAY"
+    name = "Bayes"
+    category = "ML"
+
+    #: term-count pairs after map-side combining
+    SHUFFLE_RATIO = 0.12
+
+    def datasets(self) -> dict[str, DatasetSpec]:
+        return {
+            "D1": DatasetSpec("D1", 2.0, "GB", input_mb=2.0 * 1024),
+            "D2": DatasetSpec("D2", 5.0, "GB", input_mb=5.0 * 1024),
+            "D3": DatasetSpec("D3", 9.0, "GB", input_mb=9.0 * 1024),
+        }
+
+    def stages(self, dataset: DatasetSpec) -> list[StageSpec]:
+        mb = dataset.input_mb
+        shuffle_mb = mb * self.SHUFFLE_RATIO
+        return [
+            StageSpec(
+                name="tokenize-tf",
+                input_mb=mb,
+                reads_hdfs=True,
+                shuffle_write_mb=shuffle_mb,
+                cpu_per_mb=0.050,  # tokenization + per-class TF vectors
+                memory_expansion=1.7,
+                rigid_memory_fraction=0.45,
+            ),
+            StageSpec(
+                name="aggregate-theta",
+                input_mb=shuffle_mb,
+                shuffle_write_mb=2.0,
+                cpu_per_mb=0.030,
+                memory_expansion=2.0,  # per-term class-count maps
+                rigid_memory_fraction=0.55,
+            ),
+            StageSpec(
+                name="write-model",
+                input_mb=2.0,
+                hdfs_write_mb=1.0,
+                cpu_per_mb=0.005,
+                memory_expansion=1.1,
+            ),
+        ]
+
+
+class Aggregation(Workload):
+    code = "AGG"
+    name = "Aggregation"
+    category = "SQL"
+
+    GROUPS_RATIO = 0.08  # distinct-key output relative to input
+
+    def datasets(self) -> dict[str, DatasetSpec]:
+        return {
+            "D1": DatasetSpec("D1", 4.0, "GB", input_mb=4.0 * 1024),
+            "D2": DatasetSpec("D2", 8.0, "GB", input_mb=8.0 * 1024),
+            "D3": DatasetSpec("D3", 16.0, "GB", input_mb=16.0 * 1024),
+        }
+
+    def stages(self, dataset: DatasetSpec) -> list[StageSpec]:
+        mb = dataset.input_mb
+        groups_mb = mb * self.GROUPS_RATIO
+        return [
+            StageSpec(
+                name="scan-partial-agg",
+                input_mb=mb,
+                reads_hdfs=True,
+                shuffle_write_mb=groups_mb,
+                cpu_per_mb=0.022,  # row decode + partial hash aggregate
+                memory_expansion=1.5,
+                rigid_memory_fraction=0.5,
+            ),
+            StageSpec(
+                name="final-agg",
+                input_mb=groups_mb,
+                hdfs_write_mb=groups_mb * 0.6,
+                cpu_per_mb=0.018,
+                memory_expansion=1.9,
+                rigid_memory_fraction=0.55,
+            ),
+        ]
+
+
+class Join(Workload):
+    code = "JOIN"
+    name = "Join"
+    category = "SQL"
+
+    #: probe-side (fact) table dominates; build side is ~25% of it
+    BUILD_RATIO = 0.25
+
+    def datasets(self) -> dict[str, DatasetSpec]:
+        return {
+            "D1": DatasetSpec("D1", 3.0, "GB", input_mb=3.0 * 1024),
+            "D2": DatasetSpec("D2", 6.0, "GB", input_mb=6.0 * 1024),
+            "D3": DatasetSpec("D3", 12.0, "GB", input_mb=12.0 * 1024),
+        }
+
+    def stages(self, dataset: DatasetSpec) -> list[StageSpec]:
+        probe_mb = dataset.input_mb
+        build_mb = probe_mb * self.BUILD_RATIO
+        return [
+            StageSpec(
+                name="scan-build-side",
+                input_mb=build_mb,
+                reads_hdfs=True,
+                shuffle_write_mb=build_mb,
+                cpu_per_mb=0.018,
+                memory_expansion=1.4,
+            ),
+            StageSpec(
+                name="scan-probe-side",
+                input_mb=probe_mb,
+                reads_hdfs=True,
+                shuffle_write_mb=probe_mb,
+                cpu_per_mb=0.018,
+                memory_expansion=1.4,
+            ),
+            StageSpec(
+                name="shuffle-join",
+                input_mb=probe_mb + build_mb,
+                shuffle_write_mb=0.0,
+                hdfs_write_mb=probe_mb * 0.4,
+                cpu_per_mb=0.032,  # sort-merge join of both sides
+                memory_expansion=1.8,  # streamed sorted runs
+                rigid_memory_fraction=0.3,  # SMJ spills its runs freely
+                sortish=True,
+            ),
+        ]

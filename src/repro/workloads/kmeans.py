@@ -1,0 +1,86 @@
+"""KMeans (KM) — HiBench *ML* category.
+
+The canonical memory-hungry Spark job: the sample matrix is cached
+deserialized and swept once per iteration; centroids are broadcast and
+only tiny per-partition sums are shuffled.  The paper singles KMeans out
+(§5.2.1): "not enough memory may lead to OOM errors... high-reward
+transitions become more sparse" — the cache-or-recompute cliff plus the
+OOM cliff is exactly what this model expresses.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DatasetSpec, StageSpec, Workload
+
+__all__ = ["KMeans"]
+
+
+class KMeans(Workload):
+    code = "KM"
+    name = "KMeans"
+    category = "ML"
+
+    ITERATIONS = 5
+    K = 10
+    DIMENSIONS = 20
+    #: on-disk MB per million points (20 doubles + key, HiBench writer)
+    MB_PER_MILLION_POINTS = 170.0
+    #: deserialized double[] vectors + object headers in cache
+    CACHE_EXPANSION = 2.8
+
+    def datasets(self) -> dict[str, DatasetSpec]:
+        # Table 1: 20, 30, 40 million points.
+        return {
+            "D1": DatasetSpec(
+                "D1", 20.0, "Million Points",
+                input_mb=20.0 * self.MB_PER_MILLION_POINTS,
+            ),
+            "D2": DatasetSpec(
+                "D2", 30.0, "Million Points",
+                input_mb=30.0 * self.MB_PER_MILLION_POINTS,
+            ),
+            "D3": DatasetSpec(
+                "D3", 40.0, "Million Points",
+                input_mb=40.0 * self.MB_PER_MILLION_POINTS,
+            ),
+        }
+
+    def stages(self, dataset: DatasetSpec) -> list[StageSpec]:
+        mb = dataset.input_mb
+        cache_mb = mb * self.CACHE_EXPANSION
+        centroid_mb = max(0.01, self.K * self.DIMENSIONS * 8 / 1e6)
+        stages = [
+            StageSpec(
+                name="load-points",
+                input_mb=mb,
+                reads_hdfs=True,
+                cpu_per_mb=0.024,  # parse + vectorize points
+                memory_expansion=2.6,  # building deserialized vectors
+                rigid_memory_fraction=0.5,
+                cache_demand_mb=cache_mb,
+            ),
+        ]
+        for i in range(self.ITERATIONS):
+            stages.append(
+                StageSpec(
+                    name=f"assign-iter-{i}",
+                    input_mb=mb,  # full sweep of (possibly cached) points
+                    shuffle_write_mb=2.0,  # per-partition centroid sums
+                    broadcast_mb=centroid_mb,
+                    cpu_per_mb=0.065,  # K x D distance computations
+                    memory_expansion=2.9,  # deserialized vectors per split
+                    rigid_memory_fraction=0.6,  # dense vectors must be resident
+                    cache_demand_mb=cache_mb,
+                    inherits_input_partitions=True,
+                )
+            )
+        stages.append(
+            StageSpec(
+                name="write-model",
+                input_mb=1.0,
+                hdfs_write_mb=0.5,
+                cpu_per_mb=0.005,
+                memory_expansion=1.1,
+            )
+        )
+        return stages

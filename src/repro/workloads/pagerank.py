@@ -1,0 +1,84 @@
+"""PageRank (PR) — HiBench *websearch* category.
+
+Iterative: after loading and caching the link graph, each iteration joins
+ranks with adjacency lists and shuffles contributions.  Tuning pressure:
+the cached graph must fit in storage memory (or every iteration re-reads
+and re-parses it), and per-iteration shuffle traffic makes network and
+serialization choices matter repeatedly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DatasetSpec, StageSpec, Workload
+
+__all__ = ["PageRank"]
+
+
+class PageRank(Workload):
+    code = "PR"
+    name = "PageRank"
+    category = "websearch"
+
+    ITERATIONS = 6
+    #: on-disk MB per million pages (links + metadata, HiBench generator)
+    MB_PER_MILLION_PAGES = 1850.0
+    #: deserialized graph expansion in cache (Java object overhead)
+    CACHE_EXPANSION = 2.2
+    #: rank contributions shuffled per iteration, relative to graph size
+    SHUFFLE_RATIO = 0.45
+
+    def datasets(self) -> dict[str, DatasetSpec]:
+        # Table 1: 0.5, 1, 1.6 million pages.
+        return {
+            "D1": DatasetSpec(
+                "D1", 0.5, "Million Pages",
+                input_mb=0.5 * self.MB_PER_MILLION_PAGES,
+            ),
+            "D2": DatasetSpec(
+                "D2", 1.0, "Million Pages",
+                input_mb=1.0 * self.MB_PER_MILLION_PAGES,
+            ),
+            "D3": DatasetSpec(
+                "D3", 1.6, "Million Pages",
+                input_mb=1.6 * self.MB_PER_MILLION_PAGES,
+            ),
+        }
+
+    def stages(self, dataset: DatasetSpec) -> list[StageSpec]:
+        mb = dataset.input_mb
+        cache_mb = mb * self.CACHE_EXPANSION
+        shuffle_mb = mb * self.SHUFFLE_RATIO
+        stages = [
+            StageSpec(
+                name="load-graph",
+                input_mb=mb,
+                reads_hdfs=True,
+                shuffle_write_mb=mb * 0.9,  # partition adjacency lists
+                cpu_per_mb=0.028,  # parse link structure
+                memory_expansion=1.8,
+                cache_demand_mb=cache_mb,
+            ),
+        ]
+        for i in range(self.ITERATIONS):
+            stages.append(
+                StageSpec(
+                    name=f"rank-iter-{i}",
+                    input_mb=shuffle_mb + mb * 0.15,  # contributions + ranks
+                    shuffle_write_mb=shuffle_mb,
+                    cpu_per_mb=0.022,  # join + contribution sums
+                    memory_expansion=1.9,  # join hash tables
+                    rigid_memory_fraction=0.45,
+                    cache_demand_mb=cache_mb,
+                )
+            )
+        stages.append(
+            StageSpec(
+                name="write-ranks",
+                input_mb=mb * 0.1,
+                hdfs_write_mb=mb * 0.08,
+                cpu_per_mb=0.010,
+                memory_expansion=1.2,
+                cache_demand_mb=cache_mb,
+            )
+        )
+        return stages

@@ -1,0 +1,76 @@
+"""Workload registry — the paper's Table 1.
+
+Provides lookup by code and the 12 workload-input pairs used throughout
+the evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DatasetSpec, Workload
+from repro.workloads.kmeans import KMeans
+from repro.workloads.pagerank import PageRank
+from repro.workloads.terasort import TeraSort
+from repro.workloads.wordcount import WordCount
+
+__all__ = [
+    "WORKLOADS",
+    "EXTENDED_WORKLOADS",
+    "ALL_WORKLOADS",
+    "get_workload",
+    "workload_pairs",
+    "table1_rows",
+]
+
+#: the paper's four evaluation workloads (Table 1)
+WORKLOADS: dict[str, Workload] = {
+    w.code: w for w in (WordCount(), TeraSort(), PageRank(), KMeans())
+}
+
+
+def _extended() -> dict[str, Workload]:
+    # local import: extended workloads are additions beyond the paper
+    from repro.workloads.extended import Aggregation, Bayes, Join
+
+    return {w.code: w for w in (Bayes(), Aggregation(), Join())}
+
+
+#: extra HiBench-style workloads shipped by this library (not in the paper)
+EXTENDED_WORKLOADS: dict[str, Workload] = _extended()
+
+#: everything, paper workloads first
+ALL_WORKLOADS: dict[str, Workload] = {**WORKLOADS, **EXTENDED_WORKLOADS}
+
+
+def get_workload(code: str) -> Workload:
+    """Look a workload up by code (paper: WC/TS/PR/KM; extended:
+    BAY/AGG/JOIN)."""
+    try:
+        return ALL_WORKLOADS[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {code!r}; have {sorted(ALL_WORKLOADS)}"
+        ) from None
+
+
+def workload_pairs() -> list[tuple[Workload, DatasetSpec]]:
+    """The 12 (workload, dataset) pairs of the evaluation, in Table 1 order."""
+    pairs: list[tuple[Workload, DatasetSpec]] = []
+    for code in ("WC", "TS", "PR", "KM"):
+        w = WORKLOADS[code]
+        for label in ("D1", "D2", "D3"):
+            pairs.append((w, w.dataset(label)))
+    return pairs
+
+
+def table1_rows() -> list[tuple[str, str, str]]:
+    """Rows of the paper's Table 1 (workload, category, input datasets)."""
+    rows = []
+    for code in ("WC", "TS", "PR", "KM"):
+        w = WORKLOADS[code]
+        ds = w.datasets()
+        sizes = ", ".join(
+            f"{ds[label].size:g}" for label in ("D1", "D2", "D3")
+        )
+        unit = ds["D1"].unit
+        rows.append((f"{w.name} ({w.code})", w.category, f"{sizes} ({unit})"))
+    return rows

@@ -1,0 +1,53 @@
+"""TeraSort (TS) — HiBench *micro* category.
+
+A full-data sort: the map stage range-partitions every record, shuffling
+the entire dataset; the reduce stage sort-merges its partition and writes
+the sorted output back to HDFS.  Tuning pressure: shuffle bandwidth
+(compression pays for itself), sort working-set vs execution memory
+(spills are brutal), and write-side replication.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DatasetSpec, StageSpec, Workload
+
+__all__ = ["TeraSort"]
+
+
+class TeraSort(Workload):
+    code = "TS"
+    name = "TeraSort"
+    category = "micro"
+
+    def datasets(self) -> dict[str, DatasetSpec]:
+        # Table 1: 3.2, 6, 10 GB of 100-byte records.
+        return {
+            "D1": DatasetSpec("D1", 3.2, "GB", input_mb=3.2 * 1024),
+            "D2": DatasetSpec("D2", 6.0, "GB", input_mb=6.0 * 1024),
+            "D3": DatasetSpec("D3", 10.0, "GB", input_mb=10.0 * 1024),
+        }
+
+    def stages(self, dataset: DatasetSpec) -> list[StageSpec]:
+        mb = dataset.input_mb
+        return [
+            StageSpec(
+                name="partition-map",
+                input_mb=mb,
+                reads_hdfs=True,
+                shuffle_write_mb=mb,  # the whole dataset moves
+                cpu_per_mb=0.022,  # key extraction + range partitioning
+                memory_expansion=1.6,  # map-side sort buffers
+                sortish=True,
+                rigid_memory_fraction=0.25,  # ExternalSorter spills freely
+            ),
+            StageSpec(
+                name="sort-reduce",
+                input_mb=mb,
+                shuffle_write_mb=0.0,
+                hdfs_write_mb=mb,  # sorted output, fully written back
+                cpu_per_mb=0.040,  # merge sort of the partition
+                memory_expansion=2.3,  # deserialized records + sort arrays
+                sortish=True,
+                rigid_memory_fraction=0.25,
+            ),
+        ]

@@ -1,0 +1,56 @@
+"""WordCount (WC) — HiBench *micro* category.
+
+Two stages: a scan-heavy map that tokenizes text and pre-aggregates
+counts map-side (so the shuffle is a small fraction of the input), and a
+light reduce that merges per-word counts and writes a tiny result.
+Tuning pressure: input-scan parallelism and disk throughput dominate; the
+shuffle is nearly free.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DatasetSpec, StageSpec, Workload
+
+__all__ = ["WordCount"]
+
+
+class WordCount(Workload):
+    code = "WC"
+    name = "WordCount"
+    category = "micro"
+
+    #: map-side combining shrinks the shuffle to ~4% of the input text
+    SHUFFLE_RATIO = 0.04
+    #: aggregated output is tiny
+    OUTPUT_RATIO = 0.005
+
+    def datasets(self) -> dict[str, DatasetSpec]:
+        # Table 1: 3.2, 10, 20 GB of generated text.
+        return {
+            "D1": DatasetSpec("D1", 3.2, "GB", input_mb=3.2 * 1024),
+            "D2": DatasetSpec("D2", 10.0, "GB", input_mb=10.0 * 1024),
+            "D3": DatasetSpec("D3", 20.0, "GB", input_mb=20.0 * 1024),
+        }
+
+    def stages(self, dataset: DatasetSpec) -> list[StageSpec]:
+        mb = dataset.input_mb
+        shuffle_mb = mb * self.SHUFFLE_RATIO
+        return [
+            StageSpec(
+                name="tokenize-map",
+                input_mb=mb,
+                reads_hdfs=True,
+                shuffle_write_mb=shuffle_mb,
+                cpu_per_mb=0.030,  # tokenization + hash-map combining
+                memory_expansion=1.2,  # streaming with a modest combiner map
+            ),
+            StageSpec(
+                name="count-reduce",
+                input_mb=shuffle_mb,
+                shuffle_write_mb=0.0,
+                hdfs_write_mb=mb * self.OUTPUT_RATIO,
+                cpu_per_mb=0.020,
+                memory_expansion=1.6,  # merged hash map of word counts
+                rigid_memory_fraction=0.5,  # hash maps spill poorly
+            ),
+        ]

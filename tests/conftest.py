@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.config.pipeline import build_pipeline_space
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def space():
+    return build_pipeline_space()
+
+
+@pytest.fixture(scope="session")
+def cluster_a():
+    return CLUSTER_A

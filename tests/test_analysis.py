@@ -1,0 +1,132 @@
+"""Tests for the white-box analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import resource_profile
+from repro.analysis.interactions import interaction_strength
+from repro.analysis.sensitivity import knob_sensitivity
+from repro.cluster.hardware import CLUSTER_A
+from repro.sim.engine import SparkSimulator
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture
+def ts_sim():
+    return SparkSimulator(
+        get_workload("TS"), "D1", CLUSTER_A,
+        np.random.default_rng(0), noise_sigma=0.0,
+    )
+
+
+@pytest.fixture
+def km_sim():
+    return SparkSimulator(
+        get_workload("KM"), "D1", CLUSTER_A,
+        np.random.default_rng(0), noise_sigma=0.0,
+    )
+
+
+class TestKnobSensitivity:
+    def test_ranking_sorted_by_spread(self, ts_sim, space):
+        results = knob_sensitivity(ts_sim, space, n_points=5)
+        spreads = [r.spread_s for r in results]
+        assert spreads == sorted(spreads, reverse=True)
+        assert len(results) == space.dim
+
+    def test_executor_knobs_rank_high(self, ts_sim, space):
+        results = knob_sensitivity(ts_sim, space, n_points=5)
+        top = [r.name for r in results[:10]]
+        assert any("executor" in n or "nodemanager" in n for n in top)
+
+    def test_subset_of_knobs(self, ts_sim, space):
+        results = knob_sensitivity(
+            ts_sim, space, n_points=3,
+            knobs=["spark.serializer", "dfs.replication"],
+        )
+        assert {r.name for r in results} == {
+            "spark.serializer", "dfs.replication"
+        }
+
+    def test_replication_best_is_low_for_terasort(self, ts_sim, space):
+        (result,) = knob_sensitivity(
+            ts_sim, space, n_points=3, knobs=["dfs.replication"]
+        )
+        assert result.best_position == 0.0  # replication=1 writes fastest
+
+    def test_failures_counted_and_penalized(self, km_sim, space):
+        # sweeping blocksize on KMeans hits the OOM cliff at 512 MB blocks
+        (result,) = knob_sensitivity(
+            km_sim, space, n_points=9, knobs=["dfs.blocksize"]
+        )
+        assert result.n_failures > 0
+        assert result.spread_s > 0
+
+    def test_validation(self, ts_sim, space):
+        with pytest.raises(ValueError):
+            knob_sensitivity(ts_sim, space, n_points=1)
+        with pytest.raises(KeyError):
+            knob_sensitivity(ts_sim, space, knobs=["nope"])
+
+
+class TestInteractionStrength:
+    def test_memory_knobs_interact_on_kmeans(self, km_sim, space):
+        s = interaction_strength(
+            km_sim, space,
+            "spark.executor.memory", "spark.memory.storageFraction",
+            n_points=4,
+        )
+        assert 0.0 <= s <= 1.0
+
+    def test_unrelated_knobs_interact_less(self, ts_sim, space):
+        related = interaction_strength(
+            ts_sim, space,
+            "spark.executor.cores", "spark.executor.instances",
+            n_points=4,
+        )
+        unrelated = interaction_strength(
+            ts_sim, space,
+            "spark.locality.wait", "spark.broadcast.blockSize",
+            n_points=4,
+        )
+        assert unrelated <= related + 0.05
+
+    def test_validation(self, ts_sim, space):
+        with pytest.raises(ValueError):
+            interaction_strength(ts_sim, space, "a.b", "a.b")
+        with pytest.raises(KeyError):
+            interaction_strength(ts_sim, space, "nope", "dfs.replication")
+        with pytest.raises(ValueError):
+            interaction_strength(
+                ts_sim, space, "dfs.replication", "dfs.blocksize",
+                n_points=1,
+            )
+
+
+class TestResourceProfile:
+    def test_profile_of_default_run(self, ts_sim, space):
+        result = ts_sim.evaluate(space.defaults())
+        profile = resource_profile(result)
+        assert profile.total_s > 0
+        assert profile.dominant in {"cpu", "disk", "network", "overhead"}
+        shares = [
+            profile.share(c) for c in ("cpu", "disk", "network", "overhead")
+        ]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_default_terasort_cpu_bound(self, ts_sim, space):
+        # 2 single-core executors: CPU starves the job at defaults
+        profile = resource_profile(ts_sim.evaluate(space.defaults()))
+        assert profile.dominant == "cpu"
+
+    def test_failed_run_rejected(self, km_sim, space):
+        cfg = space.defaults()
+        cfg.update({
+            "spark.executor.memory": 8192,
+            "spark.executor.memoryOverhead": 2048,
+            "yarn.scheduler.maximum-allocation-mb": 6144,
+        })
+        result = km_sim.evaluate(cfg)
+        assert not result.success
+        with pytest.raises(ValueError):
+            resource_profile(result)

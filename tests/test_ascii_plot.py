@@ -1,0 +1,71 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import bar_chart, line_plot
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        out = line_plot({"a": [1, 2, 3, 4]}, title="T")
+        assert out.splitlines()[0] == "T"
+        assert "*" in out
+        assert "legend: *=a" in out
+
+    def test_two_series_two_markers(self):
+        out = line_plot({"up": [0, 1, 2], "down": [2, 1, 0]})
+        assert "*" in out and "o" in out
+        assert "*=up" in out and "o=down" in out
+
+    def test_y_extremes_labelled(self):
+        out = line_plot({"a": [5.0, 10.0]})
+        assert "10" in out and "5" in out
+
+    def test_x_axis_labels(self):
+        out = line_plot({"a": [1, 2]}, x=[100, 400])
+        assert "100" in out and "400" in out
+
+    def test_constant_series_ok(self):
+        out = line_plot({"a": [3.0, 3.0, 3.0]})
+        assert "*" in out
+
+    def test_monotone_series_spans_height(self):
+        out = line_plot({"a": list(range(10))}, height=8)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "*" in rows[0] and "*" in rows[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"a": [1]})
+        with pytest.raises(ValueError):
+            line_plot({"a": [1, 2], "b": [1, 2, 3]})
+        with pytest.raises(ValueError):
+            line_plot({"a": [1, 2]}, x=[1, 2, 3])
+        with pytest.raises(ValueError):
+            line_plot({"a": [1, 2]}, width=2)
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart({"x": 10.0, "y": 5.0}, unit="s")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "10.00s" in lines[0]
+
+    def test_zero_value_has_no_bar(self):
+        out = bar_chart({"z": 0.0, "v": 2.0})
+        z_line = [l for l in out.splitlines() if l.startswith("z")][0]
+        assert "#" not in z_line
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="T").splitlines()[0] == "T"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})

@@ -1,0 +1,129 @@
+"""Tests for CDBTune and the search-based baselines."""
+
+import numpy as np
+import pytest
+
+from repro.agents.base import AgentHyperParams
+from repro.agents.ddpg import DDPGAgent
+from repro.baselines.bestconfig import BestConfigTuner
+from repro.baselines.cdbtune import CDBTune
+from repro.baselines.random_search import RandomSearchTuner
+from repro.factory import make_env
+from repro.replay.per import PrioritizedReplayBuffer
+
+FAST_HP = AgentHyperParams(batch_size=16, warmup_steps=8, hidden=(16, 16))
+
+
+class TestCDBTune:
+    def test_composition_matches_paper(self):
+        env = make_env("TS", "D1", seed=0)
+        t = CDBTune.from_env(env, seed=0, hp=FAST_HP)
+        assert isinstance(t.agent, DDPGAgent)  # DDPG, not TD3
+        assert isinstance(t.buffer, PrioritizedReplayBuffer)  # TD-error PER
+
+    def test_offline_then_online(self):
+        env = make_env("TS", "D1", seed=0)
+        t = CDBTune.from_env(env, seed=0, hp=FAST_HP)
+        log = t.train_offline(env, iterations=120)
+        assert log.iterations == 120
+        s = t.tune_online(make_env("TS", "D1", seed=9), steps=3)
+        assert s.tuner == "CDBTune"
+        assert s.n_steps == 3
+        assert all(st.twinq_iterations is None for st in s.steps)
+
+    def test_per_priorities_updated_during_training(self):
+        env = make_env("TS", "D1", seed=0)
+        t = CDBTune.from_env(env, seed=0, hp=FAST_HP)
+        t.train_offline(env, iterations=60)
+        # priorities must no longer all be the initial max
+        tree = t.buffer._tree
+        leaves = [tree[i] for i in range(len(t.buffer))]
+        assert len(set(np.round(leaves, 9))) > 1
+
+
+class TestRandomSearch:
+    def test_session(self):
+        t = RandomSearchTuner(seed=0)
+        s = t.tune_online(make_env("TS", "D1", seed=3), steps=6)
+        assert s.n_steps == 6
+        assert s.tuner == "RandomSearch"
+
+    def test_time_budget(self):
+        t = RandomSearchTuner(seed=0)
+        s = t.tune_online(
+            make_env("TS", "D1", seed=3), steps=100, time_budget_s=200.0
+        )
+        assert s.n_steps < 100
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            RandomSearchTuner().tune_online(make_env("TS", "D1"), steps=0)
+
+
+class TestBestConfig:
+    def test_session_runs(self):
+        t = BestConfigTuner(seed=0)
+        s = t.tune_online(make_env("TS", "D1", seed=3), steps=12)
+        assert s.n_steps == 12
+        assert s.tuner == "BestConfig"
+
+    def test_bound_and_search_improves(self):
+        # with enough steps the shrinking box focuses near the incumbent
+        env = make_env("TS", "D1", seed=4)
+        t = BestConfigTuner(seed=0, rounds_per_shrink=5)
+        s = t.tune_online(env, steps=25)
+        first_round = min(
+            st.duration_s for st in s.steps[:5] if st.success
+        )
+        assert s.best_duration_s <= first_round
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BestConfigTuner(shrink_factor=1.0)
+        with pytest.raises(ValueError):
+            BestConfigTuner(rounds_per_shrink=0)
+
+
+class TestBayesOpt:
+    def test_design_then_model_phases(self):
+        from repro.baselines.bo import BayesOptTuner
+
+        t = BayesOptTuner(action_dim=32, seed=0, init_design=3)
+        s = t.tune_online(make_env("TS", "D1", seed=8), steps=6)
+        assert s.n_steps == 6
+        assert s.tuner == "BayesOpt"
+        # design steps recommend instantly; model steps pay for a GP fit
+        design_rec = max(st.recommendation_s for st in s.steps[:3])
+        model_rec = max(st.recommendation_s for st in s.steps[3:])
+        assert model_rec > design_rec
+
+    def test_improves_over_its_design(self):
+        from repro.baselines.bo import BayesOptTuner
+
+        t = BayesOptTuner(action_dim=32, seed=1, init_design=3)
+        s = t.tune_online(make_env("TS", "D1", seed=9), steps=12)
+        design_best = min(
+            (st.duration_s for st in s.steps[:3] if st.success),
+            default=float("inf"),
+        )
+        assert s.best_duration_s <= design_best
+
+    def test_validation(self):
+        from repro.baselines.bo import BayesOptTuner
+
+        with pytest.raises(ValueError):
+            BayesOptTuner(action_dim=0)
+        with pytest.raises(ValueError):
+            BayesOptTuner(action_dim=4, init_design=0)
+        t = BayesOptTuner(action_dim=32)
+        with pytest.raises(ValueError):
+            t.tune_online(make_env("TS", "D1"), steps=0)
+
+    def test_time_budget(self):
+        from repro.baselines.bo import BayesOptTuner
+
+        t = BayesOptTuner(action_dim=32, seed=2)
+        s = t.tune_online(
+            make_env("TS", "D1", seed=10), steps=50, time_budget_s=150.0
+        )
+        assert s.n_steps < 50

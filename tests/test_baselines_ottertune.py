@@ -1,0 +1,230 @@
+"""Tests for the OtterTune pipeline stages and tuner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ottertune.ei import expected_improvement
+from repro.baselines.ottertune.gp import GaussianProcessRegressor, rbf_kernel
+from repro.baselines.ottertune.lasso import (
+    lasso_coordinate_descent,
+    rank_knobs,
+)
+from repro.baselines.ottertune.mapping import WorkloadRepository
+from repro.baselines.ottertune.tuner import OtterTune
+from repro.factory import make_env
+
+
+class TestRbfKernel:
+    def test_diagonal_is_variance(self, rng):
+        x = rng.normal(size=(5, 3))
+        k = rbf_kernel(x, x, length_scale=1.0, variance=2.0)
+        np.testing.assert_allclose(np.diag(k), 2.0)
+
+    def test_symmetry_and_psd(self, rng):
+        x = rng.normal(size=(6, 3))
+        k = rbf_kernel(x, x, 1.0, 1.0)
+        np.testing.assert_allclose(k, k.T)
+        eig = np.linalg.eigvalsh(k)
+        assert eig.min() > -1e-10
+
+    def test_decay_with_distance(self):
+        a = np.zeros((1, 2))
+        near = np.array([[0.1, 0.0]])
+        far = np.array([[3.0, 0.0]])
+        assert rbf_kernel(a, near, 1.0, 1.0) > rbf_kernel(a, far, 1.0, 1.0)
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((1, 2)), np.zeros((1, 2)), 0.0, 1.0)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self, rng):
+        x = rng.uniform(0, 1, (20, 2))
+        y = np.sin(3 * x[:, 0]) + x[:, 1]
+        gp = GaussianProcessRegressor(noise_variance=1e-6).fit(x, y)
+        pred = gp.predict(x)
+        np.testing.assert_allclose(pred, y, atol=1e-2)
+
+    def test_uncertainty_grows_off_data(self, rng):
+        x = rng.uniform(0, 0.3, (15, 2))
+        y = x.sum(axis=1)
+        gp = GaussianProcessRegressor().fit(x, y)
+        _, std_near = gp.predict(np.array([[0.15, 0.15]]), return_std=True)
+        _, std_far = gp.predict(np.array([[0.95, 0.95]]), return_std=True)
+        assert std_far[0] > std_near[0]
+
+    def test_generalizes_smooth_function(self, rng):
+        x = rng.uniform(0, 1, (60, 1))
+        y = np.sin(4 * x[:, 0])
+        gp = GaussianProcessRegressor(length_scale=0.4).fit(x, y)
+        xt = np.linspace(0.1, 0.9, 10)[:, None]
+        pred = gp.predict(xt)
+        np.testing.assert_allclose(pred, np.sin(4 * xt[:, 0]), atol=0.25)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.zeros((1, 2)))
+
+    def test_fit_validation(self):
+        gp = GaussianProcessRegressor()
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_1d_query_promoted(self, rng):
+        gp = GaussianProcessRegressor().fit(
+            rng.uniform(0, 1, (5, 2)), rng.normal(size=5)
+        )
+        assert gp.predict(np.zeros(2)).shape == (1,)
+
+
+class TestExpectedImprovement:
+    def test_zero_when_mean_worse_and_certain(self):
+        ei = expected_improvement(np.array([10.0]), np.array([0.0]), best_y=5.0)
+        assert ei[0] == 0.0
+
+    def test_positive_when_mean_better(self):
+        ei = expected_improvement(np.array([3.0]), np.array([0.0]), best_y=5.0)
+        assert ei[0] == pytest.approx(2.0)
+
+    def test_uncertainty_creates_hope(self):
+        certain = expected_improvement(np.array([6.0]), np.array([0.0]), 5.0)
+        uncertain = expected_improvement(np.array([6.0]), np.array([2.0]), 5.0)
+        assert uncertain[0] > certain[0] == 0.0
+
+    def test_vectorized(self):
+        ei = expected_improvement(
+            np.array([1.0, 9.0]), np.array([1.0, 1.0]), 5.0
+        )
+        assert ei.shape == (2,)
+        assert ei[0] > ei[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_improvement(np.zeros(2), np.zeros(3), 0.0)
+        with pytest.raises(ValueError):
+            expected_improvement(np.zeros(1), np.array([-1.0]), 0.0)
+
+
+class TestLasso:
+    def test_recovers_sparse_signal(self, rng):
+        n, d = 200, 10
+        x = rng.normal(size=(n, d))
+        y = 3.0 * x[:, 2] - 2.0 * x[:, 7] + 0.05 * rng.normal(size=n)
+        w = lasso_coordinate_descent(x, y - y.mean(), alpha=0.1)
+        assert abs(w[2]) > 1.0 and abs(w[7]) > 1.0
+        others = np.delete(np.abs(w), [2, 7])
+        assert others.max() < 0.2
+
+    def test_large_alpha_kills_everything(self, rng):
+        x = rng.normal(size=(50, 5))
+        y = x[:, 0]
+        w = lasso_coordinate_descent(x, y, alpha=100.0)
+        np.testing.assert_array_equal(w, 0.0)
+
+    def test_negative_alpha_rejected(self, rng):
+        with pytest.raises(ValueError):
+            lasso_coordinate_descent(np.zeros((2, 2)), np.zeros(2), -1.0)
+
+    def test_rank_knobs_orders_by_importance(self, rng):
+        n, d = 300, 8
+        x = rng.uniform(0, 1, (n, d))
+        y = 10.0 * x[:, 3] + 2.0 * x[:, 5] + 0.1 * rng.normal(size=n)
+        order = rank_knobs(x, y)
+        assert order[0] == 3
+        assert order.index(5) < 4
+        assert sorted(order) == list(range(d))
+
+    def test_rank_knobs_constant_target(self, rng):
+        x = rng.uniform(0, 1, (20, 4))
+        order = rank_knobs(x, np.ones(20))
+        assert sorted(order) == list(range(4))
+
+
+class TestWorkloadRepository:
+    def test_observe_and_get(self):
+        repo = WorkloadRepository()
+        repo.observe("w1", np.zeros(3), np.zeros(2), 10.0)
+        assert "w1" in repo
+        assert len(repo.get("w1")) == 1
+        with pytest.raises(KeyError):
+            repo.get("nope")
+
+    def test_rejects_nonpositive_perf(self):
+        repo = WorkloadRepository()
+        with pytest.raises(ValueError):
+            repo.observe("w", np.zeros(2), np.zeros(2), 0.0)
+
+    def test_mapping_picks_similar_workload(self, rng):
+        repo = WorkloadRepository()
+        # workload A: metrics ~ config; workload B: metrics ~ 1 - config
+        for _ in range(30):
+            c = rng.uniform(0, 1, 3)
+            repo.observe("A", c, c.copy(), 10.0)
+            repo.observe("B", c, 1.0 - c, 10.0)
+        target_c = rng.uniform(0, 1, (10, 3))
+        assert repo.map_workload(target_c, target_c) == "A"
+        assert repo.map_workload(target_c, 1.0 - target_c) == "B"
+
+    def test_mapping_no_target_data_uses_largest(self, rng):
+        repo = WorkloadRepository()
+        repo.observe("small", np.zeros(2), np.zeros(2), 1.0)
+        for _ in range(5):
+            repo.observe("big", rng.uniform(0, 1, 2), np.zeros(2), 1.0)
+        assert (
+            repo.map_workload(np.zeros((0, 2)), np.zeros((0, 2))) == "big"
+        )
+
+    def test_mapping_empty_repo(self):
+        repo = WorkloadRepository()
+        assert repo.map_workload(np.zeros((1, 2)), np.zeros((1, 2))) is None
+
+    def test_exclude(self, rng):
+        repo = WorkloadRepository()
+        repo.observe("only", np.zeros(2), np.zeros(2), 1.0)
+        assert (
+            repo.map_workload(
+                np.zeros((1, 2)), np.zeros((1, 2)), exclude="only"
+            )
+            is None
+        )
+
+
+class TestOtterTuneTuner:
+    def test_requires_offline_data(self):
+        env = make_env("TS", "D1", seed=0)
+        ot = OtterTune.from_env(env, seed=0)
+        with pytest.raises(RuntimeError):
+            ot.tune_online(env, steps=1)
+
+    def test_end_to_end_session(self):
+        env = make_env("TS", "D1", seed=0)
+        ot = OtterTune.from_env(env, seed=0, n_candidates=100,
+                                max_train_points=80)
+        ot.collect_offline(env, "TS-D1", 60)
+        s = ot.tune_online(make_env("TS", "D1", seed=9), steps=3)
+        assert s.n_steps == 3
+        assert s.tuner == "OtterTune"
+        assert s.recommendation_seconds > 0
+
+    def test_improves_over_random_median(self):
+        env = make_env("TS", "D1", seed=1)
+        ot = OtterTune.from_env(env, seed=1)
+        ot.collect_offline(env, "TS-D1", 150)
+        s = ot.tune_online(make_env("TS", "D1", seed=5), steps=5)
+        # GP+EI should find something much better than the default
+        assert s.best_duration_s < s.default_duration_s
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            OtterTune(action_dim=0)
+        with pytest.raises(ValueError):
+            OtterTune(action_dim=4, n_candidates=0)
+
+    def test_collect_offline_validation(self):
+        env = make_env("TS", "D1", seed=0)
+        ot = OtterTune.from_env(env)
+        with pytest.raises(ValueError):
+            ot.collect_offline(env, "x", 0)

@@ -1,0 +1,73 @@
+"""Tests for repro.cluster.hardware."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.hardware import CLUSTER_A, CLUSTER_B, ClusterSpec, NodeSpec
+
+
+class TestNodeSpec:
+    def test_valid(self):
+        n = NodeSpec(cores=4, memory_mb=8192, disk_seq_mbps=100,
+                     disk_rand_mbps=30, cpu_ghz=2.5)
+        assert n.cores == 4
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cores", 0),
+            ("memory_mb", -1),
+            ("disk_seq_mbps", 0),
+            ("cpu_ghz", 0),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        base = dict(cores=4, memory_mb=8192, disk_seq_mbps=100,
+                    disk_rand_mbps=30, cpu_ghz=2.5)
+        base[field] = value
+        with pytest.raises(ValueError):
+            NodeSpec(**base)
+
+    def test_random_cannot_exceed_sequential(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=4, memory_mb=1024, disk_seq_mbps=50,
+                     disk_rand_mbps=100, cpu_ghz=2.0)
+
+    def test_frozen(self):
+        n = CLUSTER_A.node
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            n.cores = 99
+
+
+class TestClusterSpec:
+    def test_totals(self):
+        assert CLUSTER_A.total_cores == 48
+        assert CLUSTER_A.total_memory_mb == 3 * 16384
+
+    def test_cluster_a_matches_paper(self):
+        # 3 nodes, 16 cores and 16 GB each, 1 GbE
+        assert CLUSTER_A.n_nodes == 3
+        assert CLUSTER_A.node.cores == 16
+        assert CLUSTER_A.node.memory_mb == 16384
+        assert 100 <= CLUSTER_A.network_mbps <= 125
+
+    def test_cluster_b_matches_paper(self):
+        # 3 VMs totalling 24 cores / 24 GB
+        assert CLUSTER_B.n_nodes == 3
+        assert CLUSTER_B.total_cores == 24
+        assert CLUSTER_B.total_memory_mb == 24 * 1024
+
+    def test_b_smaller_than_a(self):
+        assert CLUSTER_B.total_cores < CLUSTER_A.total_cores
+        assert CLUSTER_B.total_memory_mb < CLUSTER_A.total_memory_mb
+
+    def test_scale_cpu_reference(self):
+        assert CLUSTER_A.scale_cpu() == pytest.approx(1.0)
+        assert CLUSTER_B.scale_cpu() < 1.0
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            ClusterSpec("x", 0, CLUSTER_A.node, 100.0)
+        with pytest.raises(ValueError):
+            ClusterSpec("x", 3, CLUSTER_A.node, -1.0)

@@ -1,0 +1,143 @@
+"""Tests for disk, network and HDFS models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.disk import disk_seconds, effective_disk_mbps
+from repro.cluster.hardware import CLUSTER_A
+from repro.cluster.hdfs import HdfsModel
+from repro.cluster.network import broadcast_seconds, shuffle_network_seconds
+
+NODE = CLUSTER_A.node
+
+
+class TestDisk:
+    def test_single_stream_sequential(self):
+        assert effective_disk_mbps(NODE, 1, 64.0) == pytest.approx(
+            NODE.disk_seq_mbps
+        )
+
+    def test_concurrency_degrades(self):
+        r1 = effective_disk_mbps(NODE, 1, 64.0)
+        r8 = effective_disk_mbps(NODE, 8, 64.0)
+        assert r8 < r1
+
+    def test_floor_at_random_rate(self):
+        r = effective_disk_mbps(NODE, 500, 16.0)
+        assert r == pytest.approx(NODE.disk_rand_mbps)
+
+    def test_big_buffers_recover_throughput(self):
+        small = effective_disk_mbps(NODE, 10, 16.0)
+        large = effective_disk_mbps(NODE, 10, 512.0)
+        assert large > small
+
+    def test_disk_seconds(self):
+        t = disk_seconds(NODE.disk_seq_mbps, NODE, 1, 64.0)
+        assert t == pytest.approx(1.0)
+        assert disk_seconds(0.0, NODE, 1, 64.0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            effective_disk_mbps(NODE, 0, 64.0)
+        with pytest.raises(ValueError):
+            effective_disk_mbps(NODE, 1, 0.0)
+        with pytest.raises(ValueError):
+            disk_seconds(-1.0, NODE, 1, 64.0)
+
+
+class TestNetwork:
+    def test_zero_bytes_zero_time(self):
+        assert shuffle_network_seconds(0.0, CLUSTER_A, 48.0) == 0.0
+
+    def test_scales_with_bytes(self):
+        t1 = shuffle_network_seconds(1000.0, CLUSTER_A, 48.0)
+        t2 = shuffle_network_seconds(2000.0, CLUSTER_A, 48.0)
+        assert t2 > t1
+
+    def test_small_in_flight_slower(self):
+        slow = shuffle_network_seconds(3000.0, CLUSTER_A, 8.0)
+        fast = shuffle_network_seconds(3000.0, CLUSTER_A, 96.0)
+        assert slow > fast
+
+    def test_cross_traffic_fraction(self):
+        # cluster of 1 node shuffles nothing across the wire
+        single = CLUSTER_A.__class__(
+            name="one", n_nodes=1, node=NODE, network_mbps=117.0
+        )
+        assert shuffle_network_seconds(1000.0, single, 48.0) == 0.0
+
+    def test_broadcast(self):
+        t = broadcast_seconds(10.0, CLUSTER_A, 4.0)
+        assert t > 0
+        assert broadcast_seconds(0.0, CLUSTER_A, 4.0) == 0.0
+
+    def test_broadcast_block_latency(self):
+        many_blocks = broadcast_seconds(64.0, CLUSTER_A, 1.0)
+        few_blocks = broadcast_seconds(64.0, CLUSTER_A, 16.0)
+        assert many_blocks > few_blocks
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            shuffle_network_seconds(-1.0, CLUSTER_A, 48.0)
+        with pytest.raises(ValueError):
+            shuffle_network_seconds(1.0, CLUSTER_A, 0.0)
+        with pytest.raises(ValueError):
+            broadcast_seconds(1.0, CLUSTER_A, 0.0)
+
+
+def hdfs_config(**overrides):
+    base = {
+        "dfs.blocksize": 128,
+        "dfs.replication": 3,
+        "dfs.namenode.handler.count": 10,
+        "dfs.datanode.handler.count": 10,
+        "io.file.buffer.size": 64,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestHdfs:
+    def test_input_splits(self):
+        h = HdfsModel(hdfs_config(), CLUSTER_A)
+        assert h.input_splits(1280.0) == 10
+        assert h.input_splits(1281.0) == 11
+        assert h.input_splits(1.0) == 1
+
+    def test_blocksize_drives_splits(self):
+        small = HdfsModel(hdfs_config(**{"dfs.blocksize": 32}), CLUSTER_A)
+        large = HdfsModel(hdfs_config(**{"dfs.blocksize": 512}), CLUSTER_A)
+        assert small.input_splits(4096.0) > large.input_splits(4096.0)
+
+    def test_read_scales_with_bytes(self):
+        h = HdfsModel(hdfs_config(), CLUSTER_A)
+        assert h.read_seconds(2000.0, 2) > h.read_seconds(1000.0, 2)
+        assert h.read_seconds(0.0, 2) == 0.0
+
+    def test_replication_amplifies_writes(self):
+        h3 = HdfsModel(hdfs_config(), CLUSTER_A)
+        h1 = HdfsModel(hdfs_config(**{"dfs.replication": 1}), CLUSTER_A)
+        assert h3.write_seconds(1000.0, 2) > h1.write_seconds(1000.0, 2)
+
+    def test_handler_contention(self):
+        starved = HdfsModel(hdfs_config(), CLUSTER_A)
+        tuned = HdfsModel(
+            hdfs_config(
+                **{
+                    "dfs.namenode.handler.count": 200,
+                    "dfs.datanode.handler.count": 100,
+                }
+            ),
+            CLUSTER_A,
+        )
+        # With many concurrent clients, more handlers must not be slower.
+        assert tuned.read_seconds(4096.0, 16) <= starved.read_seconds(
+            4096.0, 16
+        )
+
+    def test_negative_bytes_rejected(self):
+        h = HdfsModel(hdfs_config(), CLUSTER_A)
+        with pytest.raises(ValueError):
+            h.read_seconds(-1.0, 1)
+        with pytest.raises(ValueError):
+            h.write_seconds(-1.0, 1)

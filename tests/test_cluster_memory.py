@@ -1,0 +1,99 @@
+"""Tests for the Spark unified memory model."""
+
+import pytest
+
+from repro.cluster.memory import HEAP_RESERVE_MB, MemoryModel
+
+
+def mem_config(fraction=0.6, storage=0.5):
+    return {
+        "spark.memory.fraction": fraction,
+        "spark.memory.storageFraction": storage,
+    }
+
+
+class TestMemoryModelRegions:
+    def test_unified_region_arithmetic(self):
+        m = MemoryModel(mem_config(), executor_heap_mb=4096, executor_cores=2)
+        usable = 4096 - HEAP_RESERVE_MB
+        assert m.unified_mb == pytest.approx(usable * 0.6)
+        assert m.storage_region_mb == pytest.approx(usable * 0.6 * 0.5)
+
+    def test_exec_region_includes_borrowable(self):
+        m = MemoryModel(mem_config(), 4096, 2)
+        base = m.unified_mb * 0.5
+        assert m.exec_region_mb == pytest.approx(base + m.unified_mb * 0.25)
+
+    def test_per_task_split_by_cores(self):
+        m1 = MemoryModel(mem_config(), 4096, 1)
+        m4 = MemoryModel(mem_config(), 4096, 4)
+        assert m4.per_task_exec_mb() == pytest.approx(
+            m1.per_task_exec_mb() / 4
+        )
+
+    def test_invalid_executor(self):
+        with pytest.raises(ValueError):
+            MemoryModel(mem_config(), 0, 1)
+
+
+class TestVerdicts:
+    def test_no_spill_when_fits(self):
+        m = MemoryModel(mem_config(), 8192, 1)
+        v = m.evaluate_task(working_set_mb=100.0)
+        assert v.spill_fraction == 0.0
+        assert not v.oom
+
+    def test_spill_fraction_grows_with_working_set(self):
+        m = MemoryModel(mem_config(), 2048, 2)
+        share = m.per_task_exec_mb()
+        v1 = m.evaluate_task(share * 1.5, rigid_fraction=0.2)
+        v2 = m.evaluate_task(share * 3.0, rigid_fraction=0.2)
+        assert 0 < v1.spill_fraction < v2.spill_fraction < 1
+
+    def test_oom_when_rigid_exceeds_limit(self):
+        m = MemoryModel(mem_config(), 1024, 1)
+        hard = m.exec_region_mb + 0.5 * m.user_region_mb
+        assert m.evaluate_task(hard / 0.5 + 1, rigid_fraction=0.5).oom
+        assert not m.evaluate_task(hard / 0.5 - 1, rigid_fraction=0.5).oom
+
+    def test_spillable_workload_tolerates_more(self):
+        m = MemoryModel(mem_config(), 1024, 1)
+        ws = 2000.0
+        assert m.evaluate_task(ws, rigid_fraction=0.9).oom
+        assert not m.evaluate_task(ws, rigid_fraction=0.1).oom
+
+    def test_cache_deficit(self):
+        m = MemoryModel(mem_config(), 2048, 1)
+        v = m.evaluate_task(10.0, cache_demand_mb=m.storage_region_mb * 2)
+        assert v.storage_deficit == pytest.approx(0.5)
+
+    def test_cache_fits_no_deficit(self):
+        m = MemoryModel(mem_config(), 4096, 1)
+        v = m.evaluate_task(10.0, cache_demand_mb=m.storage_region_mb * 0.5)
+        assert v.storage_deficit == 0.0
+
+    def test_gc_grows_with_occupancy(self):
+        m = MemoryModel(mem_config(), 2048, 2)
+        low = m.evaluate_task(10.0).gc_multiplier
+        high = m.evaluate_task(
+            m.per_task_exec_mb(), cache_demand_mb=m.storage_region_mb
+        ).gc_multiplier
+        assert high > low >= 1.0
+
+    def test_high_memory_fraction_penalized(self):
+        lo = MemoryModel(mem_config(fraction=0.6), 4096, 1)
+        hi = MemoryModel(mem_config(fraction=0.9), 4096, 1)
+        # identical tiny working set; the 0.9 fraction model pays extra GC
+        assert (
+            hi.evaluate_task(1.0).gc_multiplier
+            > lo.evaluate_task(1.0).gc_multiplier
+        )
+
+    def test_negative_demand_rejected(self):
+        m = MemoryModel(mem_config(), 2048, 1)
+        with pytest.raises(ValueError):
+            m.evaluate_task(-1.0)
+        with pytest.raises(ValueError):
+            m.evaluate_task(1.0, cache_demand_mb=-1.0)
+        with pytest.raises(ValueError):
+            m.evaluate_task(1.0, rigid_fraction=0.0)

@@ -1,0 +1,65 @@
+"""Tests for the uptime-style load-average state tracker."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.cluster.state import ClusterStateTracker
+
+
+class TestClusterStateTracker:
+    def make(self):
+        return ClusterStateTracker(CLUSTER_A, np.random.default_rng(0))
+
+    def test_dim(self):
+        assert self.make().dim == 9  # 3 nodes x (load1, load5, load15)
+
+    def test_reset_gives_idle_state(self):
+        s = self.make().reset()
+        assert s.shape == (9,)
+        assert np.all(s >= 0) and np.all(s < 0.2)  # idle loads are small
+
+    def test_observe_reflects_demand(self):
+        t = self.make()
+        t.reset()
+        busy = t.observe(np.full(3, 14.0))  # near-saturated 16-core nodes
+        assert busy[:3].mean() > 0.7
+
+    def test_load5_lags_load1(self):
+        t = self.make()
+        t.reset()
+        s = t.observe(np.full(3, 12.0))
+        load1, load5 = s[:3], s[3:6]
+        assert np.all(load5 < load1)  # decaying average lags a step change
+
+    def test_load15_lags_load5(self):
+        t = self.make()
+        t.reset()
+        s = t.observe(np.full(3, 12.0))
+        assert np.all(s[6:9] < s[3:6])
+
+    def test_history_decays_back(self):
+        t = self.make()
+        t.reset()
+        t.observe(np.full(3, 15.0))
+        for _ in range(20):
+            s = t.observe(np.full(3, 0.5))
+        assert np.all(s < 0.2)
+
+    def test_wrong_shape_rejected(self):
+        t = self.make()
+        with pytest.raises(ValueError):
+            t.observe(np.zeros(2))
+
+    def test_state_clipped(self):
+        t = self.make()
+        s = t.observe(np.full(3, 1000.0))
+        assert np.all(s <= 4.0)
+
+    def test_deterministic_given_seed(self):
+        a = ClusterStateTracker(CLUSTER_A, np.random.default_rng(5))
+        b = ClusterStateTracker(CLUSTER_A, np.random.default_rng(5))
+        a.reset(), b.reset()
+        np.testing.assert_array_equal(
+            a.observe(np.full(3, 4.0)), b.observe(np.full(3, 4.0))
+        )

@@ -1,0 +1,130 @@
+"""Tests for repro.cluster.yarn container allocation."""
+
+import pytest
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.cluster.yarn import OS_RESERVED_MB, plan_executors
+
+
+def yarn_config(**overrides):
+    base = {
+        "spark.executor.memory": 2048,
+        "spark.executor.memoryOverhead": 512,
+        "spark.executor.cores": 2,
+        "spark.executor.instances": 6,
+        "yarn.scheduler.minimum-allocation-mb": 512,
+        "yarn.scheduler.maximum-allocation-mb": 8192,
+        "yarn.scheduler.maximum-allocation-vcores": 8,
+        "yarn.nodemanager.resource.memory-mb": 8192,
+        "yarn.nodemanager.resource.cpu-vcores": 8,
+        "yarn.nodemanager.resource.percentage-physical-cpu-limit": 100,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestPlanExecutors:
+    def test_basic_grant(self):
+        p = plan_executors(yarn_config(), CLUSTER_A)
+        assert p.feasible
+        assert p.n_executors == 6
+        assert p.total_cores == 12
+
+    def test_container_rounding(self):
+        p = plan_executors(yarn_config(), CLUSTER_A)
+        # 2048+512=2560 rounded up to 512-multiple stays 2560
+        assert p.container_mb == 2560
+        p = plan_executors(
+            yarn_config(**{"yarn.scheduler.minimum-allocation-mb": 1024}),
+            CLUSTER_A,
+        )
+        assert p.container_mb == 3072
+
+    def test_capacity_limits_grant(self):
+        # 8192 per node / 2560 per container = 3 per node -> 9 total,
+        # but vcores: 8//2=4 per node -> min(3,4)=3 -> capacity 9
+        p = plan_executors(
+            yarn_config(**{"spark.executor.instances": 12}), CLUSTER_A
+        )
+        assert p.n_executors == 9
+
+    def test_reject_container_over_max_alloc(self):
+        p = plan_executors(
+            yarn_config(**{"spark.executor.memory": 8192}), CLUSTER_A
+        )
+        assert not p.feasible
+        assert "maximum-allocation-mb" in p.reason
+
+    def test_reject_cores_over_max_vcores(self):
+        p = plan_executors(
+            yarn_config(**{"spark.executor.cores": 9}), CLUSTER_A
+        )
+        assert not p.feasible
+        assert "vcores" in p.reason
+
+    def test_reject_node_too_small(self):
+        p = plan_executors(
+            yarn_config(
+                **{
+                    "yarn.nodemanager.resource.memory-mb": 2048,
+                    "spark.executor.memory": 4096,
+                    "yarn.scheduler.maximum-allocation-mb": 8192,
+                }
+            ),
+            CLUSTER_A,
+        )
+        assert not p.feasible
+        assert p.n_executors == 0
+
+    def test_cpu_oversubscription_instead_of_reject(self):
+        # cores=6 > vcores offered (4), but memory fits: YARN's default
+        # memory-only calculator grants it with oversubscription.
+        p = plan_executors(
+            yarn_config(
+                **{
+                    "spark.executor.cores": 6,
+                    "yarn.nodemanager.resource.cpu-vcores": 4,
+                }
+            ),
+            CLUSTER_A,
+        )
+        assert p.feasible
+        assert p.cpu_oversubscribed
+        assert p.n_executors >= 1
+
+    def test_physical_memory_reserve_respected(self):
+        # NodeManager claims more than physical: clipped by node - reserve
+        p = plan_executors(
+            yarn_config(
+                **{
+                    "yarn.nodemanager.resource.memory-mb": 999999,
+                    "spark.executor.instances": 12,
+                    "spark.executor.memory": 4096,
+                    "spark.executor.memoryOverhead": 1024,
+                    "yarn.scheduler.maximum-allocation-mb": 8192,
+                }
+            ),
+            CLUSTER_A,
+        )
+        budget = CLUSTER_A.node.memory_mb - OS_RESERVED_MB
+        per_node = budget // p.container_mb
+        assert p.n_executors <= per_node * 3
+
+    def test_cpu_limit_percentage(self):
+        full = plan_executors(
+            yarn_config(**{"spark.executor.instances": 12}), CLUSTER_A
+        )
+        half = plan_executors(
+            yarn_config(
+                **{
+                    "spark.executor.instances": 12,
+                    "yarn.nodemanager.resource.percentage-physical-cpu-limit": 50,
+                }
+            ),
+            CLUSTER_A,
+        )
+        assert half.n_executors <= full.n_executors
+
+    def test_total_heap(self):
+        p = plan_executors(yarn_config(), CLUSTER_A)
+        assert p.total_heap_mb == p.n_executors * 2048

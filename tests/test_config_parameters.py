@@ -1,0 +1,166 @@
+"""Tests for repro.config.parameter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config.parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    FloatParameter,
+    IntParameter,
+)
+
+
+class TestFloatParameter:
+    def make(self, log=False):
+        return FloatParameter(
+            "p", "spark", default=1.0, low=0.5, high=8.0, log=log
+        )
+
+    def test_encode_bounds(self):
+        p = self.make()
+        assert p.encode(0.5) == 0.0
+        assert p.encode(8.0) == 1.0
+
+    def test_roundtrip_linear(self):
+        p = self.make()
+        for v in [0.5, 1.0, 4.25, 8.0]:
+            assert p.decode(p.encode(v)) == pytest.approx(v)
+
+    def test_roundtrip_log(self):
+        p = self.make(log=True)
+        for v in [0.5, 1.0, 4.0, 8.0]:
+            assert p.decode(p.encode(v)) == pytest.approx(v)
+
+    def test_log_midpoint_is_geometric(self):
+        p = FloatParameter("p", "spark", default=2.0, low=1.0, high=4.0,
+                           log=True)
+        assert p.decode(0.5) == pytest.approx(2.0)
+
+    def test_encode_clips_out_of_range(self):
+        p = self.make()
+        assert p.encode(100.0) == 1.0
+        assert p.encode(-5.0) == 0.0
+
+    def test_decode_rejects_outside_unit(self):
+        with pytest.raises(ValueError):
+            self.make().decode(1.5)
+
+    def test_clip(self):
+        p = self.make()
+        assert p.clip(100.0) == 8.0
+        assert p.clip(1.3) == 1.3
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            FloatParameter("p", "spark", default=1.0, low=2.0, high=1.0)
+        with pytest.raises(ValueError):
+            FloatParameter("p", "spark", default=9.0, low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            FloatParameter("p", "spark", default=1.0, low=0.0, high=2.0,
+                           log=True)
+
+    @given(st.floats(0.0, 1.0))
+    def test_decode_encode_identity_property(self, u):
+        p = self.make()
+        assert p.encode(p.decode(u)) == pytest.approx(u, abs=1e-9)
+
+
+class TestIntParameter:
+    def make(self, log=False):
+        return IntParameter("p", "yarn", default=4, low=1, high=64, log=log)
+
+    def test_roundtrip_all_values_small_range(self):
+        p = IntParameter("p", "hdfs", default=2, low=1, high=5)
+        for v in range(1, 6):
+            assert p.decode(p.encode(v)) == v
+
+    def test_roundtrip_log(self):
+        p = self.make(log=True)
+        for v in [1, 2, 8, 17, 64]:
+            assert p.decode(p.encode(v)) == v
+
+    def test_decode_is_int(self):
+        assert isinstance(self.make().decode(0.37), int)
+
+    def test_clip_rounds(self):
+        assert self.make().clip(3.6) == 4
+
+    def test_clip_bounds(self):
+        p = self.make()
+        assert p.clip(1000) == 64
+        assert p.clip(-3) == 1
+
+    @given(st.floats(0.0, 1.0))
+    def test_decode_in_range_property(self, u):
+        p = self.make(log=True)
+        assert 1 <= p.decode(u) <= 64
+
+
+class TestBoolParameter:
+    def make(self):
+        return BoolParameter("p", "spark", default=True)
+
+    def test_encode(self):
+        p = self.make()
+        assert p.encode(True) == 1.0
+        assert p.encode(False) == 0.0
+
+    def test_decode_threshold(self):
+        p = self.make()
+        assert p.decode(0.49) is False
+        assert p.decode(0.5) is True
+
+    def test_roundtrip(self):
+        p = self.make()
+        for v in (True, False):
+            assert p.decode(p.encode(v)) is v
+
+    def test_clip(self):
+        assert self.make().clip(1) is True
+
+
+class TestCategoricalParameter:
+    def make(self):
+        return CategoricalParameter(
+            "p", "spark", default="a", choices=("a", "b", "c")
+        )
+
+    def test_roundtrip(self):
+        p = self.make()
+        for c in ("a", "b", "c"):
+            assert p.decode(p.encode(c)) == c
+
+    def test_bins_cover_unit_interval(self):
+        p = self.make()
+        assert p.decode(0.0) == "a"
+        assert p.decode(0.999) == "c"
+        assert p.decode(1.0) == "c"
+
+    def test_encode_unknown_raises(self):
+        with pytest.raises(ValueError):
+            self.make().encode("z")
+
+    def test_clip_unknown_raises(self):
+        with pytest.raises(ValueError):
+            self.make().clip("z")
+
+    def test_needs_two_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("p", "spark", default="a", choices=("a",))
+
+    def test_duplicate_choices_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter(
+                "p", "spark", default="a", choices=("a", "a")
+            )
+
+    def test_default_must_be_choice(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("p", "spark", default="x", choices=("a", "b"))
+
+    def test_validate(self):
+        p = self.make()
+        assert p.validate("a")
+        assert not p.validate("nope")

@@ -1,0 +1,159 @@
+"""Tests for repro.config.space and the pipeline assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.parameter import BoolParameter, FloatParameter, IntParameter
+from repro.config.pipeline import build_pipeline_space
+from repro.config.space import ConfigurationSpace
+
+
+def tiny_space():
+    return ConfigurationSpace(
+        [
+            IntParameter("cores", "spark", default=2, low=1, high=8),
+            FloatParameter("frac", "spark", default=0.5, low=0.0, high=1.0),
+            BoolParameter("flag", "yarn", default=False),
+        ]
+    )
+
+
+class TestConfigurationSpace:
+    def test_dim_and_names(self):
+        s = tiny_space()
+        assert s.dim == 3
+        assert s.names == ["cores", "frac", "flag"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace([])
+
+    def test_duplicate_names_rejected(self):
+        p = IntParameter("x", "spark", default=1, low=0, high=2)
+        with pytest.raises(ValueError):
+            ConfigurationSpace([p, p])
+
+    def test_getitem(self):
+        s = tiny_space()
+        assert s["cores"].name == "cores"
+        with pytest.raises(KeyError):
+            s["nope"]
+
+    def test_contains_and_iter(self):
+        s = tiny_space()
+        assert "frac" in s and "nope" not in s
+        assert len(list(s)) == 3
+
+    def test_defaults_roundtrip(self):
+        s = tiny_space()
+        cfg = s.defaults()
+        vec = s.encode(cfg)
+        assert vec.shape == (3,)
+        assert s.decode(vec) == cfg
+
+    def test_encode_missing_key_raises(self):
+        s = tiny_space()
+        cfg = s.defaults()
+        del cfg["frac"]
+        with pytest.raises(KeyError):
+            s.encode(cfg)
+
+    def test_encode_unknown_key_raises(self):
+        s = tiny_space()
+        cfg = s.defaults()
+        cfg["extra"] = 1
+        with pytest.raises(KeyError):
+            s.encode(cfg)
+
+    def test_decode_wrong_shape(self):
+        with pytest.raises(ValueError):
+            tiny_space().decode(np.zeros(5))
+
+    def test_clip_vector(self):
+        s = tiny_space()
+        out = s.clip_vector(np.array([-1.0, 0.5, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.5, 1.0])
+
+    def test_clip_config(self):
+        s = tiny_space()
+        out = s.clip_config({"cores": 99, "frac": -3.0, "flag": True})
+        assert out == {"cores": 8, "frac": 0.0, "flag": True}
+
+    def test_sampling_shapes(self, rng):
+        s = tiny_space()
+        assert s.sample_vector(rng).shape == (3,)
+        assert s.sample_vectors(rng, 10).shape == (10, 3)
+        cfg = s.sample_config(rng)
+        assert set(cfg) == {"cores", "frac", "flag"}
+
+    def test_sample_rejects_nonpositive(self, rng):
+        with pytest.raises(ValueError):
+            tiny_space().sample_vectors(rng, 0)
+
+    def test_component_counts_and_subset(self):
+        s = tiny_space()
+        assert s.component_counts() == {"spark": 2, "yarn": 1}
+        sub = s.subset(["yarn"])
+        assert sub.names == ["flag"]
+        with pytest.raises(ValueError):
+            s.subset(["hdfs"])
+
+    def test_latin_hypercube_stratification(self, rng):
+        s = tiny_space()
+        n = 8
+        u = s.latin_hypercube(rng, n)
+        assert u.shape == (n, 3)
+        # each column must have exactly one sample per 1/n stratum
+        for j in range(3):
+            bins = np.floor(u[:, j] * n).astype(int)
+            assert sorted(bins) == list(range(n))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_vector_roundtrip_property(self, seed):
+        s = tiny_space()
+        rng = np.random.default_rng(seed)
+        vec = s.sample_vector(rng)
+        cfg = s.decode(vec)
+        vec2 = s.encode(cfg)
+        # encode(decode(v)) quantizes ints/bools but must be idempotent
+        assert s.decode(vec2) == cfg
+
+
+class TestPipelineSpace:
+    def test_dimension_is_32(self, space):
+        assert space.dim == 32
+
+    def test_table2_counts(self, space):
+        assert space.component_counts() == {"spark": 20, "yarn": 7, "hdfs": 5}
+
+    def test_defaults_are_spark_defaults(self, space):
+        d = space.defaults()
+        assert d["spark.executor.memory"] == 1024
+        assert d["spark.serializer"] == "java"
+        assert d["dfs.replication"] == 3
+        assert d["spark.shuffle.compress"] is True
+
+    def test_default_vector_roundtrip(self, space):
+        vec = space.default_vector()
+        assert space.decode(vec) == space.defaults()
+
+    def test_all_parameters_have_descriptions(self, space):
+        for p in space:
+            assert p.description, f"{p.name} missing description"
+
+    def test_stable_order(self):
+        a = build_pipeline_space().names
+        b = build_pipeline_space().names
+        assert a == b
+        assert a[:1] == ["spark.executor.cores"]
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_vector_decodes_to_legal_config(self, seed):
+        space = build_pipeline_space()
+        rng = np.random.default_rng(seed)
+        cfg = space.decode(space.sample_vector(rng))
+        clipped = space.clip_config(cfg)
+        assert clipped == cfg  # decode never produces out-of-range values

@@ -1,0 +1,76 @@
+"""Tests for session records and their paper-facing aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import OnlineSession, TuningStepRecord
+
+
+def record(step, duration, rec=0.01, success=True, reward=0.0):
+    return TuningStepRecord(
+        step=step,
+        duration_s=duration,
+        recommendation_s=rec,
+        reward=reward,
+        success=success,
+        config={},
+        action=np.zeros(2),
+    )
+
+
+def session(durations, successes=None, default=100.0, rec=0.01):
+    s = OnlineSession(tuner="T", workload="TS", dataset="D1",
+                      default_duration_s=default)
+    successes = successes or [True] * len(durations)
+    for i, (d, ok) in enumerate(zip(durations, successes)):
+        s.add(record(i, d, rec=rec, success=ok))
+    return s
+
+
+class TestOnlineSession:
+    def test_best_step(self):
+        s = session([50.0, 30.0, 40.0])
+        assert s.best_duration_s == 30.0
+        assert s.best_step.step == 1
+
+    def test_best_ignores_failures(self):
+        s = session([50.0, 10.0, 40.0], successes=[True, False, True])
+        assert s.best_duration_s == 40.0
+
+    def test_no_success_raises(self):
+        s = session([50.0], successes=[False])
+        with pytest.raises(ValueError):
+            _ = s.best_duration_s
+
+    def test_speedup_over_default(self):
+        s = session([25.0, 50.0], default=100.0)
+        assert s.speedup_over_default == pytest.approx(4.0)
+
+    def test_cost_aggregates(self):
+        s = session([10.0, 20.0], rec=0.5)
+        assert s.evaluation_seconds == 30.0
+        assert s.recommendation_seconds == 1.0
+        assert s.total_tuning_seconds == 31.0
+
+    def test_best_so_far_series(self):
+        s = session([50.0, 30.0, 40.0])
+        assert s.best_so_far() == [50.0, 30.0, 30.0]
+
+    def test_best_so_far_with_leading_failure(self):
+        s = session([50.0, 30.0], successes=[False, True], default=100.0)
+        assert s.best_so_far() == [100.0, 30.0]
+
+    def test_accumulated_cost_monotone(self):
+        s = session([10.0, 20.0, 5.0], rec=1.0)
+        acc = s.accumulated_cost()
+        assert acc == [11.0, 32.0, 38.0]
+        assert all(b > a for a, b in zip(acc, acc[1:]))
+
+    def test_n_steps(self):
+        assert session([1.0, 2.0]).n_steps == 2
+
+    def test_speedup_requires_default(self):
+        s = OnlineSession(tuner="T", workload="TS", dataset="D1")
+        s.add(record(0, 10.0))
+        with pytest.raises(ValueError):
+            _ = s.speedup_over_default

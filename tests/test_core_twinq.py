@@ -1,0 +1,112 @@
+"""Tests for the Twin-Q Optimizer (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.agents.base import AgentHyperParams
+from repro.agents.td3 import TD3Agent
+from repro.core.twinq import twin_q_optimize
+
+STATE_DIM, ACTION_DIM = 4, 3
+
+
+class StubAgent:
+    """Critic stub: Q = 1 - 2*||a - center||, maximal at `center`."""
+
+    def __init__(self, center):
+        self.center = np.asarray(center, dtype=float)
+
+    def min_q(self, state, action):
+        return 1.0 - 2.0 * float(np.linalg.norm(action - self.center))
+
+
+class TestTwinQOptimize:
+    def test_good_action_accepted_unchanged(self):
+        agent = StubAgent([0.5, 0.5, 0.5])
+        a = np.array([0.5, 0.5, 0.5])
+        out = twin_q_optimize(
+            agent, np.zeros(STATE_DIM), a, q_threshold=0.5,
+            rng=np.random.default_rng(0),
+        )
+        assert out.accepted
+        assert out.iterations == 0
+        np.testing.assert_array_equal(out.action, a)
+        assert out.original_q == out.q_value
+
+    def test_suboptimal_action_improved(self):
+        agent = StubAgent([0.5, 0.5, 0.5])
+        bad = np.array([0.95, 0.05, 0.95])
+        out = twin_q_optimize(
+            agent, np.zeros(STATE_DIM), bad, q_threshold=0.3,
+            noise_sigma=0.15, rng=np.random.default_rng(0),
+            max_iterations=200,
+        )
+        assert out.accepted
+        assert out.iterations > 0
+        assert out.q_value >= 0.3 > out.original_q
+
+    def test_unreachable_threshold_falls_back_to_original(self):
+        agent = StubAgent([0.5, 0.5, 0.5])
+        bad = np.array([1.0, 0.0, 1.0])
+        out = twin_q_optimize(
+            agent, np.zeros(STATE_DIM), bad, q_threshold=99.0,
+            rng=np.random.default_rng(0), max_iterations=30,
+        )
+        assert not out.accepted
+        # all three escalation rounds were scored
+        assert out.iterations == 3 * 30
+        # argmax-of-noisy-Q fallback is max-biased: the original action
+        # is returned instead
+        np.testing.assert_array_equal(out.action, bad)
+        assert out.q_value == out.original_q
+
+    def test_actions_stay_in_cube(self):
+        agent = StubAgent([2.0, 2.0, 2.0])  # optimum outside the cube
+        out = twin_q_optimize(
+            agent, np.zeros(STATE_DIM), np.array([0.9, 0.9, 0.9]),
+            q_threshold=10.0, noise_sigma=0.5,
+            rng=np.random.default_rng(0), max_iterations=50,
+        )
+        assert np.all((out.action >= 0) & (out.action <= 1))
+
+    def test_with_real_td3(self):
+        agent = TD3Agent(
+            STATE_DIM, ACTION_DIM, np.random.default_rng(0),
+            AgentHyperParams(hidden=(8, 8), warmup_steps=0),
+        )
+        out = twin_q_optimize(
+            agent, np.zeros(STATE_DIM), np.full(ACTION_DIM, 0.5),
+            q_threshold=1e9, rng=np.random.default_rng(1), max_iterations=5,
+        )
+        assert not out.accepted
+        assert out.iterations == 3 * 5
+
+    def test_invalid_args(self):
+        agent = StubAgent([0.5, 0.5, 0.5])
+        with pytest.raises(ValueError):
+            twin_q_optimize(
+                agent, np.zeros(4), np.zeros(3), q_threshold=0.3,
+                noise_sigma=0.0,
+            )
+        with pytest.raises(ValueError):
+            twin_q_optimize(
+                agent, np.zeros(4), np.zeros(3), q_threshold=0.3,
+                max_iterations=0,
+            )
+
+    def test_no_environment_interaction(self):
+        """Algorithm 1's point: optimization costs zero evaluations."""
+        calls = []
+
+        class CountingAgent(StubAgent):
+            def min_q(self, state, action):
+                calls.append(1)
+                return super().min_q(state, action)
+
+        agent = CountingAgent([0.5, 0.5, 0.5])
+        twin_q_optimize(
+            agent, np.zeros(4), np.array([1.0, 0.0, 1.0]), q_threshold=0.5,
+            rng=np.random.default_rng(0), max_iterations=20,
+        )
+        # only critic queries, bounded by the three escalation rounds
+        assert len(calls) <= 3 * 20 + 1

@@ -1,0 +1,95 @@
+"""Tests for corpus generation/persistence."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ottertune.tuner import OtterTune
+from repro.data import Corpus, generate_corpus, load_corpus, save_corpus
+from repro.factory import make_env
+from repro.sim.faults import FAILURE_PERF_FACTOR
+
+
+@pytest.fixture
+def corpus():
+    env = make_env("TS", "D1", seed=0)
+    return generate_corpus(
+        env, "TS-D1", 25, np.random.default_rng(1), sampler="uniform"
+    )
+
+
+class TestGenerateCorpus:
+    def test_shapes(self, corpus):
+        assert len(corpus) == 25
+        assert corpus.configs.shape == (25, 32)
+        assert corpus.metrics.shape == (25, 9)
+        assert corpus.workload_id == "TS-D1"
+
+    def test_failures_penalized(self):
+        env = make_env("TS", "D1", seed=0)
+        c = generate_corpus(env, "TS-D1", 40, np.random.default_rng(2))
+        if c.failure_rate > 0:
+            failed = c.durations[~c.success]
+            assert np.all(
+                failed == FAILURE_PERF_FACTOR * env.default_duration
+            )
+
+    def test_lhs_sampler_covers_space(self):
+        env = make_env("WC", "D1", seed=0)
+        c = generate_corpus(
+            env, "WC-D1", 16, np.random.default_rng(0), sampler="lhs"
+        )
+        # LHS: each dimension has one sample per 1/16 stratum
+        for j in range(c.configs.shape[1]):
+            bins = np.floor(c.configs[:, j] * 16).astype(int)
+            assert len(set(bins.tolist())) >= 14  # int decode may merge
+
+    def test_unknown_sampler(self):
+        env = make_env("TS", "D1", seed=0)
+        with pytest.raises(ValueError):
+            generate_corpus(env, "x", 5, np.random.default_rng(0),
+                            sampler="sobol")
+
+    def test_invalid_count(self):
+        env = make_env("TS", "D1", seed=0)
+        with pytest.raises(ValueError):
+            generate_corpus(env, "x", 0, np.random.default_rng(0))
+
+    def test_best_duration(self, corpus):
+        assert corpus.best_duration_s == corpus.durations[corpus.success].min()
+
+
+class TestCorpusPersistence:
+    def test_roundtrip(self, corpus, tmp_path):
+        path = tmp_path / "corpus.npz"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.workload_id == corpus.workload_id
+        np.testing.assert_allclose(loaded.configs, corpus.configs)
+        np.testing.assert_allclose(loaded.durations, corpus.durations)
+        np.testing.assert_array_equal(loaded.success, corpus.success)
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Corpus(
+                workload_id="x",
+                configs=np.zeros((3, 2)),
+                metrics=np.zeros((2, 2)),
+                durations=np.zeros(3),
+                success=np.ones(3, dtype=bool),
+            )
+
+
+class TestFeedOtterTune:
+    def test_feeds_repository(self, corpus):
+        tuner = OtterTune(action_dim=32, seed=0)
+        corpus.feed_ottertune(tuner)
+        assert "TS-D1" in tuner.repository
+        assert len(tuner.repository.get("TS-D1")) == len(corpus)
+
+    def test_fed_tuner_can_tune(self, corpus):
+        tuner = OtterTune(action_dim=32, seed=0, n_candidates=80,
+                          max_train_points=60)
+        corpus.feed_ottertune(tuner)
+        env = make_env("TS", "D1", seed=5)
+        s = tuner.tune_online(env, steps=2)
+        assert s.n_steps == 2

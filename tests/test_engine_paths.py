@@ -1,0 +1,200 @@
+"""Branch-level behaviour tests for the execution engine's cost channels."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.sim.engine import SparkSimulator
+from repro.workloads.base import DatasetSpec, StageSpec, Workload
+from repro.workloads.registry import get_workload
+
+
+def sim_for(workload, seed=0):
+    return SparkSimulator(
+        workload, "D1", CLUSTER_A, np.random.default_rng(seed),
+        noise_sigma=0.0,
+    )
+
+
+def provisioned(space, **overrides):
+    cfg = space.defaults() | {
+        "spark.executor.cores": 4,
+        "spark.executor.memory": 3072,
+        "spark.executor.memoryOverhead": 512,
+        "spark.executor.instances": 9,
+        "spark.default.parallelism": 96,
+        "yarn.nodemanager.resource.memory-mb": 14336,
+        "yarn.nodemanager.resource.cpu-vcores": 16,
+        "yarn.scheduler.maximum-allocation-mb": 14336,
+        "yarn.scheduler.maximum-allocation-vcores": 16,
+    }
+    cfg.update(overrides)
+    return cfg
+
+
+class OneStage(Workload):
+    """Synthetic single-stage workload for isolating cost channels."""
+
+    code = "SYN"
+    name = "Synthetic"
+    category = "test"
+
+    def __init__(self, **stage_kwargs):
+        defaults = dict(
+            name="only", input_mb=2048.0, reads_hdfs=True, cpu_per_mb=0.02
+        )
+        defaults.update(stage_kwargs)
+        self._stage = StageSpec(**defaults)
+
+    def datasets(self):
+        return {"D1": DatasetSpec("D1", 2.0, "GB", input_mb=2048.0)}
+
+    def stages(self, dataset):
+        return [self._stage]
+
+
+class TestSpeculation:
+    def test_speculation_damps_straggler_tails(self, space):
+        # Same seed => same exponential tail draw; speculation scales it.
+        cfg_on = provisioned(space, **{"spark.speculation": True})
+        cfg_off = provisioned(space, **{"spark.speculation": False})
+        tails_on, tails_off = [], []
+        for seed in range(12):
+            on = sim_for(get_workload("TS"), seed).evaluate(cfg_on)
+            off = sim_for(get_workload("TS"), seed).evaluate(cfg_off)
+            tails_on.append(on.duration_s)
+            tails_off.append(off.duration_s)
+        # on average speculation trims tails more than its 4% CPU tax
+        assert np.mean(tails_on) < np.mean(tails_off) * 1.02
+
+
+class TestLocality:
+    def test_locality_wait_costs_when_executors_miss_nodes(self, space):
+        # one executor on one node: 2/3 of HDFS data remote
+        base = provisioned(space, **{"spark.executor.instances": 1})
+        slow = sim_for(get_workload("WC")).evaluate(
+            dict(base, **{"spark.locality.wait": 10.0})
+        )
+        fast = sim_for(get_workload("WC")).evaluate(
+            dict(base, **{"spark.locality.wait": 0.0})
+        )
+        assert slow.duration_s > fast.duration_s
+
+    def test_locality_wait_free_with_full_coverage(self, space):
+        base = provisioned(space)  # 9 executors cover all 3 nodes
+        a = sim_for(get_workload("WC")).evaluate(
+            dict(base, **{"spark.locality.wait": 10.0})
+        )
+        b = sim_for(get_workload("WC")).evaluate(
+            dict(base, **{"spark.locality.wait": 0.0})
+        )
+        assert a.duration_s == pytest.approx(b.duration_s, rel=0.02)
+
+
+class TestBypassMerge:
+    def test_bypass_trades_cpu_for_disk_streams(self, space):
+        # sortish stage with few reducers: bypass active when the
+        # threshold exceeds the reducer count
+        w = OneStage(
+            reads_hdfs=False, shuffle_write_mb=2048.0, sortish=True,
+            cpu_per_mb=0.05,
+        )
+        cfg_bypass = provisioned(
+            space,
+            **{
+                "spark.default.parallelism": 60,
+                "spark.shuffle.sort.bypassMergeThreshold": 800,
+            },
+        )
+        cfg_sort = provisioned(
+            space,
+            **{
+                "spark.default.parallelism": 60,
+                "spark.shuffle.sort.bypassMergeThreshold": 50,
+            },
+        )
+        r_bypass = sim_for(w).evaluate(cfg_bypass)
+        r_sort = sim_for(w).evaluate(cfg_sort)
+        # bypass saves sort CPU...
+        assert r_bypass.stages[0].cpu_seconds < r_sort.stages[0].cpu_seconds
+        # ...but writes through more concurrent streams (slower disk)
+        assert r_bypass.stages[0].disk_seconds > r_sort.stages[0].disk_seconds
+
+
+class TestBroadcast:
+    def test_broadcast_adds_network_time(self, space):
+        with_bc = OneStage(broadcast_mb=64.0)
+        without_bc = OneStage(broadcast_mb=0.0)
+        cfg = provisioned(space)
+        r_with = sim_for(with_bc).evaluate(cfg)
+        r_without = sim_for(without_bc).evaluate(cfg)
+        assert (
+            r_with.stages[0].network_seconds
+            > r_without.stages[0].network_seconds
+        )
+
+
+class TestCompressionBranches:
+    def test_disabling_shuffle_compress_moves_bytes(self, space):
+        w = get_workload("TS")
+        on = sim_for(w).evaluate(
+            provisioned(space, **{"spark.shuffle.compress": True})
+        )
+        off = sim_for(w).evaluate(
+            provisioned(space, **{"spark.shuffle.compress": False})
+        )
+        # uncompressed shuffles move ~2x the bytes on wire and disk
+        assert (
+            off.stages[1].network_seconds > on.stages[1].network_seconds
+        )
+
+    def test_spill_compress_reduces_spill_io(self, space):
+        # force spills with tiny memory and low parallelism
+        cfg_base = provisioned(
+            space,
+            **{
+                "spark.executor.memory": 1024,
+                "spark.default.parallelism": 8,
+            },
+        )
+        w = get_workload("TS")
+        on = sim_for(w).evaluate(
+            dict(cfg_base, **{"spark.shuffle.spill.compress": True})
+        )
+        off = sim_for(w).evaluate(
+            dict(cfg_base, **{"spark.shuffle.spill.compress": False})
+        )
+        assert on.stages[1].spill_fraction > 0  # spills actually happen
+        assert on.stages[1].disk_seconds < off.stages[1].disk_seconds
+
+
+class TestOversubscription:
+    def test_oversubscribed_slots_capped_at_physical_cores(self, space):
+        cfg = provisioned(
+            space,
+            **{
+                "spark.executor.cores": 8,
+                "spark.executor.instances": 12,
+                "spark.executor.memory": 1024,
+                "spark.executor.memoryOverhead": 384,
+            },
+        )
+        r = sim_for(get_workload("WC")).evaluate(cfg)
+        assert r.success
+        # 12 x 8 = 96 requested threads; waves reflect <= 48 real slots
+        stage = r.stages[0]
+        min_waves = int(np.ceil(stage.n_tasks / CLUSTER_A.total_cores))
+        assert stage.waves >= min_waves
+
+
+class TestVmemRatio:
+    def test_aggressive_vmem_ratio_slows_java_jobs(self, space):
+        w = get_workload("PR")
+        cfg = provisioned(space, **{"spark.serializer": "java"})
+        safe = sim_for(w).evaluate(
+            dict(cfg, **{"yarn.nodemanager.vmem-pmem-ratio": 4.0})
+        )
+        aggressive = sim_for(w).evaluate(
+            dict(cfg, **{"yarn.nodemanager.vmem-pmem-ratio": 1.0})
+        )
+        assert aggressive.duration_s > safe.duration_s * 1.1

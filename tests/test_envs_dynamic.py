@@ -1,0 +1,88 @@
+"""Tests for the time-varying environment."""
+
+import numpy as np
+import pytest
+
+from repro.agents.base import AgentHyperParams
+from repro.cluster.hardware import CLUSTER_A
+from repro.config.pipeline import build_pipeline_space
+from repro.core.deepcat import DeepCAT
+from repro.envs.dynamic import DynamicTuningEnv, Phase
+
+
+@pytest.fixture
+def dyn(space):
+    return DynamicTuningEnv(
+        phases=[Phase("TS", "D1", 3), Phase("PR", "D1", 3)],
+        cluster=CLUSTER_A,
+        space=space,
+        seed=0,
+    )
+
+
+class TestPhase:
+    def test_positive_steps(self):
+        with pytest.raises(ValueError):
+            Phase("TS", "D1", 0)
+
+
+class TestDynamicTuningEnv:
+    def test_needs_phases(self, space):
+        with pytest.raises(ValueError):
+            DynamicTuningEnv([], CLUSTER_A, space)
+
+    def test_interface_parity(self, dyn, space):
+        assert dyn.state_dim == 9
+        assert dyn.action_dim == space.dim
+        assert dyn.state.shape == (9,)
+        assert dyn.default_duration > 0
+
+    def test_phase_switch_after_budget(self, dyn, space):
+        a = space.default_vector()
+        for _ in range(3):
+            dyn.step(a)
+        assert dyn.current_phase.workload == "TS"
+        dyn.step(a)  # 4th step crosses into PR
+        assert dyn.current_phase.workload == "PR"
+        assert dyn.switch_log == [(0, 0), (3, 1)]
+
+    def test_reward_tracks_active_phase(self, dyn, space):
+        """The same action earns phase-relative rewards."""
+        a = space.default_vector()
+        r_ts = dyn.step(a).reward
+        for _ in range(2):
+            dyn.step(a)
+        r_pr = dyn.step(a).reward
+        # both phases: default config scores roughly (1 - speedup_target)
+        assert r_ts < 0 and r_pr < 0
+
+    def test_exhaustion(self, dyn, space):
+        a = space.default_vector()
+        for _ in range(6):
+            dyn.step(a)
+        assert dyn.exhausted
+        with pytest.raises(RuntimeError):
+            dyn.step(a)
+
+    def test_accounting(self, dyn, space):
+        a = space.default_vector()
+        dyn.step(a)
+        dyn.step(a)
+        assert dyn.steps_taken == 2
+        assert dyn.total_evaluation_seconds > 0
+
+    def test_deepcat_trains_across_drift(self, space):
+        dyn = DynamicTuningEnv(
+            phases=[Phase("TS", "D1", 60), Phase("WC", "D1", 60)],
+            cluster=CLUSTER_A,
+            space=space,
+            seed=3,
+        )
+        tuner = DeepCAT(
+            dyn.state_dim, dyn.action_dim, seed=3,
+            hp=AgentHyperParams(batch_size=16, warmup_steps=8,
+                                hidden=(16, 16)),
+        )
+        log = tuner.train_offline(dyn, iterations=120)
+        assert log.iterations == 120
+        assert dyn.exhausted

@@ -1,0 +1,164 @@
+"""Tests for the experiment harness (tiny budgets — shape, not science)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common
+from repro.experiments.common import (
+    SCALES,
+    ExperimentScale,
+    clear_model_cache,
+    fork_tuner,
+    get_scale,
+    train_cdbtune,
+    train_deepcat,
+    train_ottertune,
+)
+from repro.experiments import (
+    fig2_cdf,
+    fig3_twinq_trend,
+    fig5_twinq_ablation,
+    fig11_beta,
+    fig12_qth,
+    tables,
+)
+from repro.experiments.sessions import ALL_PAIRS, QUICK_PAIRS
+
+TINY = ExperimentScale(
+    name="tiny", offline_iterations=120, ottertune_samples=40, seeds=(0,),
+    online_steps=3,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_model_cache()
+    yield
+    clear_model_cache()
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert {"quick", "standard", "full"} <= set(SCALES)
+
+    def test_get_scale_by_name_and_instance(self):
+        assert get_scale("quick").name == "quick"
+        assert get_scale(TINY) is TINY
+        with pytest.raises(KeyError):
+            get_scale("nope")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentScale("x", 0, 10, (0,))
+        with pytest.raises(ValueError):
+            ExperimentScale("x", 10, 10, ())
+
+
+class TestModelCache:
+    def test_deepcat_cached(self):
+        a = train_deepcat("TS", "D1", 0, TINY)
+        b = train_deepcat("TS", "D1", 0, TINY)
+        assert a is b
+
+    def test_distinct_keys_distinct_models(self):
+        a = train_deepcat("TS", "D1", 0, TINY)
+        b = train_deepcat("TS", "D1", 1, TINY)
+        c = train_deepcat("TS", "D1", 0, TINY, use_rdper=False)
+        assert a is not b and a is not c
+
+    def test_fork_is_independent(self):
+        a = train_deepcat("TS", "D1", 0, TINY)
+        f = fork_tuner(a)
+        f.agent.actor.parameters()[0].data += 1.0
+        assert not np.allclose(
+            f.agent.actor.parameters()[0].data,
+            a.agent.actor.parameters()[0].data,
+        )
+
+    def test_cdbtune_and_ottertune_cached(self):
+        assert train_cdbtune("TS", "D1", 0, TINY) is train_cdbtune(
+            "TS", "D1", 0, TINY
+        )
+        assert train_ottertune("TS", "D1", 0, TINY) is train_ottertune(
+            "TS", "D1", 0, TINY
+        )
+
+    def test_clear(self):
+        a = train_deepcat("TS", "D1", 0, TINY)
+        clear_model_cache()
+        assert train_deepcat("TS", "D1", 0, TINY) is not a
+
+
+class TestTables:
+    def test_table1_contents(self):
+        out = tables.table1()
+        assert "TeraSort" in out and "Million Points" in out
+
+    def test_table2_counts(self):
+        out = tables.table2()
+        assert "20*" in out and "7" in out and "5" in out
+
+
+class TestFig2:
+    def test_cdf_properties(self):
+        r = fig2_cdf.run(n_samples=60, seed=0)
+        assert r.relative_perf.min() == pytest.approx(1.0)
+        assert r.cumulative_prob[-1] == pytest.approx(1.0)
+        assert r.prob_within(1.0) >= 1 / 60
+        # monotone CDF queries
+        assert r.prob_within(1.2) <= r.prob_within(2.0)
+
+    def test_sparsity_shape_like_paper(self):
+        r = fig2_cdf.run(n_samples=200, seed=0)
+        # easy to beat default, hard to approach the optimum
+        assert r.prob_within(1.2) < 0.15
+        assert r.prob_within(3.0) > 0.4
+
+    def test_format(self):
+        out = fig2_cdf.format_result(fig2_cdf.run(n_samples=40, seed=1))
+        assert "Figure 2" in out
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fig2_cdf.run(n_samples=0)
+
+
+class TestFig3:
+    def test_series_aligned(self):
+        r = fig3_twinq_trend.run(TINY)
+        assert len(r.min_q) == len(r.reward) == TINY.offline_iterations
+        assert np.isfinite(r.correlation)
+
+    def test_format(self):
+        out = fig3_twinq_trend.format_result(fig3_twinq_trend.run(TINY))
+        assert "Figure 3" in out
+
+
+class TestFig5:
+    def test_shapes_and_totals(self):
+        r = fig5_twinq_ablation.run(TINY)
+        assert len(r.steps_with) == TINY.online_steps
+        assert r.total_with == pytest.approx(sum(r.steps_with))
+        assert r.total_without == pytest.approx(sum(r.steps_without))
+        assert "Figure 5" in fig5_twinq_ablation.format_result(r)
+
+
+class TestFig11And12:
+    def test_beta_sweep_runs(self):
+        r = fig11_beta.run(TINY, betas=(0.2, 0.6))
+        assert len(r.best) == 2
+        assert r.best_beta() in (0.2, 0.6)
+        assert "Figure 11" in fig11_beta.format_result(r)
+
+    def test_qth_sweep_runs(self):
+        r = fig12_qth.run(TINY, thresholds=(0.1, 0.3))
+        assert len(r.total_cost) == 2
+        assert r.cheapest_threshold() in (0.1, 0.3)
+        assert "Figure 12" in fig12_qth.format_result(r)
+
+
+class TestPairs:
+    def test_all_pairs_cover_table1(self):
+        assert len(ALL_PAIRS) == 12
+        assert len(QUICK_PAIRS) == 4
+        assert set(w for w, _ in ALL_PAIRS) == {"WC", "TS", "PR", "KM"}

@@ -1,0 +1,94 @@
+"""Tiny-scale smoke tests for the heavier experiment modules.
+
+These verify plumbing (shapes, labels, accounting) with minimal budgets;
+the benchmark suite runs the science-scale versions.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    drift,
+    fig9_workload_adapt,
+    fig10_hardware_adapt,
+    headline,
+    whitebox_ablation,
+)
+from repro.experiments.common import ExperimentScale, clear_model_cache
+from repro.experiments.sessions import comparison_grid
+
+TINY = ExperimentScale(
+    name="tiny-heavy", offline_iterations=100, ottertune_samples=40,
+    seeds=(0,), online_steps=2,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_cache():
+    clear_model_cache()
+    yield
+    clear_model_cache()
+
+
+class TestFig9Smoke:
+    def test_runs_and_labels(self):
+        r = fig9_workload_adapt.run(TINY, seeds=(0,))
+        assert set(r.best) == {
+            "M_PR", "M_WC->PR", "M_TS->PR", "M_KM->PR",
+            "CDBTune", "OtterTune",
+        }
+        assert r.transfer_penalty_pct("PR") == 0.0
+        assert "Figure 9" in fig9_workload_adapt.format_result(r)
+
+
+class TestFig10Smoke:
+    def test_runs_and_labels(self):
+        r = fig10_hardware_adapt.run(TINY, seeds=(0,))
+        assert set(r.speedup) == {
+            (w, t)
+            for w in ("WC", "PR")
+            for t in ("DeepCAT", "CDBTune", "OtterTune")
+        }
+        assert all(v > 0 for v in r.speedup.values())
+        assert "Figure 10" in fig10_hardware_adapt.format_result(r)
+
+
+class TestAblationSmoke:
+    def test_matrix_complete(self):
+        r = ablations.run(TINY, seeds=(0,))
+        assert set(r.best) == {
+            (a, b)
+            for a in ("TD3", "DDPG")
+            for b in ("RDPER", "PER", "uniform")
+        }
+        out = ablations.format_result(r)
+        assert "DeepCAT offline" in out and "CDBTune offline" in out
+
+
+class TestDriftSmoke:
+    def test_stream_accounting(self):
+        r = drift.run(TINY, stream=(("TS", "D1"), ("WC", "D1")), seeds=(0,))
+        assert set(r.total_cost) == {"DeepCAT", "CDBTune"}
+        assert len([k for k in r.speedup if k[0] == "DeepCAT"]) == 2
+        assert r.mean_speedup("DeepCAT") > 0
+        assert "drift" in drift.format_result(r).lower()
+
+
+class TestWhiteboxSmoke:
+    def test_budget_accounting(self):
+        r = whitebox_ablation.run(TINY, top_k=6, seeds=(0,))
+        assert r.budget == TINY.offline_iterations
+        assert r.probe_evaluations > 0
+        assert r.full_best > 0 and r.reduced_best > 0
+        assert "White-box" in whitebox_ablation.format_result(r)
+
+
+class TestHeadlineSmoke:
+    def test_checks_structure(self):
+        grid = comparison_grid(TINY, pairs=(("WC", "D1"), ("KM", "D1")))
+        checks = headline.check_headlines(grid)
+        assert len(checks) == 6
+        assert all(isinstance(c.measured, str) and c.measured for c in checks)
+        out = headline.format_checks(checks)
+        assert "Headline claims" in out
+        assert out.count("[") == 6

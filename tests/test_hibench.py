@@ -1,0 +1,66 @@
+"""Tests for the HiBench-style runner and report."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.hibench.report import BenchReport
+from repro.hibench.runner import BenchmarkRunner
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture
+def runner(space):
+    return BenchmarkRunner(
+        get_workload("WC"), "D1", CLUSTER_A,
+        np.random.default_rng(0), noise_sigma=0.0,
+    )
+
+
+class TestBenchmarkRunner:
+    def test_run_returns_report(self, runner, space):
+        rep = runner.run(space.defaults())
+        assert rep.success
+        assert rep.workload == "WC" and rep.dataset == "D1"
+        assert rep.duration_s > 0
+
+    def test_throughput_is_input_over_duration(self, runner, space):
+        rep = runner.run(space.defaults())
+        assert rep.throughput_mb_s == pytest.approx(
+            rep.input_mb / rep.duration_s
+        )
+        assert rep.throughput_per_node_mb_s == pytest.approx(
+            rep.throughput_mb_s / 3
+        )
+
+    def test_history_accumulates(self, runner, space):
+        runner.run(space.defaults())
+        runner.run(space.defaults())
+        assert len(runner.history) == 2
+        text = runner.report_text()
+        assert text.count("WC") == 2
+
+    def test_failed_run_reported(self, runner, space):
+        cfg = space.defaults()
+        cfg["spark.executor.memory"] = 8192
+        cfg["spark.executor.memoryOverhead"] = 2048
+        cfg["yarn.scheduler.maximum-allocation-mb"] = 6144
+        rep = runner.run(cfg)
+        assert not rep.success
+        assert rep.throughput_mb_s == 0.0
+        assert "FAILED" in rep.report_line()
+
+    def test_report_line_format(self, runner, space):
+        line = runner.run(space.defaults()).report_line()
+        assert "WC" in line and "MB/s" in line and "OK" in line
+
+
+class TestBenchReport:
+    def test_rejects_zero_duration(self):
+        from repro.sim.result import ExecutionResult
+
+        with pytest.raises(ValueError):
+            BenchReport.from_result(
+                "WC", "D1", 100.0, 3,
+                ExecutionResult(duration_s=0.0, success=True),
+            )

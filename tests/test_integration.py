@@ -1,0 +1,98 @@
+"""End-to-end integration tests: the full DeepCAT pipeline on the
+simulated cluster, plus cross-tuner sanity properties.
+
+These run with reduced budgets; the benchmark suite exercises the
+paper-scale versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DeepCAT, make_env
+from repro.agents.base import AgentHyperParams
+from repro.baselines import CDBTune, OtterTune
+from repro.cluster.hardware import CLUSTER_B
+
+HP = AgentHyperParams(batch_size=32, warmup_steps=32, hidden=(32, 32))
+
+
+@pytest.fixture(scope="module")
+def trained_deepcat():
+    env = make_env("TS", "D1", seed=11)
+    tuner = DeepCAT.from_env(env, seed=11, hp=HP)
+    tuner.train_offline(env, iterations=500)
+    return tuner
+
+
+class TestDeepCATEndToEnd:
+    def test_offline_training_learns(self, trained_deepcat):
+        log = trained_deepcat.offline_log
+        early = np.mean(log.rewards[:100])
+        late = np.mean(log.rewards[-100:])
+        assert late > early  # the policy improved during training
+
+    def test_rdper_pools_populated(self, trained_deepcat):
+        buf = trained_deepcat.buffer
+        assert buf.high_size > 0 and buf.low_size > 0
+
+    def test_online_beats_default_substantially(self, trained_deepcat):
+        env = make_env("TS", "D1", seed=77)
+        s = trained_deepcat.tune_online(env, steps=5)
+        assert s.speedup_over_default > 1.5
+
+    def test_online_cost_below_five_defaults(self, trained_deepcat):
+        env = make_env("TS", "D1", seed=78)
+        s = trained_deepcat.tune_online(env, steps=5)
+        # tuned steps are far cheaper than evaluating the default 5 times
+        assert s.evaluation_seconds < 5 * s.default_duration_s
+
+    def test_recommendation_time_negligible(self, trained_deepcat):
+        env = make_env("TS", "D1", seed=79)
+        s = trained_deepcat.tune_online(env, steps=5)
+        assert s.recommendation_seconds < 0.05 * s.evaluation_seconds
+
+    def test_transfers_to_other_workload(self, trained_deepcat):
+        env = make_env("PR", "D1", seed=80)
+        s = trained_deepcat.tune_online(env, steps=5)
+        assert s.speedup_over_default > 1.0  # still beats default
+
+    def test_transfers_to_cluster_b(self, trained_deepcat):
+        env = make_env("TS", "D1", seed=81, cluster=CLUSTER_B)
+        s = trained_deepcat.tune_online(env, steps=5)
+        assert s.speedup_over_default > 1.0
+
+
+class TestCrossTunerSanity:
+    def test_all_three_produce_comparable_sessions(self):
+        env = make_env("WC", "D1", seed=3)
+        dc = DeepCAT.from_env(env, seed=3, hp=HP)
+        dc.train_offline(env, 300)
+        env2 = make_env("WC", "D1", seed=4)
+        cb = CDBTune.from_env(env2, seed=3, hp=HP)
+        cb.train_offline(env2, 300)
+        env3 = make_env("WC", "D1", seed=5)
+        ot = OtterTune.from_env(env3, seed=3)
+        ot.collect_offline(env3, "WC-D1", 120)
+
+        sessions = [
+            t.tune_online(make_env("WC", "D1", seed=50), steps=5)
+            for t in (dc, cb, ot)
+        ]
+        names = {s.tuner for s in sessions}
+        assert names == {"DeepCAT", "CDBTune", "OtterTune"}
+        for s in sessions:
+            assert s.n_steps == 5
+            assert s.best_duration_s < s.default_duration_s
+
+    def test_ottertune_recommendation_time_dominates_drl(self):
+        env = make_env("WC", "D1", seed=6)
+        ot = OtterTune.from_env(env, seed=6)
+        ot.collect_offline(env, "WC-D1", 150)
+        s_ot = ot.tune_online(make_env("WC", "D1", seed=60), steps=3)
+
+        env2 = make_env("WC", "D1", seed=7)
+        dc = DeepCAT.from_env(env2, seed=7, hp=HP)
+        dc.train_offline(env2, 200)
+        s_dc = dc.tune_online(make_env("WC", "D1", seed=61), steps=3)
+
+        assert s_ot.recommendation_seconds > 5 * s_dc.recommendation_seconds

@@ -1,0 +1,137 @@
+"""Tests for repro.nn.layers — including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sigmoid, Tanh, make_activation
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        g[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(
+            layer.forward(x), x @ layer.weight.data + layer.bias.data
+        )
+
+    def test_weight_gradient_numerical(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(5, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(x, cache=False) ** 2))
+
+        layer.weight.zero_grad()
+        layer.bias.zero_grad()
+        out = layer.forward(x)
+        layer.backward(2.0 * out)
+        num_w = numerical_grad(loss, layer.weight.data)
+        num_b = numerical_grad(loss, layer.bias.data)
+        np.testing.assert_allclose(layer.weight.grad, num_w, rtol=1e-5, atol=1e-7)
+        np.testing.assert_allclose(layer.bias.grad, num_b, rtol=1e-5, atol=1e-7)
+
+    def test_input_gradient_numerical(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(x, cache=False) ** 2))
+
+        out = layer.forward(x)
+        grad_in = layer.backward(2.0 * out)
+        num = numerical_grad(loss, x)
+        np.testing.assert_allclose(grad_in, num, rtol=1e-5, atol=1e-7)
+
+    def test_grad_accumulates(self, rng):
+        layer = Linear(2, 2, rng)
+        x = np.ones((1, 2))
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        g1 = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(layer.weight.grad, 2 * g1)
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2, rng).backward(np.ones((1, 2)))
+
+    def test_invalid_dims(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 2, rng)
+
+    def test_final_init_limit(self, rng):
+        layer = Linear(10, 10, rng, final_init_limit=1e-3)
+        assert np.abs(layer.weight.data).max() <= 1e-3
+
+    def test_unknown_init_raises(self, rng):
+        with pytest.raises(ValueError):
+            Linear(2, 2, rng, init="bogus")
+
+
+@pytest.mark.parametrize("cls", [ReLU, Tanh, Sigmoid])
+class TestActivations:
+    def test_gradient_numerical(self, cls, rng):
+        layer = cls()
+        x = rng.normal(size=(4, 3)) + 0.1  # avoid ReLU kink at exactly 0
+
+        def loss():
+            return float(np.sum(layer.forward(x, cache=False) ** 2))
+
+        out = layer.forward(x)
+        grad_in = layer.backward(2.0 * out)
+        num = numerical_grad(loss, x)
+        np.testing.assert_allclose(grad_in, num, rtol=1e-4, atol=1e-6)
+
+    def test_backward_before_forward_raises(self, cls, rng):
+        with pytest.raises(RuntimeError):
+            cls().backward(np.ones((1, 2)))
+
+    def test_no_parameters(self, cls, rng):
+        assert cls().parameters() == []
+
+
+class TestActivationSpecifics:
+    def test_relu_clamps(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_tanh_range(self, rng):
+        out = Tanh().forward(rng.normal(size=(10, 3)) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_sigmoid_range_and_stability(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.5, 1.0]], atol=1e-12)
+        assert np.all(np.isfinite(out))
+
+    def test_make_activation(self):
+        assert isinstance(make_activation("relu"), ReLU)
+        assert isinstance(make_activation("tanh"), Tanh)
+        assert isinstance(make_activation("sigmoid"), Sigmoid)
+
+    def test_make_activation_unknown(self):
+        with pytest.raises(ValueError):
+            make_activation("gelu")

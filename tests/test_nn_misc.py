@@ -1,0 +1,131 @@
+"""Tests for repro.nn losses, target updates and noise processes."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import mse_loss
+from repro.nn.network import MLP
+from repro.nn.noise import GaussianNoise, OrnsteinUhlenbeckNoise
+from repro.nn.target import hard_update, soft_update
+
+
+class TestMseLoss:
+    def test_zero_at_match(self):
+        x = np.ones((3, 1))
+        loss, grad = mse_loss(x, x)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_value(self):
+        loss, _ = mse_loss(np.array([[2.0]]), np.array([[0.0]]))
+        assert loss == pytest.approx(4.0)
+
+    def test_gradient_scaling_by_batch(self):
+        pred = np.array([[1.0], [1.0]])
+        target = np.zeros_like(pred)
+        _, grad = mse_loss(pred, target)
+        np.testing.assert_allclose(grad, [[1.0], [1.0]])  # 2*(1)/2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+class TestTargetUpdates:
+    def test_hard_update_copies(self, rng):
+        a = MLP(2, 2, hidden=(3,), rng=rng)
+        b = MLP(2, 2, hidden=(3,), rng=np.random.default_rng(1))
+        hard_update(b, a)
+        x = np.ones((1, 2))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_soft_update_moves_fractionally(self, rng):
+        a = MLP(2, 2, hidden=(3,), rng=rng)
+        b = MLP(2, 2, hidden=(3,), rng=np.random.default_rng(1))
+        before = b.parameters()[0].data.copy()
+        target_val = a.parameters()[0].data
+        soft_update(b, a, tau=0.25)
+        after = b.parameters()[0].data
+        np.testing.assert_allclose(after, 0.75 * before + 0.25 * target_val)
+
+    def test_soft_update_tau_one_equals_hard(self, rng):
+        a = MLP(2, 2, hidden=(3,), rng=rng)
+        b = MLP(2, 2, hidden=(3,), rng=np.random.default_rng(1))
+        soft_update(b, a, tau=1.0)
+        x = np.ones((1, 2))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_invalid_tau(self, rng):
+        a = MLP(2, 2, rng=rng)
+        with pytest.raises(ValueError):
+            soft_update(a, a, tau=0.0)
+
+    def test_repeated_soft_updates_converge(self, rng):
+        a = MLP(2, 2, hidden=(3,), rng=rng)
+        b = MLP(2, 2, hidden=(3,), rng=np.random.default_rng(1))
+        for _ in range(600):
+            soft_update(b, a, tau=0.05)
+        x = np.ones((1, 2))
+        np.testing.assert_allclose(a.forward(x), b.forward(x), atol=1e-8)
+
+
+class TestGaussianNoise:
+    def test_shape(self, rng):
+        n = GaussianNoise(5, sigma=0.2, rng=rng)
+        assert n.sample().shape == (5,)
+
+    def test_decay_to_floor(self, rng):
+        n = GaussianNoise(2, sigma=1.0, rng=rng, sigma_min=0.1, decay=0.5)
+        for _ in range(20):
+            n.sample()
+        assert n.sigma == pytest.approx(0.1)
+
+    def test_no_decay_by_default(self, rng):
+        n = GaussianNoise(2, sigma=0.3, rng=rng)
+        n.sample()
+        assert n.sigma == 0.3
+
+    def test_reset(self, rng):
+        n = GaussianNoise(2, sigma=1.0, rng=rng, decay=0.5)
+        n.sample()
+        n.reset(0.7)
+        assert n.sigma == 0.7
+
+    def test_statistics(self):
+        n = GaussianNoise(10000, sigma=0.5, rng=np.random.default_rng(0))
+        s = n.sample()
+        assert abs(s.mean()) < 0.02
+        assert s.std() == pytest.approx(0.5, rel=0.05)
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            GaussianNoise(2, sigma=-1.0, rng=rng)
+        with pytest.raises(ValueError):
+            GaussianNoise(2, sigma=1.0, rng=rng, decay=0.0)
+
+
+class TestOUNoise:
+    def test_temporal_correlation(self):
+        n = OrnsteinUhlenbeckNoise(1, rng=np.random.default_rng(0), sigma=0.2)
+        xs = np.array([n.sample()[0] for _ in range(2000)])
+        lag1 = np.corrcoef(xs[:-1], xs[1:])[0, 1]
+        assert lag1 > 0.5  # strongly autocorrelated
+
+    def test_reset(self, rng):
+        n = OrnsteinUhlenbeckNoise(3, rng=rng, mu=0.0)
+        n.sample()
+        n.reset()
+        np.testing.assert_array_equal(n._state, 0.0)
+
+    def test_mean_reversion(self):
+        n = OrnsteinUhlenbeckNoise(
+            1, rng=np.random.default_rng(1), mu=0.0, theta=0.5, sigma=0.0
+        )
+        n._state[...] = 10.0
+        for _ in range(50):
+            last = n.sample()
+        assert abs(last[0]) < 0.1
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckNoise(2, rng=rng, sigma=-1.0)

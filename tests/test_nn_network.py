@@ -1,0 +1,139 @@
+"""Tests for repro.nn.network (Sequential / MLP / Parameter)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU
+from repro.nn.losses import mse_loss
+from repro.nn.network import MLP, Parameter, Sequential
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((2, 2)))
+        np.testing.assert_array_equal(p.grad, 0.0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        np.testing.assert_array_equal(p.grad, 0.0)
+
+    def test_shape(self):
+        assert Parameter(np.zeros((3, 4))).shape == (3, 4)
+
+
+class TestSequential:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_forward_1d_input_promoted(self, rng):
+        net = MLP(3, 2, hidden=(4,), rng=rng)
+        out = net.forward(np.zeros(3))
+        assert out.shape == (1, 2)
+
+    def test_full_gradient_check(self, rng):
+        net = MLP(3, 1, hidden=(5,), rng=rng, final_init_limit=None)
+        x = rng.normal(size=(6, 3))
+        target = rng.normal(size=(6, 1))
+
+        net.zero_grad()
+        pred = net.forward(x)
+        _, grad = mse_loss(pred, target)
+        net.backward(grad)
+
+        eps = 1e-6
+        for p in net.parameters():
+            flat = p.data.ravel()
+            gflat = p.grad.ravel()
+            for i in range(0, flat.size, max(1, flat.size // 5)):
+                orig = flat[i]
+                flat[i] = orig + eps
+                hi, _ = mse_loss(net.forward(x, cache=False), target)
+                flat[i] = orig - eps
+                lo, _ = mse_loss(net.forward(x, cache=False), target)
+                flat[i] = orig
+                num = (hi - lo) / (2 * eps)
+                assert gflat[i] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+    def test_input_gradient_check(self, rng):
+        net = MLP(4, 1, hidden=(6,), rng=rng, final_init_limit=None)
+        x = rng.normal(size=(3, 4))
+        pred = net.forward(x)
+        grad_in = net.backward(np.ones_like(pred))
+
+        eps = 1e-6
+        for i in range(x.shape[0]):
+            for j in range(x.shape[1]):
+                orig = x[i, j]
+                x[i, j] = orig + eps
+                hi = float(np.sum(net.forward(x, cache=False)))
+                x[i, j] = orig - eps
+                lo = float(np.sum(net.forward(x, cache=False)))
+                x[i, j] = orig
+                assert grad_in[i, j] == pytest.approx(
+                    (hi - lo) / (2 * eps), rel=1e-4, abs=1e-7
+                )
+
+    def test_state_dict_roundtrip(self, rng):
+        a = MLP(3, 2, hidden=(4,), rng=rng)
+        b = MLP(3, 2, hidden=(4,), rng=np.random.default_rng(999))
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        a = MLP(3, 2, hidden=(4,), rng=rng)
+        b = MLP(3, 2, hidden=(5,), rng=rng)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_copy_from(self, rng):
+        a = MLP(2, 2, hidden=(3,), rng=rng)
+        b = MLP(2, 2, hidden=(3,), rng=np.random.default_rng(1))
+        b.copy_from(a)
+        x = np.ones((1, 2))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_copy_from_architecture_mismatch(self, rng):
+        a = Sequential([Linear(2, 2, rng)])
+        b = Sequential([Linear(2, 2, rng), ReLU(), Linear(2, 2, rng)])
+        with pytest.raises(ValueError):
+            b.copy_from(a)
+
+    def test_zero_grad_all(self, rng):
+        net = MLP(2, 1, hidden=(3,), rng=rng)
+        x = np.ones((2, 2))
+        net.backward_ready = net.forward(x)
+        net.backward(np.ones((2, 1)))
+        net.zero_grad()
+        for p in net.parameters():
+            np.testing.assert_array_equal(p.grad, 0.0)
+
+
+class TestMLP:
+    def test_out_activation_sigmoid_bounds(self, rng):
+        net = MLP(3, 4, hidden=(8,), out_activation="sigmoid", rng=rng)
+        out = net.forward(rng.normal(size=(10, 3)) * 5)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_linear_head_unbounded(self, rng):
+        net = MLP(3, 1, hidden=(8,), rng=rng, final_init_limit=None)
+        out = net.forward(rng.normal(size=(200, 3)) * 10)
+        assert out.std() > 0
+
+    def test_parameter_count(self, rng):
+        net = MLP(4, 2, hidden=(8, 8), rng=rng)
+        # 3 Linear layers, each weight+bias
+        assert len(net.parameters()) == 6
+
+    def test_dims_recorded(self, rng):
+        net = MLP(5, 3, hidden=(7,), rng=rng)
+        assert net.in_dim == 5 and net.out_dim == 3 and net.hidden == (7,)
+
+    def test_deterministic_init(self):
+        a = MLP(3, 2, rng=np.random.default_rng(5))
+        b = MLP(3, 2, rng=np.random.default_rng(5))
+        x = np.ones((1, 3))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))

@@ -1,0 +1,100 @@
+"""Tests for repro.nn.optim."""
+
+import numpy as np
+import pytest
+
+from repro.nn.network import MLP, Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_params():
+    """A single parameter minimizing ||p - 3||^2."""
+    return Parameter(np.array([0.0]))
+
+
+def quad_grad(p):
+    p.grad[...] = 2.0 * (p.data - 3.0)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quad_grad(p)
+            opt.step()
+        assert p.data[0] == pytest.approx(3.0, abs=1e-4)
+
+    def test_momentum_converges(self):
+        p = quadratic_params()
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            quad_grad(p)
+            opt.step()
+        assert p.data[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_params()], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_params()], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            quad_grad(p)
+            opt.step()
+        assert p.data[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # Adam's bias correction makes the first step exactly lr in
+        # magnitude (for eps << |grad|).
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad[...] = 123.0
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-4)
+
+    def test_grad_clipping(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=0.1, max_grad_norm=1.0)
+        p.grad[...] = 100.0
+        opt._clip_grads()
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clipping_leaves_small_grads(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1, max_grad_norm=10.0)
+        p.grad[...] = 0.1
+        g = p.grad.copy()
+        opt._clip_grads()
+        np.testing.assert_array_equal(p.grad, g)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_params()], betas=(1.0, 0.999))
+
+    def test_trains_network_to_fit(self, rng):
+        net = MLP(2, 1, hidden=(16,), rng=rng, final_init_limit=None)
+        opt = Adam(net.parameters(), lr=1e-2)
+        x = rng.normal(size=(64, 2))
+        y = (x[:, :1] + 2 * x[:, 1:]) * 0.5
+        first = None
+        for i in range(300):
+            opt.zero_grad()
+            pred = net.forward(x)
+            diff = pred - y
+            loss = float(np.mean(diff**2))
+            if first is None:
+                first = loss
+            net.backward(2.0 / len(x) * diff)
+            opt.step()
+        assert loss < first * 0.05

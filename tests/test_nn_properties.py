@@ -1,0 +1,103 @@
+"""Property-based tests over the numpy NN substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.layers import make_activation
+from repro.nn.losses import mse_loss
+from repro.nn.network import MLP
+from repro.nn.optim import Adam
+from repro.nn.target import soft_update
+
+arch = st.tuples(
+    st.integers(1, 6),  # in_dim
+    st.integers(1, 4),  # out_dim
+    st.lists(st.integers(2, 10), min_size=1, max_size=3),  # hidden
+    st.sampled_from(["relu", "tanh"]),
+    st.integers(0, 2**31 - 1),  # seed
+)
+
+
+class TestArchitectureProperties:
+    @given(arch, st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_forward_shape(self, a, batch):
+        in_dim, out_dim, hidden, act, seed = a
+        net = MLP(in_dim, out_dim, hidden=tuple(hidden), activation=act,
+                  rng=np.random.default_rng(seed))
+        x = np.random.default_rng(0).normal(size=(batch, in_dim))
+        assert net.forward(x, cache=False).shape == (batch, out_dim)
+
+    @given(arch)
+    @settings(max_examples=25, deadline=None)
+    def test_backward_input_grad_shape(self, a):
+        in_dim, out_dim, hidden, act, seed = a
+        net = MLP(in_dim, out_dim, hidden=tuple(hidden), activation=act,
+                  rng=np.random.default_rng(seed))
+        x = np.random.default_rng(1).normal(size=(4, in_dim))
+        out = net.forward(x)
+        grad_in = net.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert np.all(np.isfinite(grad_in))
+
+    @given(arch)
+    @settings(max_examples=20, deadline=None)
+    def test_state_dict_roundtrip_preserves_output(self, a):
+        in_dim, out_dim, hidden, act, seed = a
+        net = MLP(in_dim, out_dim, hidden=tuple(hidden), activation=act,
+                  rng=np.random.default_rng(seed))
+        clone = MLP(in_dim, out_dim, hidden=tuple(hidden), activation=act,
+                    rng=np.random.default_rng(seed + 1))
+        clone.load_state_dict(net.state_dict())
+        x = np.random.default_rng(2).normal(size=(3, in_dim))
+        np.testing.assert_allclose(
+            net.forward(x, cache=False), clone.forward(x, cache=False)
+        )
+
+    @given(st.sampled_from(["relu", "tanh", "sigmoid"]),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_activation_output_finite(self, name, seed):
+        layer = make_activation(name)
+        x = np.random.default_rng(seed).normal(size=(5, 4)) * 50
+        out = layer.forward(x, cache=False)
+        assert np.all(np.isfinite(out))
+
+
+class TestTrainingProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_adam_step_reduces_fresh_linear_loss(self, seed):
+        rng = np.random.default_rng(seed)
+        net = MLP(3, 1, hidden=(8,), rng=rng, final_init_limit=None)
+        opt = Adam(net.parameters(), lr=1e-2)
+        x = rng.normal(size=(32, 3))
+        y = x[:, :1]
+        losses = []
+        for _ in range(50):
+            opt.zero_grad()
+            pred = net.forward(x)
+            loss, grad = mse_loss(pred, y)
+            losses.append(loss)
+            net.backward(grad)
+            opt.step()
+        assert losses[-1] < losses[0]
+
+    @given(st.floats(0.01, 1.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_soft_update_contracts_distance(self, tau, seed):
+        rng = np.random.default_rng(seed)
+        a = MLP(2, 2, hidden=(4,), rng=rng)
+        b = MLP(2, 2, hidden=(4,), rng=np.random.default_rng(seed + 7))
+
+        def dist():
+            return sum(
+                float(np.abs(pa.data - pb.data).sum())
+                for pa, pb in zip(a.parameters(), b.parameters())
+            )
+
+        before = dist()
+        soft_update(b, a, tau=tau)
+        after = dist()
+        assert after <= before + 1e-12

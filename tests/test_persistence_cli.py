@@ -1,0 +1,143 @@
+"""Tests for model persistence and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.agents.base import AgentHyperParams
+from repro.baselines.cdbtune import CDBTune
+from repro.cli import build_parser, main
+from repro.core.deepcat import DeepCAT
+from repro.core.persistence import load_tuner, save_tuner
+from repro.factory import make_env
+
+FAST_HP = AgentHyperParams(batch_size=16, warmup_steps=8, hidden=(16, 16))
+
+
+class TestPersistence:
+    def _trained_deepcat(self, seed=0):
+        env = make_env("TS", "D1", seed=seed)
+        t = DeepCAT.from_env(env, seed=seed, hp=FAST_HP, beta=0.55,
+                             q_threshold=0.37)
+        t.train_offline(env, 60)
+        return t
+
+    def test_deepcat_roundtrip_weights(self, tmp_path):
+        t = self._trained_deepcat()
+        path = tmp_path / "model.npz"
+        save_tuner(t, path)
+        loaded = load_tuner(path)
+        state = np.full(t.agent.state_dim, 0.3)
+        np.testing.assert_allclose(
+            t.agent.act(state, explore=False),
+            loaded.agent.act(state, explore=False),
+        )
+        q1 = t.agent.min_q(state, np.full(t.agent.action_dim, 0.5))
+        q2 = loaded.agent.min_q(state, np.full(t.agent.action_dim, 0.5))
+        assert q1 == pytest.approx(q2)
+
+    def test_deepcat_roundtrip_metadata(self, tmp_path):
+        t = self._trained_deepcat()
+        path = tmp_path / "model.npz"
+        save_tuner(t, path)
+        loaded = load_tuner(path)
+        assert loaded.beta == 0.55
+        assert loaded.q_threshold == 0.37
+        assert loaded.hp == t.hp
+        assert loaded.use_rdper == t.use_rdper
+
+    def test_loaded_model_tunes(self, tmp_path):
+        t = self._trained_deepcat()
+        path = tmp_path / "model.npz"
+        save_tuner(t, path)
+        loaded = load_tuner(path, seed=9)
+        s = loaded.tune_online(make_env("TS", "D1", seed=42), steps=2)
+        assert s.n_steps == 2
+
+    def test_cdbtune_roundtrip(self, tmp_path):
+        env = make_env("WC", "D1", seed=1)
+        t = CDBTune.from_env(env, seed=1, hp=FAST_HP)
+        t.train_offline(env, 60)
+        path = tmp_path / "cdb.npz"
+        save_tuner(t, path)
+        loaded = load_tuner(path)
+        assert isinstance(loaded, CDBTune)
+        state = np.full(t.agent.state_dim, 0.2)
+        np.testing.assert_allclose(
+            t.agent.act(state, explore=False),
+            loaded.agent.act(state, explore=False),
+        )
+
+    def test_rejects_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_tuner(object(), tmp_path / "x.npz")
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["train", "--model", "m.npz", "--iterations", "10"]
+        )
+        assert args.command == "train" and args.iterations == 10
+
+    def test_evaluate_default(self, capsys):
+        rc = main(["evaluate", "--workload", "WC", "--dataset", "D1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "WC-D1" in out and "OK" in out
+
+    def test_evaluate_with_overrides(self, capsys):
+        rc = main(
+            [
+                "evaluate", "--workload", "TS",
+                "--set", "spark.executor.instances=8",
+                "--set", "spark.serializer=kryo",
+                "--set", "spark.shuffle.compress=true",
+            ]
+        )
+        assert rc == 0
+        assert "TS-D1" in capsys.readouterr().out
+
+    def test_evaluate_bad_override(self, capsys):
+        assert main(["evaluate", "--set", "bogus.key=1"]) == 2
+        assert main(["evaluate", "--set", "noequals"]) == 2
+
+    def test_train_then_tune(self, tmp_path, capsys):
+        model = str(tmp_path / "m.npz")
+        rc = main(
+            [
+                "train", "--workload", "WC", "--iterations", "80",
+                "--model", model,
+            ]
+        )
+        assert rc == 0
+        rc = main(
+            ["tune", "--workload", "WC", "--model", model, "--steps", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best" in out
+
+    def test_cluster_b_evaluate(self, capsys):
+        rc = main(
+            ["evaluate", "--workload", "PR", "--cluster", "cluster-b"]
+        )
+        assert rc == 0
+        assert "cluster-b" in capsys.readouterr().out
+
+
+class TestCorpusCLI:
+    def test_corpus_generation(self, tmp_path, capsys):
+        out = str(tmp_path / "c.npz")
+        rc = main(
+            [
+                "corpus", "--workload", "WC", "--samples", "20",
+                "--sampler", "lhs", "--output", out,
+            ]
+        )
+        assert rc == 0
+        from repro.data import load_corpus
+
+        corpus = load_corpus(out)
+        assert len(corpus) == 20
+        assert corpus.workload_id == "WC-D1"

@@ -1,0 +1,153 @@
+"""Tests for reduced configuration spaces and the white-box extension."""
+
+import numpy as np
+import pytest
+
+from repro.config.pipeline import build_pipeline_space
+from repro.config.reduced import ReducedConfigurationSpace
+from repro.core.deepcat import DeepCAT
+from repro.agents.base import AgentHyperParams
+from repro.cluster.hardware import CLUSTER_A
+from repro.envs.tuning_env import TuningEnv
+from repro.extensions.whitebox import build_whitebox_plan
+from repro.sim.engine import SparkSimulator
+from repro.workloads.registry import get_workload
+
+FREE = ["spark.executor.cores", "spark.executor.memory", "spark.serializer"]
+
+
+@pytest.fixture
+def reduced(space):
+    return ReducedConfigurationSpace(space, FREE)
+
+
+class TestReducedConfigurationSpace:
+    def test_dim_is_free_count(self, reduced):
+        assert reduced.dim == 3
+        assert set(reduced.names) == set(FREE)
+
+    def test_decode_is_complete(self, reduced, space, rng):
+        config = reduced.decode(reduced.sample_vector(rng))
+        assert set(config) == set(space.names)  # full pipeline config
+
+    def test_pinned_values_are_defaults_by_default(self, reduced, space):
+        config = reduced.decode(np.full(3, 0.5))
+        assert config["dfs.replication"] == space["dfs.replication"].default
+
+    def test_explicit_pins(self, space):
+        r = ReducedConfigurationSpace(
+            space, FREE, pinned_values={"dfs.replication": 1}
+        )
+        config = r.decode(np.full(3, 0.5))
+        assert config["dfs.replication"] == 1
+
+    def test_pins_are_clipped(self, space):
+        r = ReducedConfigurationSpace(
+            space, FREE, pinned_values={"dfs.replication": 99}
+        )
+        assert r.pinned["dfs.replication"] == 3
+
+    def test_encode_accepts_full_config(self, reduced, space):
+        full = space.defaults()
+        vec = reduced.encode(full)
+        assert vec.shape == (3,)
+
+    def test_encode_rejects_missing_free(self, reduced):
+        with pytest.raises(KeyError):
+            reduced.encode({"spark.executor.cores": 2})
+
+    def test_roundtrip_free_part(self, reduced, rng):
+        vec = reduced.sample_vector(rng)
+        config = reduced.decode(vec)
+        vec2 = reduced.encode(config)
+        assert reduced.decode(vec2) == config
+
+    def test_defaults_complete(self, reduced, space):
+        assert set(reduced.defaults()) == set(space.names)
+
+    def test_clip_config(self, reduced, space):
+        cfg = reduced.defaults()
+        cfg["spark.executor.cores"] = 999
+        out = reduced.clip_config(cfg)
+        assert out["spark.executor.cores"] == 8
+
+    def test_cannot_pin_free_param(self, space):
+        with pytest.raises(ValueError):
+            ReducedConfigurationSpace(
+                space, FREE, pinned_values={"spark.serializer": "kryo"}
+            )
+
+    def test_unknown_names_rejected(self, space):
+        with pytest.raises(KeyError):
+            ReducedConfigurationSpace(space, ["nope"])
+        with pytest.raises(ValueError):
+            ReducedConfigurationSpace(space, [])
+
+    def test_works_as_env_space(self, reduced):
+        env = TuningEnv(
+            workload=get_workload("TS"),
+            dataset="D1",
+            cluster=CLUSTER_A,
+            space=reduced,
+            rng=np.random.default_rng(0),
+            expected_speedup=1.5,
+        )
+        assert env.action_dim == 3
+        out = env.step(np.full(3, 0.5))
+        assert out.success in (True, False)
+        assert set(out.config) == set(reduced.full_space.names)
+
+
+class TestWhiteBoxPlan:
+    @pytest.fixture
+    def sim(self):
+        return SparkSimulator(
+            get_workload("TS"), "D1", CLUSTER_A,
+            np.random.default_rng(0), noise_sigma=0.0,
+        )
+
+    def test_plan_shape(self, sim, space):
+        plan = build_whitebox_plan(sim, space, top_k=10, n_points=5)
+        assert len(plan.free_knobs) == 10
+        assert len(plan.pinned_knobs) == space.dim - 10
+        assert plan.probe_evaluations == 2 * space.dim * 5 + 3
+        assert len(plan.sensitivities) == space.dim
+
+    def test_free_knobs_are_most_sensitive(self, sim, space):
+        plan = build_whitebox_plan(sim, space, top_k=8, n_points=5)
+        spreads = {r.name: r.spread_s for r in plan.sensitivities}
+        worst_free = min(spreads[n] for n in plan.free_knobs)
+        best_pinned = max(spreads[n] for n in plan.pinned_knobs)
+        assert worst_free >= best_pinned
+
+    def test_pinned_base_not_worse_than_default(self, sim, space):
+        plan = build_whitebox_plan(sim, space, top_k=10, n_points=7)
+        # the pin-strategy guard keeps the reduced base competitive with
+        # the framework default (straggler noise allowed)
+        default = sim.evaluate(space.defaults())
+        improved = sim.evaluate(plan.reduced_space.defaults())
+        assert improved.success
+        assert improved.duration_s < default.duration_s * 1.15
+
+    def test_reduced_deepcat_trains(self, sim, space):
+        plan = build_whitebox_plan(sim, space, top_k=6, n_points=5)
+        env = TuningEnv(
+            workload=get_workload("TS"), dataset="D1", cluster=CLUSTER_A,
+            space=plan.reduced_space, rng=np.random.default_rng(1),
+            expected_speedup=1.5,
+        )
+        tuner = DeepCAT.from_env(
+            env, seed=0,
+            hp=AgentHyperParams(batch_size=16, warmup_steps=8,
+                                hidden=(16, 16)),
+        )
+        log = tuner.train_offline(env, 80)
+        assert log.iterations == 80
+        s = tuner.tune_online(env, steps=3)
+        assert s.n_steps == 3
+
+    def test_validation(self, sim, space):
+        with pytest.raises(ValueError):
+            build_whitebox_plan(sim, space, top_k=0)
+        with pytest.raises(ValueError):
+            build_whitebox_plan(sim, space, top_k=space.dim)

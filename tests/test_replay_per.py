@@ -1,0 +1,89 @@
+"""Tests for the TD-error prioritized replay buffer."""
+
+import numpy as np
+import pytest
+
+from repro.replay.base import Transition
+from repro.replay.per import PrioritizedReplayBuffer
+
+
+def make_transition(i):
+    return Transition(
+        state=np.full(3, float(i)),
+        action=np.full(2, float(i)),
+        reward=float(i),
+        next_state=np.full(3, float(i + 1)),
+    )
+
+
+def make_buffer(**kw):
+    return PrioritizedReplayBuffer(64, 3, 2, np.random.default_rng(0), **kw)
+
+
+class TestPrioritizedReplayBuffer:
+    def test_new_transitions_get_max_priority(self):
+        buf = make_buffer()
+        buf.push(make_transition(0))
+        buf.update_priorities(np.array([0]), np.array([9.0]))
+        buf.push(make_transition(1))
+        # the second push must inherit the current max so it gets sampled
+        assert buf._tree[1] == buf._tree.max_priority()
+
+    def test_sample_shapes_and_weights(self):
+        buf = make_buffer()
+        for i in range(20):
+            buf.push(make_transition(i))
+        batch = buf.sample(8)
+        assert batch.states.shape == (8, 3)
+        assert batch.weights.shape == (8, 1)
+        assert batch.indices.shape == (8,)
+        assert np.all(batch.weights > 0) and np.all(batch.weights <= 1.0)
+
+    def test_high_priority_sampled_more(self):
+        buf = make_buffer(alpha=1.0)
+        for i in range(10):
+            buf.push(make_transition(i))
+        # give transition 3 overwhelming priority
+        prios = np.full(10, 0.01)
+        prios[3] = 100.0
+        buf.update_priorities(np.arange(10), prios)
+        counts = np.zeros(10)
+        for _ in range(300):
+            for idx in buf.sample(4).indices:
+                counts[idx] += 1
+        assert counts[3] > counts.sum() * 0.5
+
+    def test_beta_anneals(self):
+        buf = make_buffer(beta_is=0.4, beta_is_increment=0.1)
+        for i in range(5):
+            buf.push(make_transition(i))
+        for _ in range(10):
+            buf.sample(2)
+        assert buf.beta_is == 1.0
+
+    def test_update_priorities_validates(self):
+        buf = make_buffer()
+        buf.push(make_transition(0))
+        with pytest.raises(ValueError):
+            buf.update_priorities(np.array([0, 1]), np.array([1.0]))
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            make_buffer().sample(1)
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            make_buffer(alpha=1.5)
+        with pytest.raises(ValueError):
+            make_buffer(beta_is=-0.1)
+        with pytest.raises(ValueError):
+            make_buffer(epsilon=0.0)
+
+    def test_epsilon_keeps_zero_error_sampleable(self):
+        buf = make_buffer()
+        for i in range(4):
+            buf.push(make_transition(i))
+        buf.update_priorities(np.arange(4), np.zeros(4))
+        assert buf._tree.total > 0.0
+        batch = buf.sample(2)
+        assert len(batch) == 2

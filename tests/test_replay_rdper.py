@@ -1,0 +1,120 @@
+"""Tests for RDPER — the paper's reward-driven replay (§3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.replay.base import Transition
+from repro.replay.rdper import RewardDrivenReplayBuffer
+
+
+def make_transition(reward):
+    return Transition(
+        state=np.zeros(3),
+        action=np.zeros(2),
+        reward=float(reward),
+        next_state=np.zeros(3),
+    )
+
+
+def make_buffer(r_th=0.3, beta=0.6, capacity=100):
+    return RewardDrivenReplayBuffer(
+        capacity, 3, 2, np.random.default_rng(0),
+        reward_threshold=r_th, beta=beta,
+    )
+
+
+class TestRouting:
+    def test_threshold_routes_pools(self):
+        buf = make_buffer(r_th=0.3)
+        buf.push(make_transition(0.5))
+        buf.push(make_transition(0.3))  # equal goes high (paper: >=)
+        buf.push(make_transition(0.1))
+        buf.push(make_transition(-1.0))
+        assert buf.high_size == 2
+        assert buf.low_size == 2
+        assert len(buf) == 4
+
+    def test_capacity_split(self):
+        buf = make_buffer(capacity=100)
+        assert buf.capacity == 100
+        assert buf._high.capacity == 25
+        assert buf._low.capacity == 75
+
+
+class TestSampling:
+    def test_beta_ratio_enforced(self):
+        buf = make_buffer(beta=0.5)
+        for _ in range(20):
+            buf.push(make_transition(1.0))  # high pool
+        for _ in range(20):
+            buf.push(make_transition(-1.0))  # low pool
+        batch = buf.sample(10)
+        n_high = int(np.sum(batch.rewards.ravel() > 0))
+        assert n_high == 5
+
+    def test_beta_06_like_paper(self):
+        buf = make_buffer(beta=0.6)
+        for _ in range(30):
+            buf.push(make_transition(1.0))
+            buf.push(make_transition(-1.0))
+        batch = buf.sample(10)
+        assert int(np.sum(batch.rewards.ravel() > 0)) == 6
+
+    def test_empty_high_pool_falls_back(self):
+        buf = make_buffer()
+        for _ in range(10):
+            buf.push(make_transition(-1.0))
+        batch = buf.sample(6)
+        assert len(batch) == 6
+        assert np.all(batch.rewards < 0)
+
+    def test_empty_low_pool_falls_back(self):
+        buf = make_buffer()
+        for _ in range(10):
+            buf.push(make_transition(1.0))
+        batch = buf.sample(6)
+        assert len(batch) == 6
+        assert np.all(batch.rewards > 0)
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            make_buffer().sample(1)
+
+    def test_high_rewards_persist_longer_than_shared_ring(self):
+        # The dedicated high pool keeps rare good transitions alive even
+        # after the low pool has churned many times.
+        buf = make_buffer(capacity=40)  # high cap 10, low cap 30
+        buf.push(make_transition(0.9))
+        for _ in range(200):
+            buf.push(make_transition(-0.5))
+        assert buf.high_size == 1
+        batch = buf.sample(10)
+        assert np.any(np.isclose(batch.rewards.ravel(), 0.9))
+
+    @given(
+        st.lists(st.floats(-2.0, 1.0), min_size=8, max_size=60),
+        st.integers(2, 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_size_always_honoured(self, rewards, m):
+        buf = make_buffer()
+        for r in rewards:
+            buf.push(make_transition(r))
+        assert len(buf.sample(m)) == m
+
+
+class TestValidation:
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            make_buffer(beta=1.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RewardDrivenReplayBuffer(1, 3, 2, np.random.default_rng(0))
+
+    def test_can_sample(self):
+        buf = make_buffer()
+        assert not buf.can_sample(1)
+        buf.push(make_transition(0.0))
+        assert buf.can_sample(1)

@@ -1,0 +1,101 @@
+"""Tests for the PER sum-tree, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.replay.sumtree import SumTree
+
+
+class TestSumTree:
+    def test_total_tracks_updates(self):
+        t = SumTree(8)
+        t.update(0, 1.0)
+        t.update(3, 2.0)
+        assert t.total == pytest.approx(3.0)
+        t.update(0, 0.5)
+        assert t.total == pytest.approx(2.5)
+
+    def test_getitem(self):
+        t = SumTree(4)
+        t.update(2, 7.0)
+        assert t[2] == 7.0
+        assert t[0] == 0.0
+
+    def test_find_prefix_boundaries(self):
+        t = SumTree(4)
+        t.update(0, 1.0)
+        t.update(1, 2.0)
+        t.update(2, 3.0)
+        assert t.find_prefix(0.5) == 0
+        assert t.find_prefix(1.5) == 1
+        assert t.find_prefix(3.5) == 2
+        assert t.find_prefix(6.0) == 2
+
+    def test_find_prefix_skips_zero_leaves(self):
+        t = SumTree(8)
+        t.update(5, 4.0)
+        for v in [0.0, 1.0, 3.9]:
+            assert t.find_prefix(v) == 5
+
+    def test_max_min_priority(self):
+        t = SumTree(4)
+        t.update(0, 1.0)
+        t.update(1, 5.0)
+        assert t.max_priority() == 5.0
+        assert t.min_priority(2) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SumTree(0)
+        t = SumTree(4)
+        with pytest.raises(IndexError):
+            t.update(4, 1.0)
+        with pytest.raises(ValueError):
+            t.update(0, -1.0)
+        with pytest.raises(ValueError):
+            t.find_prefix(99.0)
+        with pytest.raises(IndexError):
+            _ = t[9]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 31), st.floats(0.0, 100.0)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_invariant(self, updates):
+        t = SumTree(32)
+        leaves = np.zeros(32)
+        for idx, prio in updates:
+            t.update(idx, prio)
+            leaves[idx] = prio
+        assert t.total == pytest.approx(leaves.sum(), rel=1e-9, abs=1e-9)
+
+    @given(
+        st.lists(st.floats(0.01, 10.0), min_size=2, max_size=16),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_find_prefix_consistent(self, prios, frac):
+        t = SumTree(16)
+        for i, p in enumerate(prios):
+            t.update(i, p)
+        value = frac * t.total
+        leaf = t.find_prefix(value)
+        cumsum = np.cumsum(prios)
+        expected = int(np.searchsorted(cumsum, value))
+        expected = min(expected, len(prios) - 1)
+        assert leaf == expected
+
+    def test_proportional_sampling_statistics(self):
+        t = SumTree(4)
+        t.update(0, 1.0)
+        t.update(1, 3.0)
+        rng = np.random.default_rng(0)
+        hits = np.zeros(4)
+        for _ in range(4000):
+            hits[t.find_prefix(rng.uniform(0, t.total))] += 1
+        assert hits[1] / hits[0] == pytest.approx(3.0, rel=0.15)

@@ -1,0 +1,34 @@
+"""Tests for the report generator's plumbing (no science-scale runs)."""
+
+import pytest
+
+from repro.experiments.report import _block, build_report
+
+
+class TestReportHelpers:
+    def test_block_wraps_in_fences(self):
+        out = _block("hello")
+        assert out.startswith("```\n")
+        assert out.endswith("```\n")
+        assert "hello" in out
+
+    def test_build_report_rejects_unknown_scale(self):
+        with pytest.raises(KeyError):
+            build_report("warp-speed")
+
+
+class TestReportCli:
+    def test_module_main_writes_file(self, tmp_path, monkeypatch):
+        # patch build_report so the CLI path is tested without a full run
+        import repro.experiments.report as report_mod
+
+        monkeypatch.setattr(
+            report_mod, "build_report", lambda scale: f"# stub ({scale})\n"
+        )
+        out = tmp_path / "E.md"
+        monkeypatch.setattr(
+            "sys.argv",
+            ["report", "--scale", "quick", "--output", str(out)],
+        )
+        report_mod.main()
+        assert out.read_text().startswith("# stub (quick)")

@@ -1,0 +1,73 @@
+"""Tests for the tuner-comparison session grid (tiny budgets)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale, clear_model_cache
+from repro.experiments.sessions import SessionGrid, comparison_grid
+
+TINY = ExperimentScale(
+    name="tiny-grid", offline_iterations=100, ottertune_samples=40,
+    seeds=(0,), online_steps=3,
+)
+PAIRS = (("WC", "D1"), ("TS", "D1"))
+
+
+@pytest.fixture(scope="module")
+def grid():
+    clear_model_cache()
+    g = comparison_grid(TINY, pairs=PAIRS)
+    yield g
+    clear_model_cache()
+
+
+class TestComparisonGrid:
+    def test_all_cells_present(self, grid):
+        for tuner in ("DeepCAT", "CDBTune", "OtterTune"):
+            for w, d in PAIRS:
+                assert (tuner, w, d) in grid.sessions
+                assert len(grid.sessions[(tuner, w, d)]) == 1  # one seed
+
+    def test_cached_across_calls(self, grid):
+        again = comparison_grid(TINY, pairs=PAIRS)
+        assert again is grid
+
+    def test_aggregates_consistent(self, grid):
+        for w, d in PAIRS:
+            s = grid.sessions[("DeepCAT", w, d)][0]
+            assert grid.mean_best("DeepCAT", w, d) == pytest.approx(
+                s.best_duration_s
+            )
+            assert grid.mean_total_cost("DeepCAT", w, d) == pytest.approx(
+                s.total_tuning_seconds
+            )
+            assert grid.mean_speedup("DeepCAT", w, d) == pytest.approx(
+                s.speedup_over_default
+            )
+            assert grid.mean_total_cost("DeepCAT", w, d) == pytest.approx(
+                grid.mean_eval_cost("DeepCAT", w, d)
+                + grid.mean_rec_cost("DeepCAT", w, d)
+            )
+
+    def test_average_speedup_is_mean_over_pairs(self, grid):
+        per_pair = [
+            grid.mean_speedup("CDBTune", w, d) for w, d in PAIRS
+        ]
+        assert grid.average_speedup("CDBTune") == pytest.approx(
+            sum(per_pair) / len(per_pair)
+        )
+
+    def test_cost_reduction_math(self, grid):
+        avg, mx = grid.cost_reduction_vs("DeepCAT", "CDBTune")
+        assert mx >= avg
+        # definition check on one pair
+        w, d = PAIRS[0]
+        ours = grid.mean_total_cost("DeepCAT", w, d)
+        theirs = grid.mean_total_cost("CDBTune", w, d)
+        manual = 100.0 * (1.0 - ours / theirs)
+        other = grid.cost_reduction_vs("DeepCAT", "CDBTune")
+        assert manual <= other[1] + 1e-9
+
+    def test_sessions_have_expected_steps(self, grid):
+        for sessions in grid.sessions.values():
+            for s in sessions:
+                assert s.n_steps == TINY.online_steps

@@ -1,0 +1,218 @@
+"""Tests for the Spark execution engine — behaviour, not just plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hardware import CLUSTER_A, CLUSTER_B
+from repro.sim.codecs import codec_profile, serializer_profile
+from repro.sim.engine import SparkSimulator
+from repro.sim.faults import YARN_REJECT_SECONDS, oom_attempt_charge, vmem_kill_penalty
+from repro.workloads.registry import get_workload, workload_pairs
+
+
+def sim(code="TS", dataset="D1", cluster=CLUSTER_A, seed=0, noise=0.0):
+    return SparkSimulator(
+        get_workload(code), dataset, cluster,
+        np.random.default_rng(seed), noise_sigma=noise,
+    )
+
+
+def tuned(space, **overrides):
+    cfg = space.defaults()
+    cfg.update(
+        {
+            "spark.executor.cores": 5,
+            "spark.executor.memory": 3072,
+            "spark.executor.memoryOverhead": 512,
+            "spark.executor.instances": 9,
+            "spark.default.parallelism": 96,
+            "spark.serializer": "kryo",
+            "spark.shuffle.file.buffer": 256,
+            "spark.reducer.maxSizeInFlight": 96,
+            "io.file.buffer.size": 512,
+            "yarn.nodemanager.resource.memory-mb": 14336,
+            "yarn.nodemanager.resource.cpu-vcores": 16,
+            "yarn.scheduler.maximum-allocation-mb": 14336,
+            "yarn.scheduler.maximum-allocation-vcores": 16,
+            "dfs.namenode.handler.count": 80,
+            "dfs.datanode.handler.count": 40,
+        }
+    )
+    cfg.update(overrides)
+    return cfg
+
+
+class TestDeterminismAndNoise:
+    def test_noise_free_is_deterministic(self, space):
+        # straggler draws consume rng, so use identical fresh sims
+        a = sim(seed=42).evaluate(space.defaults()).duration_s
+        b = sim(seed=42).evaluate(space.defaults()).duration_s
+        assert a == b
+
+    def test_noise_spreads_measurements(self, space):
+        s = sim(noise=0.1)
+        xs = [s.evaluate(space.defaults()).duration_s for _ in range(20)]
+        assert np.std(xs) > 0
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            sim(noise=-0.1)
+
+    def test_evaluation_count(self, space):
+        s = sim()
+        s.evaluate(space.defaults())
+        s.evaluate(space.defaults())
+        assert s.evaluation_count == 2
+
+
+class TestDefaults:
+    @pytest.mark.parametrize("pair", workload_pairs(), ids=lambda p: f"{p[0].code}-{p[1].label}")
+    def test_all_defaults_succeed(self, pair, space):
+        w, ds = pair
+        r = SparkSimulator(
+            w, ds, CLUSTER_A, np.random.default_rng(0), noise_sigma=0.0
+        ).evaluate(space.defaults())
+        assert r.success, r.failure_reason
+        assert r.duration_s > 0
+
+    def test_default_duration_cached_and_noise_free(self, space):
+        s = sim(noise=0.2)
+        d1 = s.default_duration(space)
+        d2 = s.default_duration(space)
+        assert d1 == d2
+
+    def test_bigger_input_takes_longer(self, space):
+        d1 = sim("WC", "D1").evaluate(space.defaults()).duration_s
+        d3 = sim("WC", "D3").evaluate(space.defaults()).duration_s
+        assert d3 > d1 * 2
+
+
+class TestConfigurationEffects:
+    def test_more_parallel_resources_help(self, space):
+        default = sim().evaluate(space.defaults()).duration_s
+        better = sim().evaluate(tuned(space))
+        assert better.success
+        assert better.duration_s < default * 0.7
+
+    def test_replication_one_speeds_writes(self, space):
+        r3 = sim().evaluate(tuned(space))
+        r1 = sim().evaluate(tuned(space, **{"dfs.replication": 1}))
+        assert r1.duration_s < r3.duration_s  # TeraSort writes everything
+
+    def test_kryo_beats_java_on_shuffle_heavy(self, space):
+        # TeraSort shuffles its whole input: kryo's smaller payloads win.
+        java = sim(seed=1).evaluate(
+            tuned(space, **{"spark.serializer": "java"})
+        )
+        kryo = sim(seed=1).evaluate(
+            tuned(space, **{"spark.serializer": "kryo"})
+        )
+        assert kryo.duration_s < java.duration_s
+
+    def test_kmeans_needs_cache_memory(self, space):
+        small = sim("KM").evaluate(
+            tuned(space, **{"spark.executor.memory": 1024,
+                            "spark.memory.storageFraction": 0.1})
+        )
+        big = sim("KM").evaluate(
+            tuned(space, **{"spark.executor.memory": 6144,
+                            "spark.memory.storageFraction": 0.6})
+        )
+        assert big.success
+        assert big.duration_s < small.duration_s
+
+    def test_yarn_rejection_is_fast_failure(self, space):
+        cfg = tuned(space, **{
+            "spark.executor.memory": 8192,
+            "spark.executor.memoryOverhead": 2048,
+            "yarn.scheduler.maximum-allocation-mb": 6144,
+        })
+        r = sim().evaluate(cfg)
+        assert not r.success
+        assert "YARN rejection" in r.failure_reason
+        assert r.duration_s == pytest.approx(YARN_REJECT_SECONDS)
+
+    def test_oom_failure_burns_retries(self, space):
+        # KMeans with big blocks and a tiny heap: rigid vectors cannot fit.
+        cfg = tuned(space, **{
+            "spark.executor.memory": 1024,
+            "spark.executor.cores": 8,
+            "dfs.blocksize": 512,
+        })
+        r = sim("KM").evaluate(cfg)
+        assert not r.success
+        assert "OOM" in r.failure_reason
+        assert r.duration_s > YARN_REJECT_SECONDS  # retries cost real time
+
+    def test_oversubscribed_cpu_slower_than_fitting(self, space):
+        fits = sim(seed=2).evaluate(tuned(space))
+        oversub = sim(seed=2).evaluate(
+            tuned(space, **{
+                "spark.executor.cores": 8,
+                "spark.executor.instances": 12,
+                "yarn.nodemanager.resource.cpu-vcores": 16,
+            })
+        )
+        # 96 threads on 48 cores cannot beat 32 well-placed cores by much;
+        # slots are capped so it must not be *faster* than physical cores allow
+        assert oversub.duration_s >= fits.duration_s * 0.8
+
+    def test_stage_breakdown_present(self, space):
+        r = sim().evaluate(space.defaults())
+        assert len(r.stages) == 2  # TeraSort: map + reduce
+        assert r.stage("partition-map").n_tasks >= 1
+        with pytest.raises(KeyError):
+            r.stage("nope")
+
+    def test_state_demand_shape(self, space):
+        r = sim().evaluate(space.defaults())
+        assert r.cpu_demand_per_node.shape == (3,)
+        assert np.all(r.cpu_demand_per_node >= 0)
+
+    def test_cluster_b_slower_than_a(self, space):
+        cfg = space.defaults()
+        a = sim("WC", cluster=CLUSTER_A).evaluate(cfg).duration_s
+        b = sim("WC", cluster=CLUSTER_B).evaluate(cfg).duration_s
+        assert b > a * 0.9  # B has fewer/slower cores and slower disks
+
+
+class TestCodecs:
+    def test_profiles(self):
+        lz4 = codec_profile("lz4")
+        zstd = codec_profile("zstd")
+        assert zstd.ratio < lz4.ratio  # zstd compresses harder
+        assert zstd.compress_cpu_per_mb > lz4.compress_cpu_per_mb
+
+    def test_serializers(self):
+        kryo = serializer_profile("kryo")
+        java = serializer_profile("java")
+        assert kryo.size_factor < java.size_factor
+        assert kryo.cpu_factor < java.cpu_factor
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            codec_profile("gzip")
+        with pytest.raises(ValueError):
+            serializer_profile("pickle")
+
+
+class TestFaults:
+    def test_oom_charge(self):
+        assert oom_attempt_charge(100.0) == pytest.approx(200.0)
+        with pytest.raises(ValueError):
+            oom_attempt_charge(-1.0)
+
+    def test_vmem_penalty_safe_ratio(self):
+        assert vmem_kill_penalty(3.0, 1.3).penalty_factor == 1.0
+
+    def test_vmem_penalty_aggressive_ratio(self):
+        assert vmem_kill_penalty(1.0, 1.3).penalty_factor > 1.0
+
+    def test_vmem_java_worse_than_kryo(self):
+        java = vmem_kill_penalty(1.8, 1.30).penalty_factor
+        kryo = vmem_kill_penalty(1.8, 1.05).penalty_factor
+        assert java >= kryo
+
+    def test_vmem_invalid(self):
+        with pytest.raises(ValueError):
+            vmem_kill_penalty(0.0, 1.3)

@@ -1,0 +1,84 @@
+"""Property-based tests of simulator invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.config.pipeline import build_pipeline_space
+from repro.sim.engine import SparkSimulator
+from repro.workloads.registry import get_workload
+
+SPACE = build_pipeline_space()
+
+
+def fresh_sim(code="TS", dataset="D1"):
+    return SparkSimulator(
+        get_workload(code), dataset, CLUSTER_A,
+        np.random.default_rng(7), noise_sigma=0.0,
+    )
+
+
+config_vectors = st.lists(
+    st.floats(0.0, 1.0), min_size=SPACE.dim, max_size=SPACE.dim
+).map(lambda xs: np.asarray(xs))
+
+
+class TestEngineInvariants:
+    @given(config_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_duration_positive_and_finite(self, vec):
+        result = fresh_sim().evaluate(SPACE.decode(vec))
+        assert np.isfinite(result.duration_s)
+        assert result.duration_s > 0
+
+    @given(config_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_failure_has_reason(self, vec):
+        result = fresh_sim().evaluate(SPACE.decode(vec))
+        if not result.success:
+            assert result.failure_reason
+
+    @given(config_vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_success_has_stage_breakdown(self, vec):
+        result = fresh_sim().evaluate(SPACE.decode(vec))
+        if result.success:
+            assert len(result.stages) == 2  # TeraSort map + reduce
+            assert all(s.seconds > 0 for s in result.stages)
+            total = sum(s.seconds for s in result.stages)
+            # stage times plus setup account for the duration
+            assert result.duration_s == pytest.approx(
+                total + 7.0, rel=0.02
+            ) or result.duration_s > total
+
+    @given(config_vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_bigger_dataset_never_faster(self, vec):
+        """Same config, more data -> at least as much time (both clean)."""
+        cfg = SPACE.decode(vec)
+        r1 = fresh_sim("WC", "D1").evaluate(cfg)
+        r3 = fresh_sim("WC", "D3").evaluate(cfg)
+        if r1.success and r3.success:
+            assert r3.duration_s >= r1.duration_s * 0.95
+
+    @given(config_vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_demand_vector_sane(self, vec):
+        result = fresh_sim().evaluate(SPACE.decode(vec))
+        demand = result.cpu_demand_per_node
+        assert demand.shape == (3,)
+        assert np.all(demand >= 0)
+        assert np.all(demand <= CLUSTER_A.node.cores * 2.0)
+
+    @given(config_vectors, st.floats(0.01, 0.2))
+    @settings(max_examples=20, deadline=None)
+    def test_noise_never_flips_success(self, vec, sigma):
+        cfg = SPACE.decode(vec)
+        clean = fresh_sim().evaluate(cfg)
+        noisy_sim = SparkSimulator(
+            get_workload("TS"), "D1", CLUSTER_A,
+            np.random.default_rng(3), noise_sigma=sigma,
+        )
+        noisy = noisy_sim.evaluate(cfg)
+        assert clean.success == noisy.success

@@ -1,0 +1,80 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert as_generator(1).random() != as_generator(2).random()
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_children_independent(self):
+        g1, g2 = spawn_generators(0, 2)
+        assert g1.random() != g2.random()
+
+    def test_deterministic_across_calls(self):
+        a = [g.random() for g in spawn_generators(3, 3)]
+        b = [g.random() for g in spawn_generators(3, 3)]
+        assert a == b
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_ok(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        f = RngFactory(42)
+        a = RngFactory(42).get("sim").random(3)
+        b = f.get("sim").random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_differ(self):
+        f = RngFactory(42)
+        assert f.get("a").random() != f.get("b").random()
+
+    def test_different_seeds_differ(self):
+        assert RngFactory(1).get("x").random() != RngFactory(2).get("x").random()
+
+    def test_order_independence(self):
+        f1 = RngFactory(9)
+        _ = f1.get("first")
+        late = f1.get("second").random()
+        f2 = RngFactory(9)
+        early = f2.get("second").random()
+        assert late == early
+
+    def test_get_many(self):
+        d = RngFactory(0).get_many(["a", "b"])
+        assert set(d) == {"a", "b"}
+
+    def test_child_namespace(self):
+        f = RngFactory(5)
+        c1 = f.child("sub")
+        c2 = RngFactory(5).child("sub")
+        assert c1.get("x").random() == c2.get("x").random()
+
+    def test_seed_property(self):
+        assert RngFactory(17).seed == 17

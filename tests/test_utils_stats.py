@@ -1,0 +1,125 @@
+"""Tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import (
+    RunningStats,
+    empirical_cdf,
+    geometric_mean,
+    lognormal_noise_factor,
+    saturating,
+)
+
+
+class TestRunningStats:
+    def test_empty_is_nan(self):
+        s = RunningStats()
+        assert np.isnan(s.mean) and np.isnan(s.std)
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.push(3.0)
+        assert s.mean == 3.0 and s.min == 3.0 and s.max == 3.0
+        assert np.isnan(s.variance)
+
+    def test_matches_numpy(self):
+        xs = np.random.default_rng(0).normal(5, 2, 100)
+        s = RunningStats()
+        s.extend(xs)
+        assert s.count == 100
+        assert s.mean == pytest.approx(xs.mean())
+        assert s.variance == pytest.approx(xs.var(ddof=1))
+        assert s.std == pytest.approx(xs.std(ddof=1))
+        assert s.min == xs.min() and s.max == xs.max()
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_welford_matches_numpy_property(self, xs):
+        s = RunningStats()
+        s.extend(xs)
+        assert s.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(
+            np.var(xs, ddof=1), rel=1e-6, abs=1e-6
+        )
+
+
+class TestEmpiricalCdf:
+    def test_empty(self):
+        xs, ps = empirical_cdf([])
+        assert xs.size == 0 and ps.size == 0
+
+    def test_sorted_and_probabilities(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(xs, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(ps, [1 / 3, 2 / 3, 1.0])
+
+    def test_last_prob_is_one(self):
+        _, ps = empirical_cdf(np.random.default_rng(0).random(17))
+        assert ps[-1] == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=40))
+    def test_monotone(self, xs):
+        vals, ps = empirical_cdf(xs)
+        assert np.all(np.diff(vals) >= 0)
+        assert np.all(np.diff(ps) > 0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_le_arithmetic_mean(self):
+        xs = [1.0, 2.0, 10.0]
+        assert geometric_mean(xs) <= np.mean(xs)
+
+
+class TestLognormalNoise:
+    def test_zero_sigma_is_identity(self, rng):
+        assert lognormal_noise_factor(rng, 0.0) == 1.0
+
+    def test_positive(self, rng):
+        for _ in range(50):
+            assert lognormal_noise_factor(rng, 0.3) > 0.0
+
+    def test_median_near_one(self):
+        rng = np.random.default_rng(0)
+        xs = [lognormal_noise_factor(rng, 0.1) for _ in range(4000)]
+        assert np.median(xs) == pytest.approx(1.0, abs=0.01)
+
+    def test_negative_sigma_raises(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_noise_factor(rng, -0.1)
+
+
+class TestSaturating:
+    def test_small_x_linear(self):
+        assert saturating(1e-6, 100.0) == pytest.approx(1e-6, rel=1e-3)
+
+    def test_asymptote(self):
+        assert saturating(1e9, 100.0) == pytest.approx(100.0, rel=1e-6)
+
+    def test_monotone(self):
+        ys = [saturating(x, 50.0) for x in np.linspace(0, 500, 50)]
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_never_exceeds_capacity(self):
+        for x in [0.1, 10, 1000, 1e7]:
+            assert saturating(x, 42.0) < 42.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            saturating(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            saturating(1.0, 0.0)

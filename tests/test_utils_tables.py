@@ -1,0 +1,39 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(("a", "bb"), [("1", "2"), ("33", "4")])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        out = format_table(("x",), [("1",)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(("v",), [(3.14159,)])
+        assert "3.14" in out and "3.14159" not in out
+
+    def test_column_alignment(self):
+        out = format_table(("col",), [("a",), ("bbbb",)])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        out = format_table(("a",), [])
+        assert "a" in out
+
+    def test_int_cells(self):
+        out = format_table(("n",), [(42,)])
+        assert "42" in out

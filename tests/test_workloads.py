@@ -1,0 +1,122 @@
+"""Tests for the workload models (Table 1)."""
+
+import pytest
+
+from repro.workloads.base import DatasetSpec, StageSpec
+from repro.workloads.kmeans import KMeans
+from repro.workloads.pagerank import PageRank
+from repro.workloads.registry import (
+    WORKLOADS,
+    get_workload,
+    table1_rows,
+    workload_pairs,
+)
+from repro.workloads.terasort import TeraSort
+from repro.workloads.wordcount import WordCount
+
+
+class TestStageSpec:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=-1.0)
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=1.0, cpu_per_mb=-0.1)
+
+    def test_rigid_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=1.0, rigid_memory_fraction=0.0)
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=1.0, rigid_memory_fraction=1.5)
+
+    def test_memory_expansion_positive(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=1.0, memory_expansion=0.0)
+
+
+class TestDatasetSpec:
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("D1", 0.0, "GB", input_mb=1.0)
+        with pytest.raises(ValueError):
+            DatasetSpec("D1", 1.0, "GB", input_mb=0.0)
+
+
+class TestRegistry:
+    def test_four_workloads(self):
+        assert set(WORKLOADS) == {"WC", "TS", "PR", "KM"}
+
+    def test_twelve_pairs(self):
+        pairs = workload_pairs()
+        assert len(pairs) == 12
+        assert pairs[0][0].code == "WC" and pairs[0][1].label == "D1"
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("XX")
+
+    def test_table1_matches_paper(self):
+        rows = {r[0]: (r[1], r[2]) for r in table1_rows()}
+        assert rows["WordCount (WC)"] == ("micro", "3.2, 10, 20 (GB)")
+        assert rows["TeraSort (TS)"] == ("micro", "3.2, 6, 10 (GB)")
+        assert rows["PageRank (PR)"] == (
+            "websearch", "0.5, 1, 1.6 (Million Pages)"
+        )
+        assert rows["KMeans (KM)"] == ("ML", "20, 30, 40 (Million Points)")
+
+
+class TestWorkloadStructure:
+    @pytest.mark.parametrize("code", ["WC", "TS", "PR", "KM"])
+    def test_datasets_grow(self, code):
+        ds = get_workload(code).datasets()
+        assert ds["D1"].input_mb < ds["D2"].input_mb < ds["D3"].input_mb
+
+    @pytest.mark.parametrize("code", ["WC", "TS", "PR", "KM"])
+    def test_first_stage_reads_hdfs(self, code):
+        w = get_workload(code)
+        stages = w.stages(w.dataset("D1"))
+        assert stages[0].reads_hdfs
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("WC").dataset("D9")
+
+    def test_wordcount_shuffle_is_small(self):
+        w = WordCount()
+        stages = w.stages(w.dataset("D1"))
+        assert stages[0].shuffle_write_mb < 0.1 * stages[0].input_mb
+
+    def test_terasort_shuffles_everything(self):
+        w = TeraSort()
+        stages = w.stages(w.dataset("D1"))
+        assert stages[0].shuffle_write_mb == stages[0].input_mb
+        assert stages[-1].hdfs_write_mb == stages[0].input_mb
+
+    def test_terasort_stages_are_sorts(self):
+        w = TeraSort()
+        assert all(s.sortish for s in w.stages(w.dataset("D1")))
+
+    def test_pagerank_is_iterative_with_cache(self):
+        w = PageRank()
+        stages = w.stages(w.dataset("D1"))
+        iters = [s for s in stages if s.name.startswith("rank-iter")]
+        assert len(iters) == PageRank.ITERATIONS
+        assert all(s.cache_demand_mb > 0 for s in iters)
+
+    def test_kmeans_is_memory_hungry(self):
+        w = KMeans()
+        stages = w.stages(w.dataset("D1"))
+        assigns = [s for s in stages if s.name.startswith("assign")]
+        assert len(assigns) == KMeans.ITERATIONS
+        # cache demand exceeds the on-disk input (deserialized expansion)
+        assert assigns[0].cache_demand_mb > w.dataset("D1").input_mb
+        # rigid vectors: the highest OOM sensitivity of all workloads
+        assert assigns[0].rigid_memory_fraction >= 0.5
+        assert assigns[0].inherits_input_partitions
+
+    def test_kmeans_broadcasts_centroids(self):
+        w = KMeans()
+        assigns = [
+            s for s in w.stages(w.dataset("D1"))
+            if s.name.startswith("assign")
+        ]
+        assert all(s.broadcast_mb > 0 for s in assigns)

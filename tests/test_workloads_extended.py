@@ -1,0 +1,101 @@
+"""Tests for the extended (non-paper) workloads."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hardware import CLUSTER_A
+from repro.factory import make_env
+from repro.sim.engine import SparkSimulator
+from repro.workloads.extended import Aggregation, Bayes, Join
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    EXTENDED_WORKLOADS,
+    WORKLOADS,
+    get_workload,
+    workload_pairs,
+)
+
+EXT_CODES = ("BAY", "AGG", "JOIN")
+
+
+class TestRegistryExtension:
+    def test_paper_set_unchanged(self):
+        assert set(WORKLOADS) == {"WC", "TS", "PR", "KM"}
+        assert len(workload_pairs()) == 12  # the paper's pairs only
+
+    def test_extended_set(self):
+        assert set(EXTENDED_WORKLOADS) == set(EXT_CODES)
+        assert set(ALL_WORKLOADS) == set(WORKLOADS) | set(EXT_CODES)
+
+    def test_lookup_extended(self):
+        assert get_workload("BAY").name == "Bayes"
+        assert get_workload("JOIN").category == "SQL"
+
+
+class TestExtendedStructure:
+    @pytest.mark.parametrize("code", EXT_CODES)
+    def test_datasets_grow(self, code):
+        ds = get_workload(code).datasets()
+        assert ds["D1"].input_mb < ds["D2"].input_mb < ds["D3"].input_mb
+
+    @pytest.mark.parametrize("code", EXT_CODES)
+    def test_first_stage_reads_hdfs(self, code):
+        w = get_workload(code)
+        assert w.stages(w.dataset("D1"))[0].reads_hdfs
+
+    def test_join_reads_two_tables(self):
+        w = Join()
+        stages = w.stages(w.dataset("D1"))
+        readers = [s for s in stages if s.reads_hdfs]
+        assert len(readers) == 2
+
+    def test_aggregation_shuffle_is_small(self):
+        w = Aggregation()
+        s0 = w.stages(w.dataset("D1"))[0]
+        assert s0.shuffle_write_mb < 0.2 * s0.input_mb
+
+    def test_bayes_is_cpu_heavy(self):
+        assert Bayes().stages(Bayes().dataset("D1"))[0].cpu_per_mb >= 0.04
+
+
+class TestExtendedSimulation:
+    @pytest.mark.parametrize("code", EXT_CODES)
+    def test_defaults_succeed(self, code, space):
+        w = get_workload(code)
+        for label in ("D1", "D2", "D3"):
+            sim = SparkSimulator(
+                w, label, CLUSTER_A, np.random.default_rng(0),
+                noise_sigma=0.0,
+            )
+            r = sim.evaluate(space.defaults())
+            assert r.success, f"{code}-{label}: {r.failure_reason}"
+
+    @pytest.mark.parametrize("code", EXT_CODES)
+    def test_tunable(self, code, space):
+        """A well-provisioned config beats the default on every extended
+        workload — the tuning problem is real, not flat."""
+        w = get_workload(code)
+        sim = SparkSimulator(
+            w, "D1", CLUSTER_A, np.random.default_rng(0), noise_sigma=0.0
+        )
+        default = sim.evaluate(space.defaults()).duration_s
+        good = space.defaults() | {
+            "spark.executor.cores": 5,
+            "spark.executor.memory": 3072,
+            "spark.executor.memoryOverhead": 512,
+            "spark.executor.instances": 9,
+            "spark.default.parallelism": 96,
+            "spark.serializer": "kryo",
+            "yarn.nodemanager.resource.memory-mb": 14336,
+            "yarn.nodemanager.resource.cpu-vcores": 16,
+            "yarn.scheduler.maximum-allocation-mb": 14336,
+            "yarn.scheduler.maximum-allocation-vcores": 16,
+        }
+        tuned = sim.evaluate(good)
+        assert tuned.success
+        assert tuned.duration_s < default * 0.8
+
+    def test_make_env_supports_extended(self):
+        env = make_env("AGG", "D1", seed=0)
+        out = env.step(env.space.default_vector())
+        assert out.success
