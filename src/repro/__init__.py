@@ -24,6 +24,7 @@ from repro.core.deepcat import DeepCAT
 from repro.core.persistence import load_tuner, save_tuner
 from repro.envs.tuning_env import TuningEnv
 from repro.factory import make_env
+from repro.telemetry import RunContext, RunManifest
 
 __version__ = "1.0.0"
 
@@ -38,5 +39,7 @@ __all__ = [
     "make_env",
     "save_tuner",
     "load_tuner",
+    "RunContext",
+    "RunManifest",
     "__version__",
 ]

@@ -15,7 +15,6 @@ from repro.agents.base import (
     build_critic,
     critic_input,
 )
-from repro.nn.network import Sequential
 from repro.nn.noise import GaussianNoise
 from repro.nn.optim import Adam
 from repro.nn.target import hard_update, soft_update
@@ -65,6 +64,10 @@ class DDPGAgent:
             decay=self.hp.exploration_decay,
         )
         self.updates_done = 0
+        from repro.telemetry.context import NULL_CONTEXT
+
+        #: RunContext set by the trainer/tuner; null by default
+        self.telemetry = NULL_CONTEXT
 
     # ------------------------------------------------------------- acting
 
@@ -122,6 +125,16 @@ class DDPGAgent:
         soft_update(self.critic_target, self.critic, self.hp.tau)
         self.updates_done += 1
 
+        t = self.telemetry
+        t.count("agent.updates_total", help="gradient updates", agent="ddpg")
+        t.observe(
+            "agent.critic_loss", critic_loss,
+            help="per-update critic loss", agent="ddpg",
+        )
+        t.observe(
+            "agent.mean_q", float(np.mean(q)),
+            help="batch-mean critic Q", agent="ddpg",
+        )
         return {
             "critic_loss": critic_loss,
             "mean_q": float(np.mean(q)),

@@ -80,6 +80,10 @@ class TD3Agent:
         )
         self._smooth_rng = smooth_rng
         self.updates_done = 0
+        from repro.telemetry.context import NULL_CONTEXT
+
+        #: RunContext set by the trainer/tuner; null by default
+        self.telemetry = NULL_CONTEXT
 
     # ------------------------------------------------------------- acting
 
@@ -152,6 +156,22 @@ class TD3Agent:
             soft_update(self.critic2_target, self.critic2, self.hp.tau)
             diag["actor_updated"] = True
 
+        t = self.telemetry
+        t.count("agent.updates_total", help="gradient updates", agent="td3")
+        if diag["actor_updated"]:
+            t.count(
+                "agent.actor_updates_total",
+                help="delayed policy updates",
+                agent="td3",
+            )
+        t.observe(
+            "agent.critic_loss", critic_loss,
+            help="per-update critic loss", agent="td3",
+        )
+        t.observe(
+            "agent.mean_q", diag["mean_q"],
+            help="batch-mean conservative Q", agent="td3",
+        )
         return diag
 
     # ------------------------------------------------------------- critics

@@ -56,10 +56,14 @@ class CDBTune:
 
     def train_offline(
         self, env: TuningEnv, iterations: int, updates_per_step: int = 1,
-        callback=None,
+        callback=None, telemetry=None,
     ) -> OfflineTrainingLog:
+        if telemetry is not None and telemetry.manifest is not None:
+            telemetry.manifest.record_hyper_params(self.hp)
+            telemetry.manifest.record_cluster(env.cluster)
         trainer = OfflineTrainer(
-            self.agent, self.buffer, updates_per_step=updates_per_step
+            self.agent, self.buffer, updates_per_step=updates_per_step,
+            telemetry=telemetry,
         )
         self.offline_log = trainer.train(env, iterations, callback=callback)
         return self.offline_log
@@ -71,6 +75,7 @@ class CDBTune:
         time_budget_s: float | None = None,
         fine_tune_updates: int = 2,
         exploration_sigma: float = 0.3,
+        telemetry=None,
     ) -> OnlineSession:
         tuner = OnlineTuner(
             self.agent,
@@ -80,5 +85,6 @@ class CDBTune:
             fine_tune_updates=fine_tune_updates,
             exploration_sigma=exploration_sigma,
             rng=self._online_rng,
+            telemetry=telemetry,
         )
         return tuner.tune(env, steps=steps, time_budget_s=time_budget_s)

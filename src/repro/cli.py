@@ -18,6 +18,7 @@ configuration on the simulator (the HiBench-equivalent one-off run);
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -49,8 +50,31 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(_CLUSTERS))
         p.add_argument("--seed", type=int, default=0)
 
+    def telemetry_flags(p):
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write a JSONL span trace here (plus a Chrome "
+                 "trace_event file next to it, suffix .chrome.json)",
+        )
+        p.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="write the metrics dump here (.json => JSON, anything "
+                 "else => Prometheus text format)",
+        )
+        p.add_argument(
+            "--manifest", default=None, metavar="PATH",
+            help="write the run manifest (seed, git SHA, hyper-params, "
+                 "wall-clock breakdown) here",
+        )
+        p.add_argument(
+            "--events", default=None, metavar="PATH",
+            help="append structured JSONL events (offline-step, "
+                 "online-step, sim-stage, ...) here",
+        )
+
     p_train = sub.add_parser("train", help="offline-train a tuner")
     common(p_train)
+    telemetry_flags(p_train)
     p_train.add_argument("--tuner", default="deepcat",
                          choices=("deepcat", "cdbtune"))
     p_train.add_argument("--iterations", type=int, default=1500)
@@ -59,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_tune = sub.add_parser("tune", help="serve an online tuning request")
     common(p_tune)
+    telemetry_flags(p_tune)
     p_tune.add_argument("--model", required=True, help="trained .npz path")
     p_tune.add_argument("--steps", type=int, default=5)
     p_tune.add_argument("--time-budget", type=float, default=None,
@@ -88,6 +113,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("--sampler", default="uniform",
                           choices=("uniform", "lhs"))
     p_corpus.add_argument("--output", required=True, help="output .npz path")
+
+    p_tel = sub.add_parser(
+        "telemetry", help="inspect telemetry artifacts from a tuned run"
+    )
+    p_tel.add_argument(
+        "action", choices=("summary", "dump"),
+        help="summary: human-readable cost breakdown; dump: normalized "
+             "JSON of the artifact",
+    )
+    p_tel.add_argument(
+        "path",
+        help="a trace .jsonl, a metrics .prom/.json dump, or a run "
+             "manifest .json",
+    )
+    p_tel.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="hide spans shorter than this in the trace summary",
+    )
     return parser
 
 
@@ -115,6 +158,37 @@ def _coerce(param, raw: str):
     raise TypeError(f"unknown parameter type for {param.name}")
 
 
+def _telemetry_context(args, kind: str):
+    """Build a RunContext from the --trace/--metrics-out/... flags.
+
+    Returns the shared null context when no flag is set, so the default
+    CLI path stays on the telemetry-free fast path.
+    """
+    from repro.telemetry import NULL_CONTEXT, RunContext
+    from repro.utils.logging import JsonlLogger
+
+    if not (args.trace or args.metrics_out or args.manifest or args.events):
+        return NULL_CONTEXT
+    ctx = RunContext.recording(
+        trace=args.trace,
+        metrics=args.metrics_out,
+        manifest=args.manifest,
+        logger=JsonlLogger(args.events) if args.events else None,
+        seed=args.seed,
+        kind=kind,
+    )
+    ctx.manifest.workload = args.workload
+    ctx.manifest.dataset = args.dataset
+    ctx.manifest.extra["cluster_name"] = args.cluster
+    return ctx
+
+
+def _finish_telemetry(ctx) -> None:
+    written = ctx.save()
+    for path in written:
+        print(f"telemetry: wrote {path}")
+
+
 def _cmd_train(args) -> int:
     env = make_env(args.workload, args.dataset,
                    cluster=_CLUSTERS[args.cluster], seed=args.seed)
@@ -124,12 +198,14 @@ def _cmd_train(args) -> int:
         f"offline-training {args.tuner} on {args.workload}-{args.dataset} "
         f"({args.iterations} iterations)..."
     )
-    log = tuner.train_offline(env, args.iterations)
+    ctx = _telemetry_context(args, kind="offline-train")
+    log = tuner.train_offline(env, args.iterations, telemetry=ctx)
     save_tuner(tuner, args.model)
     print(
         f"saved {args.model}; best configuration seen offline "
         f"{log.best_duration_s:.1f}s (default {env.default_duration:.1f}s)"
     )
+    _finish_telemetry(ctx)
     return 0
 
 
@@ -137,8 +213,10 @@ def _cmd_tune(args) -> int:
     tuner = load_tuner(args.model, seed=args.seed)
     env = make_env(args.workload, args.dataset,
                    cluster=_CLUSTERS[args.cluster], seed=1000 + args.seed)
+    ctx = _telemetry_context(args, kind="online-tune")
     session = tuner.tune_online(
-        env, steps=args.steps, time_budget_s=args.time_budget
+        env, steps=args.steps, time_budget_s=args.time_budget,
+        telemetry=ctx,
     )
     for step in session.steps:
         status = "ok" if step.success else "FAILED"
@@ -151,6 +229,7 @@ def _cmd_tune(args) -> int:
         f"({session.speedup_over_default:.2f}x over default), "
         f"total tuning cost {session.total_tuning_seconds:.1f}s"
     )
+    _finish_telemetry(ctx)
     return 0
 
 
@@ -213,6 +292,110 @@ def _cmd_corpus(args) -> int:
     return 0
 
 
+def _classify_artifact(path: str) -> str:
+    """Sniff what kind of telemetry artifact a file is.
+
+    Recognizes JSONL span traces, run manifests, JSON metrics dumps, and
+    Prometheus text; anything unparseable is treated as Prometheus text
+    (whose grammar is "anything line-oriented").
+    """
+    import json as _json
+
+    text = open(path, encoding="utf-8").read()
+    if not text.strip():
+        return "empty"
+    first_line = text.lstrip().split("\n", 1)[0]
+    try:
+        record = _json.loads(first_line)
+    except _json.JSONDecodeError:
+        try:
+            record = _json.loads(text)
+        except _json.JSONDecodeError:
+            return "prometheus"
+    if isinstance(record, dict):
+        if "duration_s" in record and "id" in record:
+            return "trace"
+        if "run_id" in record:
+            return "manifest"
+        return "metrics-json"
+    return "prometheus"
+
+
+def _cmd_telemetry(args) -> int:
+    import json as _json
+
+    from repro.telemetry import RunManifest, load_trace, render_span_tree
+
+    if not os.path.isfile(args.path):
+        print(f"{args.path}: no such file", file=sys.stderr)
+        return 2
+    kind = _classify_artifact(args.path)
+    if kind == "empty":
+        print(f"{args.path}: empty file", file=sys.stderr)
+        return 2
+
+    if kind == "trace":
+        roots = load_trace(args.path)
+        if args.action == "dump":
+            print(_json.dumps(roots, indent=2))
+            return 0
+        n_spans = sum(1 for r in roots for _ in _iter_tree(r))
+        print(f"trace: {len(roots)} root span(s), {n_spans} total")
+        print(render_span_tree(roots, min_duration_s=args.min_ms / 1e3))
+        return 0
+
+    if kind == "manifest":
+        manifest = RunManifest.load(args.path)
+        if args.action == "dump":
+            print(manifest.to_json())
+            return 0
+        d = manifest.to_dict()
+        print(f"run {d['run_id']} ({d['kind']})")
+        for key in ("workload", "dataset", "seed", "git_sha", "python"):
+            print(f"  {key:<12} {d[key]}")
+        print(f"  {'elapsed_s':<12} {d['elapsed_s']:.2f}")
+        if d["wall_clock"]:
+            print("  wall-clock breakdown:")
+            for name, entry in sorted(d["wall_clock"].items()):
+                print(
+                    f"    {name:<28} {entry['total_s']:9.3f}s "
+                    f"x{int(entry['count'])}"
+                )
+        for stage in d["stages"]:
+            print(f"  stage: {stage}")
+        return 0
+
+    if kind == "metrics-json":
+        data = _json.loads(open(args.path, encoding="utf-8").read())
+        if args.action == "dump":
+            print(_json.dumps(data, indent=2, sort_keys=True))
+            return 0
+        for name, entry in sorted(data.items()):
+            for series in entry["series"]:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in series.get("labels", {}).items()
+                )
+                value = series.get("value", series.get("sum"))
+                print(f"{name}{{{labels}}} = {value}")
+        return 0
+
+    # Prometheus text: dump prints it verbatim, summary filters comments.
+    text = open(args.path, encoding="utf-8").read()
+    if args.action == "dump":
+        print(text, end="")
+    else:
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                print(line)
+    return 0
+
+
+def _iter_tree(rec):
+    yield rec
+    for child in rec.get("children", []):
+        yield from _iter_tree(child)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -221,6 +404,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "bench-report": _cmd_bench_report,
         "corpus": _cmd_corpus,
+        "telemetry": _cmd_telemetry,
     }
     return handlers[args.command](args)
 

@@ -115,12 +115,18 @@ class DeepCAT:
 
     def train_offline(
         self, env: TuningEnv, iterations: int, updates_per_step: int = 1,
-        callback=None,
+        callback=None, telemetry=None,
     ) -> OfflineTrainingLog:
         """Offline training stage: trial-and-error on the standard
-        environment.  Trained once; reused for every tuning request."""
+        environment.  Trained once; reused for every tuning request.
+
+        ``telemetry`` (a :class:`~repro.telemetry.context.RunContext`)
+        records spans, metrics, and run provenance for the stage.
+        """
+        self._record_provenance(telemetry, env)
         trainer = OfflineTrainer(
-            self.agent, self.buffer, updates_per_step=updates_per_step
+            self.agent, self.buffer, updates_per_step=updates_per_step,
+            telemetry=telemetry,
         )
         self.offline_log = trainer.train(env, iterations, callback=callback)
         return self.offline_log
@@ -132,8 +138,10 @@ class DeepCAT:
         time_budget_s: float | None = None,
         fine_tune_updates: int = 2,
         exploration_sigma: float = 0.3,
+        telemetry=None,
     ) -> OnlineSession:
         """Online tuning stage for a new request on ``env``."""
+        self._record_provenance(telemetry, env)
         tuner = OnlineTuner(
             self.agent,
             self.buffer,
@@ -144,5 +152,27 @@ class DeepCAT:
             fine_tune_updates=fine_tune_updates,
             exploration_sigma=exploration_sigma,
             rng=self._online_rng,
+            telemetry=telemetry,
         )
         return tuner.tune(env, steps=steps, time_budget_s=time_budget_s)
+
+    def _record_provenance(self, telemetry, env: TuningEnv) -> None:
+        """Stamp tuner configuration + cluster spec into the manifest."""
+        if telemetry is None or telemetry.manifest is None:
+            return
+        manifest = telemetry.manifest
+        manifest.record_hyper_params(self.hp)
+        manifest.record_hyper_params(
+            {
+                "reward_threshold": self.reward_threshold,
+                "beta": self.beta,
+                "q_threshold": self.q_threshold,
+                "twinq_noise_sigma": self.twinq_noise_sigma,
+                "use_rdper": self.use_rdper,
+                "use_twin_q": self.use_twin_q,
+            }
+        )
+        manifest.record_cluster(env.cluster)
+        if manifest.workload is None:
+            manifest.workload = env.runner.workload.code
+            manifest.dataset = env.runner.dataset.label

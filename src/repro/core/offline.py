@@ -43,7 +43,13 @@ class OfflineTrainingLog:
 
 
 class OfflineTrainer:
-    """Drives agent-environment interaction plus replay updates."""
+    """Drives agent-environment interaction plus replay updates.
+
+    ``telemetry`` (a :class:`~repro.telemetry.context.RunContext`)
+    carries logger, tracer, metrics, and manifest in one object; the
+    legacy ``logger`` keyword still works and is routed through a
+    context internally.
+    """
 
     def __init__(
         self,
@@ -51,6 +57,7 @@ class OfflineTrainer:
         buffer,
         updates_per_step: int = 1,
         logger=None,
+        telemetry=None,
     ):
         if updates_per_step < 0:
             raise ValueError("updates_per_step cannot be negative")
@@ -58,11 +65,14 @@ class OfflineTrainer:
         self.buffer = buffer
         self.updates_per_step = updates_per_step
         self.log = OfflineTrainingLog()
-        if logger is None:
-            from repro.utils.logging import NullLogger
+        from repro.telemetry.context import ensure_context
 
-            logger = NullLogger()
-        self.logger = logger
+        self.telemetry = ensure_context(telemetry, logger)
+
+    @property
+    def logger(self):
+        """The event logger (backward-compatible accessor)."""
+        return self.telemetry.logger
 
     def train(
         self,
@@ -77,55 +87,107 @@ class OfflineTrainer:
         """
         if iterations <= 0:
             raise ValueError("iterations must be positive")
+        t = self.telemetry
+        if hasattr(env, "attach_telemetry"):
+            env.attach_telemetry(t)
+        if hasattr(self.buffer, "set_telemetry"):
+            self.buffer.set_telemetry(t)
+        if hasattr(self.agent, "telemetry"):
+            self.agent.telemetry = t
         state = env.state
         warmup = self.agent.hp.warmup_steps
-        for it in range(iterations):
-            if len(self.buffer) < warmup:
-                action = self.agent.random_action()
-            else:
-                action = self.agent.act(state, explore=True)
+        with t.span("offline.train", iterations=iterations):
+            for it in range(iterations):
+                with t.span("offline.step", iteration=it):
+                    if len(self.buffer) < warmup:
+                        action = self.agent.random_action()
+                    else:
+                        action = self.agent.act(state, explore=True)
 
-            # Critic's view of this action before learning from it.
-            if hasattr(self.agent, "min_q"):
-                q_est = self.agent.min_q(state, action)
-            else:
-                q_est = self.agent.q_value(state, action)
+                    # Critic's view of this action before learning from it.
+                    if hasattr(self.agent, "min_q"):
+                        q_est = self.agent.min_q(state, action)
+                    else:
+                        q_est = self.agent.q_value(state, action)
 
-            outcome = env.step(action)
-            self.buffer.push(
-                Transition(
-                    state=outcome.state,
-                    action=outcome.action,
-                    reward=outcome.reward,
-                    next_state=outcome.next_state,
-                )
-            )
-            state = outcome.next_state
-
-            if self.buffer.can_sample(self.agent.hp.batch_size):
-                for _ in range(self.updates_per_step):
-                    batch = self.buffer.sample(self.agent.hp.batch_size)
-                    diag = self.agent.update(batch)
-                    if isinstance(self.buffer, PrioritizedReplayBuffer):
-                        self.buffer.update_priorities(
-                            batch.indices, diag["td_errors"]
+                    with t.span("offline.evaluate"):
+                        outcome = env.step(action)
+                    self.buffer.push(
+                        Transition(
+                            state=outcome.state,
+                            action=outcome.action,
+                            reward=outcome.reward,
+                            next_state=outcome.next_state,
                         )
-                    self.log.critic_losses.append(diag["critic_loss"])
+                    )
+                    state = outcome.next_state
 
-            self.log.rewards.append(outcome.reward)
-            self.log.min_q.append(q_est)
-            self.log.durations.append(outcome.duration_s)
-            if outcome.success and outcome.duration_s < self.log.best_duration_s:
-                self.log.best_duration_s = outcome.duration_s
-                self.log.best_action = outcome.action.copy()
-            self.logger.event(
-                "offline-step",
-                iteration=it,
-                reward=float(outcome.reward),
-                duration_s=float(outcome.duration_s),
-                success=bool(outcome.success),
-                best_s=float(self.log.best_duration_s),
+                    if self.buffer.can_sample(self.agent.hp.batch_size):
+                        with t.span("offline.update"):
+                            for _ in range(self.updates_per_step):
+                                batch = self.buffer.sample(
+                                    self.agent.hp.batch_size
+                                )
+                                diag = self.agent.update(batch)
+                                if isinstance(
+                                    self.buffer, PrioritizedReplayBuffer
+                                ):
+                                    self.buffer.update_priorities(
+                                        batch.indices, diag["td_errors"]
+                                    )
+                                self.log.critic_losses.append(
+                                    diag["critic_loss"]
+                                )
+
+                    self.log.rewards.append(outcome.reward)
+                    self.log.min_q.append(q_est)
+                    self.log.durations.append(outcome.duration_s)
+                    if (
+                        outcome.success
+                        and outcome.duration_s < self.log.best_duration_s
+                    ):
+                        self.log.best_duration_s = outcome.duration_s
+                        self.log.best_action = outcome.action.copy()
+                    t.count(
+                        "offline.steps_total",
+                        help="offline environment steps (evaluations)",
+                    )
+                    if not outcome.success:
+                        t.count(
+                            "offline.failed_steps_total",
+                            help="offline evaluations that failed",
+                        )
+                    t.observe(
+                        "offline.q_estimate",
+                        float(q_est),
+                        help="conservative critic Q of executed actions",
+                    )
+                    t.observe(
+                        "offline.evaluation_seconds",
+                        float(outcome.duration_s),
+                        help="per-evaluation simulated cost",
+                    )
+                    t.gauge_set(
+                        "replay.size",
+                        len(self.buffer),
+                        help="replay pool occupancy",
+                    )
+                    t.event(
+                        "offline-step",
+                        iteration=it,
+                        reward=float(outcome.reward),
+                        duration_s=float(outcome.duration_s),
+                        success=bool(outcome.success),
+                        best_s=float(self.log.best_duration_s),
+                    )
+                    if callback is not None:
+                        callback(it, self.log)
+        if t.manifest is not None:
+            t.manifest.record_hyper_params(self.agent.hp)
+            t.manifest.record_stage(
+                "offline-train",
+                iterations=iterations,
+                best_duration_s=self.log.best_duration_s,
+                replay_size=len(self.buffer),
             )
-            if callback is not None:
-                callback(it, self.log)
         return self.log

@@ -39,14 +39,13 @@ class OnlineTuner:
         exploration_sigma: float = 0.3,
         rng: np.random.Generator | None = None,
         logger=None,
+        telemetry=None,
     ):
         if fine_tune_updates < 0:
             raise ValueError("fine_tune_updates cannot be negative")
-        if logger is None:
-            from repro.utils.logging import NullLogger
+        from repro.telemetry.context import ensure_context
 
-            logger = NullLogger()
-        self.logger = logger
+        self.telemetry = ensure_context(telemetry, logger)
         self.agent = agent
         self.buffer = buffer
         self.name = name
@@ -56,6 +55,11 @@ class OnlineTuner:
         self.fine_tune_updates = fine_tune_updates
         self.exploration_sigma = exploration_sigma
         self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def logger(self):
+        """The event logger (backward-compatible accessor)."""
+        return self.telemetry.logger
 
     def _recommend(self, state: np.ndarray) -> tuple[np.ndarray, dict]:
         """Produce the action for this step; returns (action, twinq diag)."""
@@ -76,6 +80,7 @@ class OnlineTuner:
                 q_threshold=self.q_threshold,
                 noise_sigma=self.twinq_noise_sigma,
                 rng=self._rng,
+                telemetry=self.telemetry,
             )
             action = outcome.action
             diag = {
@@ -100,6 +105,13 @@ class OnlineTuner:
         """
         if steps <= 0:
             raise ValueError("steps must be positive")
+        t = self.telemetry
+        if hasattr(env, "attach_telemetry"):
+            env.attach_telemetry(t)
+        if self.buffer is not None and hasattr(self.buffer, "set_telemetry"):
+            self.buffer.set_telemetry(t)
+        if hasattr(self.agent, "telemetry"):
+            self.agent.telemetry = t
         session = OnlineSession(
             tuner=self.name,
             workload=env.runner.workload.code,
@@ -107,59 +119,107 @@ class OnlineTuner:
             default_duration_s=env.default_duration,
         )
         state = env.state
-        for step in range(steps):
-            t0 = time.perf_counter()
-            action, diag = self._recommend(state)
-            recommendation_s = time.perf_counter() - t0
+        with t.span(
+            "online.tune", tuner=self.name, workload=session.workload,
+            dataset=session.dataset,
+        ):
+            for step in range(steps):
+                with t.span("online.step", step=step):
+                    t0 = time.perf_counter()
+                    with t.span("online.recommend"):
+                        action, diag = self._recommend(state)
+                    recommendation_s = time.perf_counter() - t0
 
-            outcome = env.step(action)
-            state = outcome.next_state
+                    with t.span("online.evaluate"):
+                        outcome = env.step(action)
+                    state = outcome.next_state
 
-            if self.buffer is not None:
-                self.buffer.push(
-                    Transition(
-                        state=outcome.state,
-                        action=outcome.action,
-                        reward=outcome.reward,
-                        next_state=outcome.next_state,
-                    )
-                )
-                if self.buffer.can_sample(self.agent.hp.batch_size):
-                    for _ in range(self.fine_tune_updates):
-                        batch = self.buffer.sample(self.agent.hp.batch_size)
-                        d = self.agent.update(batch)
-                        if isinstance(self.buffer, PrioritizedReplayBuffer):
-                            self.buffer.update_priorities(
-                                batch.indices, d["td_errors"]
+                    if self.buffer is not None:
+                        self.buffer.push(
+                            Transition(
+                                state=outcome.state,
+                                action=outcome.action,
+                                reward=outcome.reward,
+                                next_state=outcome.next_state,
                             )
+                        )
+                        if self.buffer.can_sample(self.agent.hp.batch_size):
+                            with t.span("online.finetune"):
+                                for _ in range(self.fine_tune_updates):
+                                    batch = self.buffer.sample(
+                                        self.agent.hp.batch_size
+                                    )
+                                    d = self.agent.update(batch)
+                                    if isinstance(
+                                        self.buffer, PrioritizedReplayBuffer
+                                    ):
+                                        self.buffer.update_priorities(
+                                            batch.indices, d["td_errors"]
+                                        )
 
-            session.add(
-                TuningStepRecord(
-                    step=step,
-                    duration_s=outcome.duration_s,
-                    recommendation_s=recommendation_s,
-                    reward=outcome.reward,
-                    success=outcome.success,
-                    config=outcome.config,
-                    action=outcome.action,
-                    twinq_iterations=diag.get("twinq_iterations"),
-                    twinq_accepted=diag.get("twinq_accepted"),
-                    original_q=diag.get("original_q"),
-                    final_q=diag.get("final_q"),
-                )
-            )
-            self.logger.event(
-                "online-step",
+                    session.add(
+                        TuningStepRecord(
+                            step=step,
+                            duration_s=outcome.duration_s,
+                            recommendation_s=recommendation_s,
+                            reward=outcome.reward,
+                            success=outcome.success,
+                            config=outcome.config,
+                            action=outcome.action,
+                            twinq_iterations=diag.get("twinq_iterations"),
+                            twinq_accepted=diag.get("twinq_accepted"),
+                            original_q=diag.get("original_q"),
+                            final_q=diag.get("final_q"),
+                        )
+                    )
+                    # The paper's cost split: recommendation time is the
+                    # tuner's own overhead, evaluation time is what the
+                    # Twin-Q Optimizer exists to reduce (Figure 7).
+                    t.count(
+                        "online.steps_total",
+                        help="online tuning steps served",
+                        tuner=self.name,
+                    )
+                    t.count(
+                        "online.recommendation_seconds_total",
+                        recommendation_s,
+                        help="cumulative recommendation time",
+                        tuner=self.name,
+                    )
+                    t.count(
+                        "online.evaluation_seconds_total",
+                        float(outcome.duration_s),
+                        help="cumulative configuration evaluation time",
+                        tuner=self.name,
+                    )
+                    t.observe(
+                        "online.step_reward",
+                        float(outcome.reward),
+                        help="per-step reward",
+                        tuner=self.name,
+                    )
+                    t.event(
+                        "online-step",
+                        tuner=self.name,
+                        step=step,
+                        duration_s=float(outcome.duration_s),
+                        reward=float(outcome.reward),
+                        success=bool(outcome.success),
+                        recommendation_s=float(recommendation_s),
+                    )
+                    if (
+                        time_budget_s is not None
+                        and session.total_tuning_seconds >= time_budget_s
+                    ):
+                        break
+        if t.manifest is not None:
+            t.manifest.record_stage(
+                "online-tune",
                 tuner=self.name,
-                step=step,
-                duration_s=float(outcome.duration_s),
-                reward=float(outcome.reward),
-                success=bool(outcome.success),
-                recommendation_s=float(recommendation_s),
+                workload=session.workload,
+                dataset=session.dataset,
+                steps=len(session.steps),
+                best_duration_s=session.best_duration_s,
+                total_tuning_seconds=session.total_tuning_seconds,
             )
-            if (
-                time_budget_s is not None
-                and session.total_tuning_seconds >= time_budget_s
-            ):
-                break
         return session

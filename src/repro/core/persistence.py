@@ -18,8 +18,6 @@ from pathlib import Path
 import numpy as np
 
 from repro.agents.base import AgentHyperParams
-from repro.agents.ddpg import DDPGAgent
-from repro.agents.td3 import TD3Agent
 from repro.baselines.cdbtune import CDBTune
 from repro.core.deepcat import DeepCAT
 

@@ -55,6 +55,7 @@ def twin_q_optimize(
     noise_sigma: float = 0.1,
     rng: np.random.Generator | None = None,
     max_iterations: int = 64,
+    telemetry=None,
 ) -> TwinQOutcome:
     """Run Algorithm 1 for one recommended action.
 
@@ -76,12 +77,70 @@ def twin_q_optimize(
         Candidate budget per escalation round; on exhaustion of all
         rounds the original recommendation is executed
         (``accepted=False``).
+    telemetry:
+        Optional :class:`~repro.telemetry.context.RunContext`; records
+        the span ``twinq.optimize`` plus the iteration/acceptance
+        counters behind the paper's Figures 3 and 5.
     """
     if noise_sigma <= 0:
         raise ValueError("noise_sigma must be positive")
     if max_iterations < 1:
         raise ValueError("max_iterations must be >= 1")
     rng = rng if rng is not None else np.random.default_rng()
+    if telemetry is None:
+        from repro.telemetry.context import NULL_CONTEXT
+
+        telemetry = NULL_CONTEXT
+
+    with telemetry.span("twinq.optimize") as span:
+        outcome = _optimize(
+            agent, state, action, q_threshold, noise_sigma, rng,
+            max_iterations,
+        )
+        span.set_attr("iterations", outcome.iterations)
+        span.set_attr("accepted", outcome.accepted)
+    telemetry.count(
+        "twinq.invocations_total",
+        help="recommendations screened by the Twin-Q Optimizer",
+    )
+    telemetry.count(
+        "twinq.iterations_total",
+        outcome.iterations,
+        help="candidate actions scored across all screenings",
+    )
+    if outcome.iterations == 0:
+        telemetry.count(
+            "twinq.passthrough_total",
+            help="recommendations accepted without perturbation",
+        )
+    elif outcome.accepted:
+        telemetry.count(
+            "twinq.accepted_total",
+            help="perturbed candidates that cleared Q_th",
+        )
+    else:
+        telemetry.count(
+            "twinq.rejected_total",
+            help="screenings that fell back to the original action",
+        )
+    telemetry.observe(
+        "twinq.q_improvement",
+        outcome.q_value - outcome.original_q,
+        help="min(Q1,Q2) gain of the executed action over the original",
+    )
+    return outcome
+
+
+def _optimize(
+    agent: TD3Agent,
+    state: np.ndarray,
+    action: np.ndarray,
+    q_threshold: float,
+    noise_sigma: float,
+    rng: np.random.Generator,
+    max_iterations: int,
+) -> TwinQOutcome:
+    """The uninstrumented Algorithm 1 body."""
 
     original = np.clip(np.asarray(action, dtype=np.float64), 0.0, 1.0)
     original_q = agent.min_q(state, original)

@@ -89,6 +89,20 @@ class TuningEnv:
         self._state = self._tracker.reset()
         return self.state
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Propagate a :class:`~repro.telemetry.context.RunContext` to
+        the underlying simulator (stage timings, fault injections).
+
+        Called automatically by :class:`~repro.core.offline.OfflineTrainer`
+        and :class:`~repro.core.online.OnlineTuner`; passing ``None``
+        detaches back to the null context.
+        """
+        from repro.telemetry.context import NULL_CONTEXT
+
+        self.runner.simulator.telemetry = (
+            telemetry if telemetry is not None else NULL_CONTEXT
+        )
+
     def step(self, action: np.ndarray) -> StepOutcome:
         """Evaluate the configuration encoded by ``action``.
 

@@ -23,6 +23,7 @@ module                paper artifact
 ``fig10_hardware_adapt`` Figure 10 (Cluster-A -> Cluster-B)
 ``fig11_beta``        Figure 11 (RDPER β sweep)
 ``fig12_qth``         Figure 12 (Q_th sweep)
+``cost_breakdown``    (extension) instrumented-session telemetry
 ``ablations``         (extension) agent x replay matrix
 ``whitebox_ablation`` (extension) reduced-space tuning
 ``drift``             (extension) workload-drift request stream

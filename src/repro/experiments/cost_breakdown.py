@@ -1,0 +1,124 @@
+"""Telemetry cost breakdown: where one DeepCAT session spends its time.
+
+Runs a short fully-instrumented offline+online DeepCAT session (a scaled
+-down version of the paper's protocol) and reports the wall-clock split
+across pipeline stages plus the Twin-Q / RDPER counters — the live
+version of the cost-efficiency signals behind Figures 3, 5, and 7.  This
+is the template every perf PR should measure itself against: the same
+``RunContext`` attaches to any run via ``--trace`` / ``--metrics-out``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.deepcat import DeepCAT
+from repro.experiments.common import ExperimentScale, get_scale
+from repro.factory import make_env
+from repro.telemetry import RunContext
+from repro.utils.tables import format_table
+
+__all__ = ["CostBreakdownResult", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class CostBreakdownResult:
+    """Aggregates of one instrumented session."""
+
+    workload: str
+    dataset: str
+    offline_iterations: int
+    online_steps: int
+    #: {span name: {"count": n, "total_s": seconds}} from the tracer
+    wall_clock: dict[str, dict[str, float]]
+    #: flat {metric name: value} for the headline counters
+    counters: dict[str, float]
+    #: the run manifest as a dict (seed, git SHA, hyper-parameters...)
+    manifest: dict
+
+    def span_seconds(self, name: str) -> float:
+        entry = self.wall_clock.get(name)
+        return float(entry["total_s"]) if entry else 0.0
+
+    @property
+    def recommendation_share(self) -> float:
+        """Fraction of online wall-clock spent recommending (not
+        evaluating) — the tuner's own overhead."""
+        rec = self.span_seconds("online.recommend")
+        total = self.span_seconds("online.tune")
+        return rec / total if total > 0 else 0.0
+
+
+def run(
+    scale: str | ExperimentScale = "quick",
+    workload: str = "TS",
+    dataset: str = "D1",
+) -> CostBreakdownResult:
+    """Run the instrumented session and collect its telemetry."""
+    sc = get_scale(scale)
+    seed = sc.seeds[0]
+    # A tenth of the scale's offline budget is enough to exercise every
+    # instrumented path cheaply; the floor keeps it above the default
+    # batch size so gradient updates (offline.update spans) do occur.
+    iterations = max(150, sc.offline_iterations // 10)
+
+    ctx = RunContext.recording(kind="cost-breakdown", seed=seed)
+    env = make_env(workload, dataset, seed=seed)
+    tuner = DeepCAT.from_env(env, seed=seed)
+    tuner.train_offline(env, iterations, telemetry=ctx)
+    request_env = make_env(workload, dataset, seed=1000 + seed)
+    tuner.tune_online(request_env, steps=sc.online_steps, telemetry=ctx)
+    ctx.finish()
+
+    counters: dict[str, float] = {}
+    for metric in ctx.metrics:
+        if metric.kind == "counter":
+            label = "".join(
+                f"{{{k}={v}}}" for k, v in metric.labels
+            )
+            counters[f"{metric.name}{label}"] = metric.value
+    gauges = {
+        f"{m.name}": m.value for m in ctx.metrics if m.kind == "gauge"
+    }
+    counters.update(gauges)
+    return CostBreakdownResult(
+        workload=workload,
+        dataset=dataset,
+        offline_iterations=iterations,
+        online_steps=sc.online_steps,
+        wall_clock=ctx.tracer.totals(),
+        counters=counters,
+        manifest=ctx.manifest.to_dict(),
+    )
+
+
+def format_result(r: CostBreakdownResult) -> str:
+    """Render the wall-clock and counter tables."""
+    span_rows = [
+        (name, int(entry["count"]), entry["total_s"])
+        for name, entry in sorted(
+            r.wall_clock.items(),
+            key=lambda item: -item[1]["total_s"],
+        )
+    ]
+    counter_rows = [
+        (name, f"{value:g}") for name, value in sorted(r.counters.items())
+    ]
+    parts = [
+        format_table(
+            ("span", "count", "total s"),
+            span_rows,
+            title=(
+                f"Wall-clock breakdown — DeepCAT {r.workload}-{r.dataset} "
+                f"({r.offline_iterations} offline iters, "
+                f"{r.online_steps} online steps)"
+            ),
+        ),
+        "",
+        format_table(("metric", "value"), counter_rows,
+                     title="Counters and gauges"),
+        "",
+        f"recommendation share of online wall-clock: "
+        f"{r.recommendation_share * 100:.1f}%",
+    ]
+    return "\n".join(parts)

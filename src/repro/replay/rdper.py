@@ -47,6 +47,20 @@ class RewardDrivenReplayBuffer:
         self._rng = rng
         self.reward_threshold = float(reward_threshold)
         self.beta = float(beta)
+        from repro.telemetry.context import NULL_CONTEXT
+
+        self._telemetry = NULL_CONTEXT
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a :class:`~repro.telemetry.context.RunContext`.
+
+        The buffer then publishes its pool sizes as gauges and the
+        realized per-batch high-reward fraction (the paper's β) as a
+        histogram — Figure 11's signal, live.
+        """
+        from repro.telemetry.context import NULL_CONTEXT
+
+        self._telemetry = telemetry if telemetry is not None else NULL_CONTEXT
 
     def __len__(self) -> int:
         return len(self._high) + len(self._low)
@@ -69,6 +83,15 @@ class RewardDrivenReplayBuffer:
             self._high.push(transition)
         else:
             self._low.push(transition)
+        t = self._telemetry
+        t.gauge_set(
+            "replay.rdper_high_size", len(self._high),
+            help="P_high occupancy",
+        )
+        t.gauge_set(
+            "replay.rdper_low_size", len(self._low),
+            help="P_low occupancy",
+        )
 
     def sample(self, batch_size: int) -> ReplayBatch:
         """Draw β·m from P_high and (1−β)·m from P_low.
@@ -86,6 +109,11 @@ class RewardDrivenReplayBuffer:
             n_high, n_low = 0, batch_size
         elif len(self._low) == 0:
             n_high, n_low = batch_size, 0
+        self._telemetry.observe(
+            "replay.rdper_realized_beta",
+            n_high / batch_size,
+            help="actual high-reward fraction of each sampled batch",
+        )
 
         parts = []
         if n_high:

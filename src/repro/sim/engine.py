@@ -36,6 +36,7 @@ from repro.sim.faults import (
     vmem_kill_penalty,
 )
 from repro.sim.result import ExecutionResult, StageResult
+from repro.telemetry.context import NULL_CONTEXT
 from repro.utils.stats import lognormal_noise_factor
 from repro.workloads.base import DatasetSpec, StageSpec, Workload
 
@@ -92,15 +93,38 @@ class SparkSimulator:
         self._stages = workload.stages(self.dataset)
         self._default_duration: float | None = None
         self.evaluation_count = 0
+        #: attach a RunContext (e.g. via TuningEnv.attach_telemetry) to
+        #: trace per-evaluation spans and fault-injection counters
+        self.telemetry = NULL_CONTEXT
 
     # ------------------------------------------------------------------ API
 
     def evaluate(self, config: Mapping[str, Any]) -> ExecutionResult:
         """Run the workload once under ``config`` and return the result."""
+        with self.telemetry.span(
+            "sim.evaluate", workload=self.workload.code
+        ) as span:
+            result = self._evaluate(config)
+            span.set_attr("success", result.success)
+            span.set_attr("simulated_s", round(result.duration_s, 3))
+        return result
+
+    def _evaluate(self, config: Mapping[str, Any]) -> ExecutionResult:
+        t = self.telemetry
         self.evaluation_count += 1
+        t.count("sim.evaluations_total", help="simulated configuration runs")
         placement = plan_executors(config, self.cluster)
         if not placement.feasible:
             burnt = YARN_HANG_SECONDS if placement.hangs else YARN_REJECT_SECONDS
+            t.count(
+                "sim.faults_total",
+                help="injected faults by kind",
+                kind="yarn-hang" if placement.hangs else "yarn-reject",
+            )
+            t.event(
+                "sim-fault", fault="yarn-rejection", reason=placement.reason,
+                burnt_s=float(burnt),
+            )
             return ExecutionResult(
                 duration_s=burnt,
                 success=False,
@@ -113,6 +137,15 @@ class SparkSimulator:
             stages, duration, cpu_core_s = self._run_stages(config, placement)
         except StageFailure as failure:
             duration = (JOB_SETUP_SECONDS + failure.burnt_seconds) * noise
+            t.count(
+                "sim.faults_total",
+                help="injected faults by kind",
+                kind="stage-failure",
+            )
+            t.event(
+                "sim-fault", fault="stage-failure", stage=failure.stage_name,
+                reason=failure.reason, burnt_s=float(duration),
+            )
             return ExecutionResult(
                 duration_s=float(duration),
                 success=False,
@@ -176,6 +209,7 @@ class SparkSimulator:
         results: list[StageResult] = []
         elapsed = 0.0
         total_cpu_core_s = 0.0
+        t = self.telemetry
         for stage in self._stages:
             res = self._simulate_stage(stage, config, placement, memory, hdfs)
             if res.oom:
@@ -189,6 +223,19 @@ class SparkSimulator:
             results.append(res)
             elapsed += res.seconds
             total_cpu_core_s += res.cpu_seconds * placement.total_cores
+            t.observe(
+                "sim.stage_seconds",
+                res.seconds,
+                help="simulated per-stage duration",
+                stage=stage.name,
+            )
+            t.event(
+                "sim-stage",
+                stage=stage.name,
+                seconds=float(res.seconds),
+                waves=res.waves,
+                spill_fraction=float(res.spill_fraction),
+            )
         return results, elapsed, total_cpu_core_s
 
     def _simulate_stage(

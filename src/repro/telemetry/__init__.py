@@ -1,0 +1,50 @@
+"""Telemetry: metrics, span tracing, and run provenance.
+
+Three pillars, one carrier object:
+
+* :mod:`repro.telemetry.metrics` — thread-safe counters / gauges /
+  histograms with Prometheus-text and JSON exporters;
+* :mod:`repro.telemetry.tracing` — hierarchical ``span()`` timing trees
+  exportable as JSONL and Chrome ``trace_event``;
+* :mod:`repro.telemetry.manifest` — run provenance (seed, git SHA,
+  hyper-parameters, cluster spec, wall-clock breakdown);
+* :mod:`repro.telemetry.context` — :class:`RunContext` bundling all of
+  the above plus the event logger, with a zero-overhead null default.
+
+See ``docs/observability.md`` for the metric/span/event catalog.
+"""
+
+from repro.telemetry.context import NULL_CONTEXT, RunContext, ensure_context
+from repro.telemetry.manifest import RunManifest, git_sha
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.telemetry.tracing import (
+    NullTracer,
+    Span,
+    Tracer,
+    load_trace,
+    render_span_tree,
+)
+
+__all__ = [
+    "RunContext",
+    "NULL_CONTEXT",
+    "ensure_context",
+    "RunManifest",
+    "git_sha",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "load_trace",
+    "render_span_tree",
+]

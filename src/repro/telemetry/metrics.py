@@ -1,0 +1,407 @@
+"""Process-wide metrics: counters, gauges, histograms, and exporters.
+
+A :class:`MetricsRegistry` is a thread-safe bag of named instruments.
+Instruments are get-or-create — asking twice for the same (name, labels)
+pair returns the same object — so hot paths can resolve a handle once
+and update it lock-cheap afterwards.  Two export formats:
+
+* :meth:`MetricsRegistry.to_prometheus_text` — the Prometheus text
+  exposition format (histograms render as summaries with quantiles);
+* :meth:`MetricsRegistry.to_json` — a plain dict for programmatic use.
+
+The ``Null*`` variants back the disabled-telemetry fast path: every
+mutator is a no-op, so instrumented code never branches on "is
+telemetry on?".
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+LabelPairs = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any] | None) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelPairs) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelPairs = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelPairs = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+
+class Histogram:
+    """Streaming distribution with exact count/sum/min/max and quantile
+    estimates from a bounded reservoir sample (Vitter's algorithm R).
+
+    The reservoir bounds memory on unbounded streams; below
+    ``reservoir_size`` observations the quantiles are exact.
+    """
+
+    kind = "histogram"
+
+    DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(
+        self, name: str, labels: LabelPairs = (), reservoir_size: int = 4096
+    ):
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.name = name
+        self.labels = labels
+        self._reservoir_size = reservoir_size
+        self._reservoir: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+        # Deterministic LCG for reservoir replacement — avoids the
+        # (banned-in-workflow, seed-sensitive) global random module.
+        self._rand_state = 0x9E3779B9
+
+    def _next_rand(self, bound: int) -> int:
+        self._rand_state = (self._rand_state * 6364136223846793005 + 1) % (
+            1 << 64
+        )
+        return (self._rand_state >> 33) % bound
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._reservoir) < self._reservoir_size:
+                self._reservoir.append(value)
+            else:
+                slot = self._next_rand(self._count)
+                if slot < self._reservoir_size:
+                    self._reservoir[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1) from the reservoir."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        with self._lock:
+            if not self._reservoir:
+                return 0.0
+            data = sorted(self._reservoir)
+        idx = min(int(q * len(data)), len(data) - 1)
+        return data[idx]
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            count, total = self._count, self._sum
+            lo = self._min if count else 0.0
+            hi = self._max if count else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count if count else 0.0,
+            "quantiles": {
+                str(q): self.quantile(q) for q in self.DEFAULT_QUANTILES
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, str, LabelPairs], Any] = {}
+        self._help: dict[str, str] = {}
+
+    def _get_or_create(self, cls, name: str, labels, help: str, **kwargs):
+        key = (cls.kind, name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, key[2], **kwargs)
+                self._metrics[key] = metric
+                if help:
+                    self._help[name] = help
+            return metric
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, Any] | None = None,
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels, help)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, Any] | None = None,
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, Any] | None = None,
+        reservoir_size: int = 4096,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, help, reservoir_size=reservoir_size
+        )
+
+    def __iter__(self) -> Iterable:
+        with self._lock:
+            return iter(list(self._metrics.values()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted({name for _, name, _ in self._metrics})
+
+    # ---------------------------------------------------------- exporters
+
+    def to_json(self) -> dict[str, Any]:
+        """{name: {kind, help, series: [{labels, ...snapshot}]}}."""
+        out: dict[str, Any] = {}
+        with self._lock:
+            items = list(self._metrics.items())
+        for (kind, name, labels), metric in sorted(items, key=lambda i: i[0]):
+            entry = out.setdefault(
+                name,
+                {"kind": kind, "help": self._help.get(name, ""), "series": []},
+            )
+            entry["series"].append(
+                {"labels": dict(labels), **metric.snapshot()}
+            )
+        return out
+
+    def to_json_text(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format.
+
+        Histograms are rendered as Prometheus *summaries* (quantile
+        series plus ``_sum``/``_count``) — the natural mapping for
+        client-side quantile estimates.
+        """
+        with self._lock:
+            items = sorted(self._metrics.items(), key=lambda i: i[0])
+        lines: list[str] = []
+        seen_header: set[str] = set()
+        for (kind, name, labels), metric in items:
+            if name not in seen_header:
+                seen_header.add(name)
+                help_text = self._help.get(name, "")
+                if help_text:
+                    lines.append(f"# HELP {name} {help_text}")
+                prom_type = "summary" if kind == "histogram" else kind
+                lines.append(f"# TYPE {name} {prom_type}")
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_render_labels(labels)} {metric.value:g}"
+                )
+            else:
+                snap = metric.snapshot()
+                for q, v in snap["quantiles"].items():
+                    qlabels = labels + (("quantile", q),)
+                    lines.append(f"{name}{_render_labels(qlabels)} {v:g}")
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} {snap['sum']:g}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} {snap['count']}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ------------------------------------------------------------- null objects
+
+
+class NullCounter:
+    """No-op counter for the disabled-telemetry fast path."""
+
+    kind = "counter"
+    name = ""
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": 0.0}
+
+
+class NullGauge:
+    kind = "gauge"
+    name = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": 0.0}
+
+
+class NullHistogram:
+    kind = "histogram"
+    name = ""
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"count": 0, "sum": 0.0}
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """Registry whose instruments all discard their updates.
+
+    Shares the :class:`MetricsRegistry` surface so instrumented code
+    resolves handles unconditionally; every handle is a shared no-op
+    singleton, making the disabled path allocation-free.
+    """
+
+    def counter(self, name, help="", labels=None) -> NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name, help="", labels=None) -> NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name, help="", labels=None, reservoir_size=4096
+    ) -> NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def names(self) -> list[str]:
+        return []
+
+    def to_json(self) -> dict[str, Any]:
+        return {}
+
+    def to_json_text(self, indent: int = 2) -> str:
+        return "{}"
+
+    def to_prometheus_text(self) -> str:
+        return ""
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,333 @@
+"""Span-based tracing: hierarchical timing trees for tuning runs.
+
+``Tracer.span("offline.update", iteration=3)`` is a context manager; on
+exit the span records its wall-clock duration and attaches itself under
+whatever span was open on the same thread, producing a tree per
+top-level operation.  Exports:
+
+* :meth:`Tracer.to_jsonl` — one JSON object per finished span with
+  explicit ``id``/``parent`` links (loadable via :func:`load_trace`);
+* :meth:`Tracer.to_chrome_trace` — the Chrome ``trace_event`` format
+  (open in ``chrome://tracing`` or Perfetto);
+* :meth:`Tracer.totals` — per-name aggregate (count, total seconds).
+
+:class:`NullTracer` is the disabled fast path: ``span()`` hands back a
+shared reusable no-op context manager, so instrumentation costs one
+method call when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "load_trace",
+    "render_span_tree",
+]
+
+
+class Span:
+    """One timed operation; nests under a parent span on the same thread."""
+
+    __slots__ = (
+        "name", "attrs", "children", "start_wall", "duration_s",
+        "_start_perf", "_tracer", "_thread_id",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.start_wall = 0.0
+        self.duration_s = 0.0
+        self._start_perf = 0.0
+        self._thread_id = 0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach/overwrite an attribute while the span is open."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._thread_id = threading.get_ident()
+        self._tracer._push(self)
+        self.start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_s = time.perf_counter() - self._start_perf
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self)
+
+    # ------------------------------------------------------------- views
+
+    def total_seconds(self, name: str) -> float:
+        """Sum of durations of descendant spans named ``name``."""
+        total = self.duration_s if self.name == name else 0.0
+        if self.name != name:  # nested same-name spans would double-count
+            total += sum(c.total_seconds(name) for c in self.children)
+        return total
+
+    def walk(self, depth: int = 0):
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start_wall,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class Tracer:
+    """Collects span trees; thread-safe, one open-span stack per thread."""
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: list[Span] = []
+
+    # ------------------------------------------------------------ recording
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a new span as a context manager."""
+        return Span(self, name, attrs)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate out-of-order exits (generators, leaked spans): unwind
+        # to the span being closed rather than corrupting the tree.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------- exports
+
+    def _finished(self) -> list[Span]:
+        with self._lock:
+            return list(self.roots)
+
+    def totals(self) -> dict[str, dict[str, float]]:
+        """Aggregate finished spans: {name: {count, total_s}}."""
+        agg: dict[str, dict[str, float]] = {}
+        for root in self._finished():
+            for _, span in root.walk():
+                entry = agg.setdefault(
+                    span.name, {"count": 0, "total_s": 0.0}
+                )
+                entry["count"] += 1
+                entry["total_s"] += span.duration_s
+        return agg
+
+    def to_jsonl(self) -> str:
+        """One line per span, pre-order, with ``id``/``parent`` links."""
+        lines: list[str] = []
+        next_id = 0
+
+        def emit(span: Span, parent: int | None) -> None:
+            nonlocal next_id
+            sid = next_id
+            next_id += 1
+            lines.append(
+                json.dumps(
+                    {
+                        "id": sid,
+                        "parent": parent,
+                        "name": span.name,
+                        "ts": span.start_wall,
+                        "duration_s": span.duration_s,
+                        "attrs": span.attrs,
+                    },
+                    default=str,
+                )
+            )
+            for child in span.children:
+                emit(child, sid)
+
+        for root in self._finished():
+            emit(root, None)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome_trace(self) -> list[dict[str, Any]]:
+        """Chrome ``trace_event`` "complete" (ph=X) events, in µs."""
+        events: list[dict[str, Any]] = []
+        pid = os.getpid()
+        for root in self._finished():
+            for _, span in root.walk():
+                events.append(
+                    {
+                        "name": span.name,
+                        "ph": "X",
+                        "ts": span.start_wall * 1e6,
+                        "dur": span.duration_s * 1e6,
+                        "pid": pid,
+                        "tid": span._thread_id,
+                        "args": {
+                            k: str(v) for k, v in span.attrs.items()
+                        },
+                    }
+                )
+        return events
+
+    def to_chrome_trace_json(self) -> str:
+        return json.dumps(
+            {"traceEvents": self.to_chrome_trace(),
+             "displayTimeUnit": "ms"},
+        )
+
+    def save_jsonl(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+
+    def save_chrome_trace(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_chrome_trace_json(), encoding="utf-8")
+
+
+# ------------------------------------------------------------- null objects
+
+
+class _NullSpan:
+    """Reusable no-op span: the cost of tracing when tracing is off."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict[str, Any] = {}
+    children: list = []
+    duration_s = 0.0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Discards all spans; ``span()`` returns a shared no-op singleton."""
+
+    roots: list = []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def totals(self) -> dict[str, dict[str, float]]:
+        return {}
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def to_chrome_trace(self) -> list:
+        return []
+
+    def to_chrome_trace_json(self) -> str:
+        return json.dumps({"traceEvents": [], "displayTimeUnit": "ms"})
+
+
+NULL_TRACER = NullTracer()
+
+
+# --------------------------------------------------------------- loading
+
+
+def load_trace(path_or_lines: str | Path | Iterable[str]) -> list[dict]:
+    """Rebuild the span tree from a JSONL trace export.
+
+    Returns a list of root dicts, each with nested ``children`` —
+    the inverse of :meth:`Tracer.to_jsonl`.
+    """
+    if isinstance(path_or_lines, (str, Path)):
+        lines = Path(path_or_lines).read_text(encoding="utf-8").splitlines()
+    else:
+        lines = list(path_or_lines)
+    by_id: dict[int, dict] = {}
+    roots: list[dict] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        rec["children"] = []
+        by_id[rec["id"]] = rec
+        parent = rec.get("parent")
+        if parent is None:
+            roots.append(rec)
+        else:
+            try:
+                by_id[parent]["children"].append(rec)
+            except KeyError:
+                raise ValueError(
+                    f"trace record {rec['id']} references missing "
+                    f"parent {parent}"
+                ) from None
+    return roots
+
+
+def render_span_tree(
+    roots: list[dict], min_duration_s: float = 0.0
+) -> str:
+    """ASCII rendering of a loaded trace tree (for the CLI summary)."""
+    out: list[str] = []
+
+    def walk(rec: dict, depth: int) -> None:
+        if rec["duration_s"] < min_duration_s and depth > 0:
+            return
+        indent = "  " * depth
+        attrs = rec.get("attrs") or {}
+        suffix = ""
+        if attrs:
+            shown = ", ".join(f"{k}={v}" for k, v in list(attrs.items())[:4])
+            suffix = f"  [{shown}]"
+        out.append(
+            f"{indent}{rec['name']:<{max(28 - 2 * depth, 8)}} "
+            f"{rec['duration_s'] * 1e3:10.2f} ms{suffix}"
+        )
+        for child in rec["children"]:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(out)

@@ -2,7 +2,9 @@
 
 A minimal observer interface: the trainer and tuner emit events; sinks
 render them (console) or persist them (JSON lines).  The default
-``NullLogger`` makes instrumentation free when unused.
+``NullLogger`` makes instrumentation free when unused.  For correlated
+metrics/traces/provenance, wrap a logger in a
+:class:`~repro.telemetry.context.RunContext`.
 """
 
 from __future__ import annotations
@@ -11,9 +13,22 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Any, IO
+from typing import Any, IO, Iterable
 
-__all__ = ["TuningLogger", "NullLogger", "ConsoleLogger", "JsonlLogger"]
+__all__ = [
+    "TuningLogger",
+    "NullLogger",
+    "ConsoleLogger",
+    "JsonlLogger",
+    "HIGH_FREQUENCY_KINDS",
+]
+
+#: event kinds emitted once per inner-loop iteration — the ones a console
+#: sink must throttle to stay readable (``sim-stage`` fires per simulated
+#: Spark stage, several times per evaluation)
+HIGH_FREQUENCY_KINDS: frozenset[str] = frozenset(
+    {"offline-step", "sim-stage"}
+)
 
 
 class TuningLogger:
@@ -21,6 +36,9 @@ class TuningLogger:
 
     def event(self, kind: str, **fields: Any) -> None:  # pragma: no cover
         raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered events to the sink (no-op by default)."""
 
     def close(self) -> None:
         """Release any resources (no-op by default)."""
@@ -36,20 +54,32 @@ class NullLogger(TuningLogger):
 class ConsoleLogger(TuningLogger):
     """Human-readable progress lines.
 
-    ``every`` throttles high-frequency events (offline iterations) so a
-    3000-iteration run prints tens, not thousands, of lines.
+    ``every`` throttles high-frequency events so a 3000-iteration run
+    prints tens, not thousands, of lines.  ``throttled_kinds`` selects
+    which kinds are throttled (default: ``offline-step`` and
+    ``sim-stage``); every other kind always prints.
     """
 
-    def __init__(self, stream: IO[str] | None = None, every: int = 100):
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        every: int = 100,
+        throttled_kinds: Iterable[str] | None = None,
+    ):
         if every < 1:
             raise ValueError("every must be >= 1")
         self._stream = stream if stream is not None else sys.stderr
         self._every = every
+        self._throttled = (
+            HIGH_FREQUENCY_KINDS
+            if throttled_kinds is None
+            else frozenset(throttled_kinds)
+        )
         self._counts: dict[str, int] = {}
 
     def event(self, kind: str, **fields: Any) -> None:
         self._counts[kind] = self._counts.get(kind, 0) + 1
-        if kind == "offline-step" and self._counts[kind] % self._every:
+        if kind in self._throttled and self._counts[kind] % self._every:
             return
         body = " ".join(
             f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
@@ -57,16 +87,32 @@ class ConsoleLogger(TuningLogger):
         )
         print(f"[{kind}] {body}", file=self._stream)
 
+    def flush(self) -> None:
+        self._stream.flush()
+
 
 class JsonlLogger(TuningLogger):
-    """Appends one JSON object per event to a file."""
+    """Appends one JSON object per event to a file.
+
+    Every event is flushed to the OS immediately so a crashed run still
+    leaves a complete event log on disk (losing at most the event being
+    written at the instant of the crash).
+    """
 
     def __init__(self, path: str | Path):
-        self._fh = open(Path(path), "a")
+        path = Path(path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(path, "a", encoding="utf-8")
 
     def event(self, kind: str, **fields: Any) -> None:
         record = {"kind": kind, "ts": time.time(), **fields}
         self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
 
     def close(self) -> None:
         self._fh.close()

@@ -8,7 +8,7 @@ conventions so that experiments are reproducible bit-for-bit given a seed.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Tests for the ASCII plotting helpers."""
 
-import numpy as np
 import pytest
 
 from repro.utils.ascii_plot import bar_chart, line_plot
@@ -32,7 +31,7 @@ class TestLinePlot:
 
     def test_monotone_series_spans_height(self):
         out = line_plot({"a": list(range(10))}, height=8)
-        rows = [l for l in out.splitlines() if "|" in l]
+        rows = [ln for ln in out.splitlines() if "|" in ln]
         assert "*" in rows[0] and "*" in rows[-1]
 
     def test_validation(self):
@@ -58,7 +57,7 @@ class TestBarChart:
 
     def test_zero_value_has_no_bar(self):
         out = bar_chart({"z": 0.0, "v": 2.0})
-        z_line = [l for l in out.splitlines() if l.startswith("z")][0]
+        z_line = [ln for ln in out.splitlines() if ln.startswith("z")][0]
         assert "#" not in z_line
 
     def test_title(self):

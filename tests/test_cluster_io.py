@@ -1,6 +1,5 @@
 """Tests for disk, network and HDFS models."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.disk import disk_seconds, effective_disk_mbps

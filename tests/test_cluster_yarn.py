@@ -1,6 +1,5 @@
 """Tests for repro.cluster.yarn container allocation."""
 
-import pytest
 
 from repro.cluster.hardware import CLUSTER_A
 from repro.cluster.yarn import OS_RESERVED_MB, plan_executors

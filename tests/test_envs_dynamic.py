@@ -1,11 +1,9 @@
 """Tests for the time-varying environment."""
 
-import numpy as np
 import pytest
 
 from repro.agents.base import AgentHyperParams
 from repro.cluster.hardware import CLUSTER_A
-from repro.config.pipeline import build_pipeline_space
 from repro.core.deepcat import DeepCAT
 from repro.envs.dynamic import DynamicTuningEnv, Phase
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.experiments import common
 from repro.experiments.common import (
     SCALES,
     ExperimentScale,

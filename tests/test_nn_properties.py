@@ -1,7 +1,6 @@
 """Property-based tests over the numpy NN substrate (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.nn.layers import make_activation

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config.pipeline import build_pipeline_space
 from repro.config.reduced import ReducedConfigurationSpace
 from repro.core.deepcat import DeepCAT
 from repro.agents.base import AgentHyperParams

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.common import ExperimentScale, clear_model_cache
-from repro.experiments.sessions import SessionGrid, comparison_grid
+from repro.experiments.sessions import comparison_grid
 
 TINY = ExperimentScale(
     name="tiny-grid", offline_iterations=100, ottertune_samples=40,

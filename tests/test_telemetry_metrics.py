@@ -1,0 +1,205 @@
+"""Tests for the metrics registry: instrument semantics and exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_concurrent_increments(self):
+        c = Counter("x")
+        n, per_thread = 8, 2000
+
+        def worker():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n * per_thread
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+    def test_set_coerces_to_float(self):
+        g = Gauge("x")
+        g.set(3)
+        assert isinstance(g.value, float)
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 16.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 10.0
+        assert h.mean == 4.0
+
+    def test_quantiles_exact_below_reservoir(self):
+        h = Histogram("x")
+        for v in range(100):
+            h.observe(float(v))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 50.0
+        assert h.quantile(1.0) == 99.0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram("x").quantile(0.5) == 0.0
+
+    def test_reservoir_bounds_memory(self):
+        h = Histogram("x", reservoir_size=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h._reservoir) == 64
+        assert h.count == 10_000
+        # The sample should still roughly span the stream.
+        assert h.quantile(0.5) == pytest.approx(5000, rel=0.5)
+
+    def test_invalid_reservoir_size(self):
+        with pytest.raises(ValueError):
+            Histogram("x", reservoir_size=0)
+
+    def test_concurrent_observations(self):
+        h = Histogram("x")
+        n, per_thread = 4, 1000
+
+        def worker():
+            for i in range(per_thread):
+                h.observe(float(i))
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == n * per_thread
+        assert h.sum == n * sum(range(per_thread))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits")
+        b = reg.counter("hits")
+        assert a is b
+        a.inc()
+        assert b.value == 1.0
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", labels={"tuner": "DeepCAT"})
+        b = reg.counter("hits", labels={"tuner": "CDBTune"})
+        assert a is not b
+        # Label order must not matter.
+        c = reg.gauge("g", labels={"a": 1, "b": 2})
+        d = reg.gauge("g", labels={"b": 2, "a": 1})
+        assert c is d
+
+    def test_same_name_different_kind_coexist(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        reg.gauge("x")
+        assert len(reg) == 2
+
+    def test_names_sorted_unique(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a", labels={"k": "1"})
+        reg.counter("a", labels={"k": "2"})
+        assert reg.names() == ["a", "b"]
+
+    def test_prometheus_text_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", help="total requests").inc(3)
+        reg.gauge("pool_size", labels={"pool": "high"}).set(7)
+        text = reg.to_prometheus_text()
+        assert "# HELP requests_total total requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert "# TYPE pool_size gauge" in text
+        assert 'pool_size{pool="high"} 7' in text
+        assert text.endswith("\n")
+
+    def test_prometheus_text_histogram_as_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_s")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        text = reg.to_prometheus_text()
+        assert "# TYPE latency_s summary" in text
+        assert 'latency_s{quantile="0.5"}' in text
+        assert 'latency_s{quantile="0.99"}' in text
+        assert "latency_s_sum 6" in text
+        assert "latency_s_count 3" in text
+
+    def test_json_export_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels={"tuner": "DeepCAT"}).inc(2)
+        reg.histogram("lat").observe(1.5)
+        data = json.loads(reg.to_json_text())
+        assert data["hits"]["kind"] == "counter"
+        assert data["hits"]["series"][0]["labels"] == {"tuner": "DeepCAT"}
+        assert data["hits"]["series"][0]["value"] == 2.0
+        assert data["lat"]["series"][0]["count"] == 1
+
+    def test_iteration_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        kinds = sorted(m.kind for m in reg)
+        assert kinds == ["counter", "gauge"]
+
+
+class TestNullRegistry:
+    def test_all_paths_noop(self):
+        reg = NullRegistry()
+        reg.counter("x").inc(5)
+        reg.gauge("x").set(5)
+        reg.histogram("x").observe(5)
+        assert len(reg) == 0
+        assert list(reg) == []
+        assert reg.names() == []
+        assert reg.to_prometheus_text() == ""
+        assert reg.to_json() == {}
+
+    def test_handles_are_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")

@@ -1,0 +1,202 @@
+"""End-to-end telemetry: instrumented DeepCAT sessions and the CLI."""
+
+import json
+
+import pytest
+
+from repro.agents.base import AgentHyperParams
+from repro.cli import main
+from repro.core.deepcat import DeepCAT
+from repro.factory import make_env
+from repro.telemetry import RunContext, load_trace
+
+FAST_HP = AgentHyperParams(batch_size=16, warmup_steps=8, hidden=(16, 16))
+
+
+@pytest.fixture(scope="module")
+def instrumented_session():
+    """One short fully-instrumented offline+online DeepCAT run."""
+    ctx = RunContext.recording(kind="smoke", seed=0)
+    env = make_env("TS", "D1", seed=0)
+    tuner = DeepCAT.from_env(env, seed=0, hp=FAST_HP)
+    tuner.train_offline(env, 40, telemetry=ctx)
+    tuner.tune_online(make_env("TS", "D1", seed=1000), steps=2,
+                      telemetry=ctx)
+    ctx.finish()
+    return ctx
+
+
+class TestDeepCATSmoke:
+    def test_expected_metric_names_present(self, instrumented_session):
+        names = set(instrumented_session.metrics.names())
+        # Twin-Q counters, RDPER gauges, plus the per-layer signals.
+        assert {
+            "twinq.invocations_total",
+            "twinq.iterations_total",
+            "replay.rdper_high_size",
+            "replay.rdper_low_size",
+            "replay.rdper_realized_beta",
+            "offline.steps_total",
+            "online.steps_total",
+            "agent.updates_total",
+            "agent.critic_loss",
+            "sim.evaluations_total",
+            "sim.stage_seconds",
+        } <= names
+
+    def test_counters_consistent_with_run(self, instrumented_session):
+        reg = instrumented_session.metrics
+        assert reg.counter("offline.steps_total").value == 40
+        online = reg.counter(
+            "online.steps_total", labels={"tuner": "DeepCAT"}
+        )
+        assert online.value == 2
+        # Twin-Q screens every online recommendation.
+        assert reg.counter("twinq.invocations_total").value >= 2
+        # 40 pushes with batch_size 16 => gradient updates happened.
+        updates = reg.counter(
+            "agent.updates_total", labels={"agent": "td3"}
+        )
+        assert updates.value > 0
+
+    def test_rdper_gauges_reflect_pools(self, instrumented_session):
+        reg = instrumented_session.metrics
+        high = reg.gauge("replay.rdper_high_size").value
+        low = reg.gauge("replay.rdper_low_size").value
+        assert high + low > 0
+        beta = reg.histogram("replay.rdper_realized_beta")
+        assert beta.count > 0
+        assert 0.0 <= beta.quantile(0.5) <= 1.0
+
+    def test_trace_tree_well_formed(self, instrumented_session):
+        roots = load_trace(
+            instrumented_session.tracer.to_jsonl().splitlines()
+        )
+        names = [r["name"] for r in roots]
+        assert "offline.train" in names
+        assert "online.tune" in names
+
+        train = next(r for r in roots if r["name"] == "offline.train")
+        step_names = {c["name"] for c in train["children"]}
+        assert step_names == {"offline.step"}
+        leaf_names = {
+            g["name"] for c in train["children"] for g in c["children"]
+        }
+        assert "offline.evaluate" in leaf_names
+        assert "offline.update" in leaf_names
+
+        tune = next(r for r in roots if r["name"] == "online.tune")
+        online_leafs = {
+            g["name"] for c in tune["children"] for g in c["children"]
+        }
+        assert {"online.recommend", "online.evaluate"} <= online_leafs
+        # Every child's duration fits inside its parent (within jitter).
+        for root in roots:
+            child_total = sum(c["duration_s"] for c in root["children"])
+            assert child_total <= root["duration_s"] * 1.05 + 1e-6
+
+    def test_manifest_records_provenance(self, instrumented_session):
+        m = instrumented_session.manifest
+        assert m.seed == 0
+        assert m.hyper_parameters["batch_size"] == 16
+        assert m.hyper_parameters["use_twin_q"] is True
+        assert m.cluster  # cluster spec captured
+        stages = [s["stage"] for s in m.stages]
+        assert "offline-train" in stages and "online-tune" in stages
+        assert "online.tune" in m.wall_clock
+
+    def test_prometheus_export_of_session(self, instrumented_session):
+        text = instrumented_session.metrics.to_prometheus_text()
+        assert "twinq_" not in text  # names keep their dots
+        assert "offline.steps_total 40" in text
+        assert 'online.steps_total{tuner="DeepCAT"} 2' in text
+
+
+class TestTelemetryCLI:
+    def _train(self, tmp_path, *extra):
+        model = str(tmp_path / "m.npz")
+        rc = main([
+            "train", "--workload", "TS", "--iterations", "40",
+            "--model", model, *extra,
+        ])
+        assert rc == 0
+        return model
+
+    def test_train_writes_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        prom = tmp_path / "run.prom"
+        manifest = tmp_path / "run.manifest.json"
+        self._train(
+            tmp_path,
+            "--trace", str(trace), "--metrics-out", str(prom),
+            "--manifest", str(manifest),
+        )
+        out = capsys.readouterr().out
+        assert out.count("telemetry: wrote") == 4  # + chrome sibling
+        assert "offline.steps_total 40" in prom.read_text()
+        assert load_trace(trace)[0]["name"] == "offline.train"
+        data = json.loads(manifest.read_text())
+        assert data["kind"] == "offline-train"
+        assert data["workload"] == "TS"
+
+    def test_tune_then_summary_and_dump(self, tmp_path, capsys):
+        model = self._train(tmp_path)
+        trace = tmp_path / "tune.jsonl"
+        manifest = tmp_path / "tune.manifest.json"
+        rc = main([
+            "tune", "--workload", "TS", "--model", model, "--steps", "2",
+            "--trace", str(trace), "--manifest", str(manifest),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+
+        assert main(["telemetry", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "online.tune" in out
+        assert "online.recommend" in out
+        assert "ms" in out
+
+        assert main(["telemetry", "summary", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "online-tune" in out
+        assert "seed" in out
+
+        assert main(["telemetry", "dump", str(trace)]) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        assert dumped[0]["name"] == "online.tune"
+
+    def test_summary_of_metrics_files(self, tmp_path, capsys):
+        prom = tmp_path / "run.prom"
+        mjson = tmp_path / "run.json"
+        self._train(
+            tmp_path, "--metrics-out", str(prom),
+        )
+        self._train(
+            tmp_path, "--metrics-out", str(mjson),
+        )
+        capsys.readouterr()
+        assert main(["telemetry", "summary", str(prom)]) == 0
+        assert "offline.steps_total" in capsys.readouterr().out
+        assert main(["telemetry", "summary", str(mjson)]) == 0
+        assert "offline.steps_total" in capsys.readouterr().out
+
+    def test_events_flag_writes_jsonl(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        self._train(tmp_path, "--events", str(events))
+        records = [
+            json.loads(line) for line in events.read_text().splitlines()
+        ]
+        kinds = {r["kind"] for r in records}
+        assert "offline-step" in kinds
+        assert "sim-stage" in kinds
+
+    def test_missing_artifact_errors(self, tmp_path, capsys):
+        rc = main(["telemetry", "summary", str(tmp_path / "nope.jsonl")])
+        assert rc != 0
+
+    def test_telemetry_off_leaves_no_files(self, tmp_path):
+        self._train(tmp_path)
+        leftovers = [
+            p.name for p in tmp_path.iterdir() if p.suffix != ".npz"
+        ]
+        assert leftovers == []

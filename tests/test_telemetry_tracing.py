@@ -1,0 +1,204 @@
+"""Tests for span tracing: nesting, exports, and the disabled path."""
+
+import json
+import threading
+
+from repro.telemetry.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    load_trace,
+    render_span_tree,
+)
+
+
+class TestSpanNesting:
+    def test_single_span_becomes_root(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            pass
+        assert len(tr.roots) == 1
+        assert tr.roots[0].name == "outer"
+        assert tr.roots[0].duration_s >= 0.0
+        assert tr.roots[0].start_wall > 0.0
+
+    def test_children_nest_under_open_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                with tr.span("leaf"):
+                    pass
+            with tr.span("inner"):
+                pass
+        assert len(tr.roots) == 1
+        outer = tr.roots[0]
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert outer.children[0].children[0].name == "leaf"
+
+    def test_current_tracks_innermost(self):
+        tr = Tracer()
+        assert tr.current is None
+        with tr.span("a") as a:
+            assert tr.current is a
+            with tr.span("b") as b:
+                assert tr.current is b
+            assert tr.current is a
+        assert tr.current is None
+
+    def test_attrs_and_set_attr(self):
+        tr = Tracer()
+        with tr.span("op", workload="TS") as sp:
+            sp.set_attr("accepted", True)
+        assert tr.roots[0].attrs == {"workload": "TS", "accepted": True}
+
+    def test_exception_recorded_and_propagated(self):
+        tr = Tracer()
+        try:
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tr.roots[0].attrs["error"] == "RuntimeError"
+
+    def test_totals_aggregate_by_name(self):
+        tr = Tracer()
+        with tr.span("step"):
+            with tr.span("eval"):
+                pass
+        with tr.span("step"):
+            with tr.span("eval"):
+                pass
+        totals = tr.totals()
+        assert totals["step"]["count"] == 2
+        assert totals["eval"]["count"] == 2
+        assert totals["step"]["total_s"] >= totals["eval"]["total_s"]
+
+    def test_total_seconds_on_span(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("eval"):
+                pass
+            with tr.span("eval"):
+                pass
+        root = tr.roots[0]
+        assert root.total_seconds("eval") <= root.duration_s
+        assert root.total_seconds("missing") == 0.0
+
+    def test_threads_get_independent_stacks(self):
+        tr = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tr.span("thread-op"):
+                done.wait(timeout=5)
+
+        t = threading.Thread(target=worker)
+        with tr.span("main-op"):
+            t.start()
+            done.set()
+            t.join()
+        names = sorted(s.name for s in tr.roots)
+        # The thread's span must be a root, not a child of main-op.
+        assert names == ["main-op", "thread-op"]
+        main = next(s for s in tr.roots if s.name == "main-op")
+        assert main.children == []
+
+
+class TestExports:
+    def _sample(self):
+        tr = Tracer()
+        with tr.span("offline.train", iterations=2):
+            with tr.span("offline.step", iteration=0):
+                with tr.span("offline.evaluate"):
+                    pass
+            with tr.span("offline.step", iteration=1):
+                pass
+        return tr
+
+    def test_jsonl_roundtrip_via_load_trace(self, tmp_path):
+        tr = self._sample()
+        path = tmp_path / "trace.jsonl"
+        tr.save_jsonl(path)
+        roots = load_trace(path)
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["name"] == "offline.train"
+        assert root["parent"] is None
+        assert [c["name"] for c in root["children"]] == [
+            "offline.step", "offline.step",
+        ]
+        assert root["children"][0]["children"][0]["name"] == "offline.evaluate"
+        assert root["children"][1]["attrs"]["iteration"] == 1
+
+    def test_load_trace_from_lines(self):
+        tr = self._sample()
+        roots = load_trace(tr.to_jsonl().splitlines())
+        assert roots[0]["name"] == "offline.train"
+
+    def test_load_trace_rejects_orphan(self):
+        line = json.dumps(
+            {"id": 5, "parent": 99, "name": "x", "ts": 0,
+             "duration_s": 0, "attrs": {}}
+        )
+        try:
+            load_trace([line])
+        except ValueError as e:
+            assert "missing" in str(e)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_chrome_trace_shape(self):
+        tr = self._sample()
+        events = tr.to_chrome_trace()
+        assert len(events) == 4
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert set(ev) >= {"name", "ts", "dur", "pid", "tid", "args"}
+        # Complete events carry µs timestamps: parent starts no later
+        # than its first child.
+        train = next(e for e in events if e["name"] == "offline.train")
+        step = next(e for e in events if e["name"] == "offline.step")
+        assert train["ts"] <= step["ts"]
+        assert all(isinstance(v, str) for v in train["args"].values())
+
+    def test_chrome_trace_file_loads_as_json(self, tmp_path):
+        tr = self._sample()
+        path = tmp_path / "trace.chrome.json"
+        tr.save_chrome_trace(path)
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert len(data["traceEvents"]) == 4
+
+    def test_render_span_tree(self):
+        tr = self._sample()
+        out = render_span_tree(load_trace(tr.to_jsonl().splitlines()))
+        lines = out.splitlines()
+        assert lines[0].lstrip().startswith("offline.train")
+        assert any("offline.evaluate" in ln for ln in lines)
+        assert all("ms" in ln for ln in lines)
+
+    def test_empty_tracer_exports(self):
+        tr = Tracer()
+        assert tr.to_jsonl() == ""
+        assert tr.to_chrome_trace() == []
+        assert tr.totals() == {}
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        tr = NullTracer()
+        a = tr.span("x", attr=1)
+        b = tr.span("y")
+        assert a is b
+        with a as sp:
+            sp.set_attr("k", "v")
+        assert sp.attrs == {}
+
+    def test_exports_empty(self):
+        assert NULL_TRACER.to_jsonl() == ""
+        assert NULL_TRACER.to_chrome_trace() == []
+        assert NULL_TRACER.totals() == {}
+        assert NULL_TRACER.current is None
+        assert json.loads(NULL_TRACER.to_chrome_trace_json()) == {
+            "traceEvents": [], "displayTimeUnit": "ms",
+        }
