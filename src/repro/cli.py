@@ -99,11 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_rep = sub.add_parser(
-        "bench-report", help="regenerate EXPERIMENTS.md"
+        "bench-report", aliases=["report"], help="regenerate EXPERIMENTS.md"
     )
     p_rep.add_argument("--scale", default="quick",
                        choices=("quick", "standard", "full"))
     p_rep.add_argument("--output", default="EXPERIMENTS.md")
+    telemetry_flags(p_rep)
+    from repro.experiments.report import add_engine_arguments
+
+    add_engine_arguments(p_rep)
 
     p_corpus = sub.add_parser(
         "corpus", help="generate an offline sample corpus (.npz)"
@@ -259,13 +263,45 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
-def _cmd_bench_report(args) -> int:
-    from repro.experiments.report import build_report
+def _report_telemetry_context(args):
+    """Like :func:`_telemetry_context` but for the report command.
 
-    report = build_report(args.scale)
+    ``bench-report`` has no workload/dataset/seed flags, so the manifest
+    records only the run kind and scale.
+    """
+    from repro.telemetry import NULL_CONTEXT, RunContext
+    from repro.utils.logging import JsonlLogger
+
+    if not (args.trace or args.metrics_out or args.manifest or args.events):
+        return NULL_CONTEXT
+    ctx = RunContext.recording(
+        trace=args.trace,
+        metrics=args.metrics_out,
+        manifest=args.manifest,
+        logger=JsonlLogger(args.events) if args.events else None,
+        seed=0,
+        kind="bench-report",
+    )
+    ctx.manifest.extra["scale"] = args.scale
+    ctx.manifest.extra["jobs"] = args.jobs
+    return ctx
+
+
+def _cmd_bench_report(args) -> int:
+    from repro.experiments.report import build_report, make_engine
+
+    ctx = _report_telemetry_context(args)
+    engine = make_engine(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        telemetry=ctx,
+    )
+    report = build_report(args.scale, engine=engine)
     with open(args.output, "w") as fh:
         fh.write(report)
     print(f"wrote {args.output} at scale {args.scale!r}")
+    print(f"engine: {engine.stats.summary()}")
+    _finish_telemetry(ctx)
     return 0
 
 
@@ -403,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
         "tune": _cmd_tune,
         "evaluate": _cmd_evaluate,
         "bench-report": _cmd_bench_report,
+        "report": _cmd_bench_report,
         "corpus": _cmd_corpus,
         "telemetry": _cmd_telemetry,
     }

@@ -28,8 +28,15 @@ module                paper artifact
 ``whitebox_ablation`` (extension) reduced-space tuning
 ``drift``             (extension) workload-drift request stream
 ``headline``          abstract-level claim checks
+``engine``            parallel task engine + on-disk result cache
 ``report``            EXPERIMENTS.md generator
 ====================  ==============================================
+
+Every ``run()`` accepts an ``engine`` keyword
+(:class:`~repro.experiments.engine.ExperimentEngine`) to shard its grid
+over worker processes and serve previously computed cells from the
+content-addressed on-disk cache; omitting it runs inline and uncached,
+exactly as the serial harness always did.
 """
 
 from repro.experiments.common import (
@@ -41,6 +48,12 @@ from repro.experiments.common import (
     train_deepcat,
     train_ottertune,
 )
+from repro.experiments.engine import (
+    ExperimentEngine,
+    ResultCache,
+    TaskSpec,
+    derive_task_seeds,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -50,4 +63,8 @@ __all__ = [
     "train_cdbtune",
     "train_ottertune",
     "clear_model_cache",
+    "ExperimentEngine",
+    "ResultCache",
+    "TaskSpec",
+    "derive_task_seeds",
 ]

@@ -15,15 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.hardware import CLUSTER_B
-from repro.experiments.common import (
-    fork_tuner,
-    get_scale,
-    online_env,
-    train_cdbtune,
-    train_deepcat,
-    train_ottertune,
-)
+from repro.experiments.common import get_scale
+from repro.experiments.engine import default_engine, session_task
 from repro.utils.tables import format_table
 
 __all__ = ["Fig10Result", "run", "format_result"]
@@ -39,33 +32,32 @@ class Fig10Result:
     total_cost: dict[tuple[str, str], float]
 
 
-def run(scale: str = "quick", seeds: tuple[int, ...] | None = None) -> Fig10Result:
+def run(
+    scale: str = "quick",
+    seeds: tuple[int, ...] | None = None,
+    *,
+    engine=None,
+) -> Fig10Result:
     sc = get_scale(scale)
     seeds = seeds if seeds is not None else tuple(range(max(3, len(sc.seeds))))
+    cells = [
+        (workload, seed, tuner)
+        for workload in WORKLOADS
+        for seed in seeds
+        for tuner in TUNERS
+    ]
+    tasks = [
+        session_task(
+            workload=w, dataset="D1", tuner=t, seed=seed, scale=sc,
+            cluster="cluster-b", train_cluster="cluster-a",
+        )
+        for w, seed, t in cells
+    ]
     speedup: dict[tuple[str, str], list[float]] = {}
     cost: dict[tuple[str, str], list[float]] = {}
-    for workload in WORKLOADS:
-        for seed in seeds:
-            tuners = {
-                "DeepCAT": fork_tuner(
-                    train_deepcat(workload, "D1", seed, sc)
-                ),
-                "CDBTune": fork_tuner(
-                    train_cdbtune(workload, "D1", seed, sc)
-                ),
-                "OtterTune": fork_tuner(
-                    train_ottertune(workload, "D1", seed, sc)
-                ),
-            }
-            for name, tuner in tuners.items():
-                env_b = online_env(workload, "D1", seed, cluster=CLUSTER_B)
-                s = tuner.tune_online(env_b, steps=sc.online_steps)
-                speedup.setdefault((workload, name), []).append(
-                    s.speedup_over_default
-                )
-                cost.setdefault((workload, name), []).append(
-                    s.total_tuning_seconds
-                )
+    for (w, _seed, t), s in zip(cells, default_engine(engine).run(tasks)):
+        speedup.setdefault((w, t), []).append(s.speedup_over_default)
+        cost.setdefault((w, t), []).append(s.total_tuning_seconds)
     return Fig10Result(
         speedup={k: float(np.mean(v)) for k, v in speedup.items()},
         total_cost={k: float(np.mean(v)) for k, v in cost.items()},

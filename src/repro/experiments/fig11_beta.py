@@ -12,12 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.common import (
-    fork_tuner,
-    get_scale,
-    online_env,
-    train_deepcat,
-)
+from repro.experiments.common import get_scale
+from repro.experiments.engine import default_engine, session_task
 from repro.utils.tables import format_table
 
 __all__ = ["Fig11Result", "run", "format_result"]
@@ -41,23 +37,25 @@ def run(
     dataset: str = "D1",
     betas: tuple[float, ...] = DEFAULT_BETAS,
     seeds: tuple[int, ...] | None = None,
+    *,
+    engine=None,
 ) -> Fig11Result:
     sc = get_scale(scale)
     seeds = seeds if seeds is not None else tuple(range(max(3, len(sc.seeds))))
+    cells = [(beta, seed) for beta in betas for seed in seeds]
+    tasks = [
+        session_task(
+            workload=workload, dataset=dataset, tuner="DeepCAT", seed=seed,
+            scale=sc, overrides={"beta": beta},
+        )
+        for beta, seed in cells
+    ]
+    sessions = dict(zip(cells, default_engine(engine).run(tasks)))
     best, cost = [], []
     for beta in betas:
-        b_seeds, c_seeds = [], []
-        for seed in seeds:
-            tuner = fork_tuner(
-                train_deepcat(workload, dataset, seed, sc, beta=beta)
-            )
-            s = tuner.tune_online(
-                online_env(workload, dataset, seed), steps=sc.online_steps
-            )
-            b_seeds.append(s.best_duration_s)
-            c_seeds.append(s.total_tuning_seconds)
-        best.append(float(np.mean(b_seeds)))
-        cost.append(float(np.mean(c_seeds)))
+        ss = [sessions[(beta, seed)] for seed in seeds]
+        best.append(float(np.mean([s.best_duration_s for s in ss])))
+        cost.append(float(np.mean([s.total_tuning_seconds for s in ss])))
     return Fig11Result(
         betas=tuple(betas), best=tuple(best), total_cost=tuple(cost)
     )

@@ -12,12 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.common import (
-    fork_tuner,
-    get_scale,
-    online_env,
-    train_deepcat,
-)
+from repro.experiments.common import get_scale
+from repro.experiments.engine import default_engine, session_task
 from repro.utils.tables import format_table
 
 __all__ = ["Fig12Result", "run", "format_result"]
@@ -41,22 +37,25 @@ def run(
     dataset: str = "D1",
     thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
     seeds: tuple[int, ...] | None = None,
+    *,
+    engine=None,
 ) -> Fig12Result:
     sc = get_scale(scale)
     seeds = seeds if seeds is not None else tuple(range(max(3, len(sc.seeds))))
+    cells = [(q_th, seed) for q_th in thresholds for seed in seeds]
+    tasks = [
+        session_task(
+            workload=workload, dataset=dataset, tuner="DeepCAT", seed=seed,
+            scale=sc, tuner_attrs={"q_threshold": q_th},
+        )
+        for q_th, seed in cells
+    ]
+    sessions = dict(zip(cells, default_engine(engine).run(tasks)))
     best, cost = [], []
     for q_th in thresholds:
-        b_seeds, c_seeds = [], []
-        for seed in seeds:
-            tuner = fork_tuner(train_deepcat(workload, dataset, seed, sc))
-            tuner.q_threshold = q_th
-            s = tuner.tune_online(
-                online_env(workload, dataset, seed), steps=sc.online_steps
-            )
-            b_seeds.append(s.best_duration_s)
-            c_seeds.append(s.total_tuning_seconds)
-        best.append(float(np.mean(b_seeds)))
-        cost.append(float(np.mean(c_seeds)))
+        ss = [sessions[(q_th, seed)] for seed in seeds]
+        best.append(float(np.mean([s.best_duration_s for s in ss])))
+        cost.append(float(np.mean([s.total_tuning_seconds for s in ss])))
     return Fig12Result(
         thresholds=tuple(thresholds), best=tuple(best), total_cost=tuple(cost)
     )

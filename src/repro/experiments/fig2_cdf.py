@@ -11,8 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.factory import make_env
-from repro.sim.faults import FAILURE_PERF_FACTOR
+from repro.experiments.engine import default_engine, random_cdf_task
 from repro.utils.stats import empirical_cdf
 from repro.utils.tables import format_table
 
@@ -42,30 +41,25 @@ def run(
     dataset: str = "D1",
     n_samples: int = 200,
     seed: int = 0,
+    *,
+    engine=None,
 ) -> Fig2Result:
     """Sample ``n_samples`` random configurations and build the CDF."""
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
-    env = make_env(workload, dataset, seed=seed)
-    rng = np.random.default_rng(seed + 77)
-    durations = []
-    n_failed = 0
-    for _ in range(n_samples):
-        outcome = env.step(env.space.sample_vector(rng))
-        if outcome.success:
-            durations.append(outcome.duration_s)
-        else:
-            n_failed += 1
-            durations.append(FAILURE_PERF_FACTOR * env.default_duration)
-    durations = np.asarray(durations)
+    task = random_cdf_task(
+        workload=workload, dataset=dataset, n_samples=n_samples, seed=seed,
+    )
+    (raw,) = default_engine(engine).run([task])
+    durations = np.asarray(raw["durations"])
     best = float(durations.min())
     rel, prob = empirical_cdf(durations / best)
     return Fig2Result(
         relative_perf=rel,
         cumulative_prob=prob,
         best_duration_s=best,
-        default_duration_s=env.default_duration,
-        n_failed=n_failed,
+        default_duration_s=raw["default_duration"],
+        n_failed=raw["n_failed"],
     )
 
 

@@ -12,7 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.common import get_scale, train_deepcat
+from repro.experiments.common import get_scale
+from repro.experiments.engine import default_engine, offline_trend_task
 from repro.utils.tables import format_table
 
 __all__ = ["Fig3Result", "run", "format_result"]
@@ -45,15 +46,17 @@ def run(
     dataset: str = "D1",
     seed: int = 0,
     smooth_window: int = 25,
+    *,
+    engine=None,
 ) -> Fig3Result:
     sc = get_scale(scale)
-    tuner = train_deepcat(workload, dataset, seed, sc)
-    log = tuner.offline_log
-    if log is None:
-        raise RuntimeError("offline log missing")
-    q = np.asarray(log.min_q)
-    r = np.asarray(log.rewards)
-    warmup = tuner.agent.hp.warmup_steps * 3
+    task = offline_trend_task(
+        workload=workload, dataset=dataset, seed=seed, scale=sc,
+    )
+    (trend,) = default_engine(engine).run([task])
+    q = np.asarray(trend["min_q"])
+    r = np.asarray(trend["rewards"])
+    warmup = trend["warmup_steps"] * 3
     warmup = min(warmup, len(q) // 2)
     qs, rs = _smooth(q, smooth_window), _smooth(r, smooth_window)
     # Correlate the smoothed series: Figure 3 is about the two *trends*

@@ -21,8 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.experiments.common import get_scale, online_env, train_deepcat
-from repro.sim.faults import FAILURE_PERF_FACTOR
+from repro.experiments.common import get_scale
+from repro.experiments.engine import default_engine, policy_quality_task
 from repro.utils.tables import format_table
 
 __all__ = ["Fig4Result", "run", "format_result", "POLICY_EVALS"]
@@ -64,27 +64,14 @@ class Fig4Result:
         return it_plain / max(it_rdper, 1)
 
 
-def _policy_quality(tuner, workload: str, dataset: str, seed: int) -> float:
-    """Mean evaluated duration of the tuner's greedy policy action."""
-    env = online_env(workload, dataset, seed)
-    durations = []
-    for _ in range(POLICY_EVALS):
-        action = tuner.agent.act(env.state, explore=False)
-        outcome = env.step(action)
-        durations.append(
-            outcome.duration_s
-            if outcome.success
-            else FAILURE_PERF_FACTOR * env.default_duration
-        )
-    return float(np.mean(durations))
-
-
 def run(
     scale: str = "quick",
     workload: str = "TS",
     dataset: str = "D1",
     iteration_grid: tuple[int, ...] | None = None,
     seeds: tuple[int, ...] | None = None,
+    *,
+    engine=None,
 ) -> Fig4Result:
     sc = get_scale(scale)
     seeds = seeds if seeds is not None else tuple(range(max(4, len(sc.seeds))))
@@ -93,20 +80,28 @@ def run(
         iteration_grid = tuple(
             int(x) for x in np.linspace(top // 6, top, 6)
         )
-    rdper_rows, plain_rows = [], []
-    for iters in iteration_grid:
-        r_seeds, p_seeds = [], []
-        for seed in seeds:
-            t_rdper = train_deepcat(
-                workload, dataset, seed, sc, iterations=iters
-            )
-            t_plain = train_deepcat(
-                workload, dataset, seed, sc, iterations=iters, use_rdper=False
-            )
-            r_seeds.append(_policy_quality(t_rdper, workload, dataset, seed))
-            p_seeds.append(_policy_quality(t_plain, workload, dataset, seed))
-        rdper_rows.append(float(np.mean(r_seeds)))
-        plain_rows.append(float(np.mean(p_seeds)))
+    cells = [
+        (iters, seed, use_rdper)
+        for iters in iteration_grid
+        for seed in seeds
+        for use_rdper in (True, False)
+    ]
+    tasks = [
+        policy_quality_task(
+            workload=workload, dataset=dataset, seed=seed, iterations=iters,
+            use_rdper=use_rdper, policy_evals=POLICY_EVALS,
+        )
+        for iters, seed, use_rdper in cells
+    ]
+    quality = dict(zip(cells, default_engine(engine).run(tasks)))
+    rdper_rows = [
+        float(np.mean([quality[(iters, seed, True)] for seed in seeds]))
+        for iters in iteration_grid
+    ]
+    plain_rows = [
+        float(np.mean([quality[(iters, seed, False)] for seed in seeds]))
+        for iters in iteration_grid
+    ]
     return Fig4Result(
         iterations=tuple(iteration_grid),
         best_with_rdper=tuple(rdper_rows),

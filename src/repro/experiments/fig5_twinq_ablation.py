@@ -13,12 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.common import (
-    fork_tuner,
-    get_scale,
-    online_env,
-    train_deepcat,
-)
+from repro.experiments.common import get_scale
+from repro.experiments.engine import default_engine, session_task
 from repro.utils.tables import format_table
 
 __all__ = ["Fig5Result", "run", "format_result"]
@@ -47,29 +43,28 @@ def run(
     workload: str = "TS",
     dataset: str = "D1",
     seeds: tuple[int, ...] | None = None,
+    *,
+    engine=None,
 ) -> Fig5Result:
     sc = get_scale(scale)
     # The with/without comparison is paired but still exposed to
     # evaluation noise, so it averages more seeds than the scale default.
     seeds = seeds if seeds is not None else tuple(range(max(3, len(sc.seeds))))
+    cells = [(seed, use) for seed in seeds for use in (True, False)]
+    tasks = [
+        session_task(
+            workload=workload, dataset=dataset, tuner="DeepCAT", seed=seed,
+            scale=sc, tuner_attrs={"use_twin_q": use},
+        )
+        for seed, use in cells
+    ]
+    sessions = dict(zip(cells, default_engine(engine).run(tasks)))
     with_steps = np.zeros(sc.online_steps)
     without_steps = np.zeros(sc.online_steps)
     best_w, best_wo = [], []
     for seed in seeds:
-        base = train_deepcat(workload, dataset, seed, sc)
-
-        t_with = fork_tuner(base)
-        t_with.use_twin_q = True
-        s_with = t_with.tune_online(
-            online_env(workload, dataset, seed), steps=sc.online_steps
-        )
-
-        t_without = fork_tuner(base)
-        t_without.use_twin_q = False
-        s_without = t_without.tune_online(
-            online_env(workload, dataset, seed), steps=sc.online_steps
-        )
-
+        s_with = sessions[(seed, True)]
+        s_without = sessions[(seed, False)]
         with_steps += np.array([s.duration_s for s in s_with.steps])
         without_steps += np.array([s.duration_s for s in s_without.steps])
         best_w.append(s_with.best_duration_s)

@@ -29,8 +29,8 @@ class Fig6Result:
         return s["DeepCAT"] / s[over]
 
 
-def run(scale: str = "quick", pairs=None) -> Fig6Result:
-    return Fig6Result(grid=comparison_grid(scale, pairs))
+def run(scale: str = "quick", pairs=None, *, engine=None) -> Fig6Result:
+    return Fig6Result(grid=comparison_grid(scale, pairs, engine=engine))
 
 
 def format_result(r: Fig6Result) -> str:

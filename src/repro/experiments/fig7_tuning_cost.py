@@ -28,8 +28,8 @@ class Fig7Result:
         return self.grid.cost_reduction_vs("DeepCAT", "OtterTune")
 
 
-def run(scale: str = "quick", pairs=None) -> Fig7Result:
-    return Fig7Result(grid=comparison_grid(scale, pairs))
+def run(scale: str = "quick", pairs=None, *, engine=None) -> Fig7Result:
+    return Fig7Result(grid=comparison_grid(scale, pairs, engine=engine))
 
 
 def format_result(r: Fig7Result) -> str:

@@ -37,8 +37,8 @@ class Fig8Result:
         return float(self.series(tuner, workload, dataset)[1][-1])
 
 
-def run(scale: str = "quick", pairs=None) -> Fig8Result:
-    return Fig8Result(grid=comparison_grid(scale, pairs))
+def run(scale: str = "quick", pairs=None, *, engine=None) -> Fig8Result:
+    return Fig8Result(grid=comparison_grid(scale, pairs, engine=engine))
 
 
 def format_result(r: Fig8Result) -> str:

@@ -13,15 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.result import OnlineSession
-from repro.experiments.common import (
-    fork_tuner,
-    get_scale,
-    online_env,
-    train_cdbtune,
-    train_deepcat,
-    train_ottertune,
-)
+from repro.experiments.common import get_scale
+from repro.experiments.engine import default_engine, session_task
 from repro.utils.tables import format_table
 
 __all__ = ["Fig9Result", "run", "format_result"]
@@ -49,38 +42,37 @@ def _label(source: str) -> str:
     return "M_PR" if source == "PR" else f"M_{source}->PR"
 
 
-def run(scale: str = "quick", seeds: tuple[int, ...] | None = None) -> Fig9Result:
+def run(
+    scale: str = "quick",
+    seeds: tuple[int, ...] | None = None,
+    *,
+    engine=None,
+) -> Fig9Result:
     sc = get_scale(scale)
     seeds = seeds if seeds is not None else tuple(range(max(3, len(sc.seeds))))
     workload, dataset = TARGET
-    best: dict[str, list[float]] = {}
-    cost: dict[str, list[float]] = {}
 
-    def record(label: str, session: OnlineSession) -> None:
-        best.setdefault(label, []).append(session.best_duration_s)
-        cost.setdefault(label, []).append(session.total_tuning_seconds)
-
+    labels, tasks = [], []
     for seed in seeds:
         for source in SOURCES:
-            tuner = fork_tuner(train_deepcat(source, "D1", seed, sc))
-            s = tuner.tune_online(
-                online_env(workload, dataset, seed), steps=sc.online_steps
-            )
-            record(_label(source), s)
-        cb = fork_tuner(train_cdbtune(workload, dataset, seed, sc))
-        record(
-            "CDBTune",
-            cb.tune_online(
-                online_env(workload, dataset, seed), steps=sc.online_steps
-            ),
-        )
-        ot = fork_tuner(train_ottertune(workload, dataset, seed, sc))
-        record(
-            "OtterTune",
-            ot.tune_online(
-                online_env(workload, dataset, seed), steps=sc.online_steps
-            ),
-        )
+            labels.append(_label(source))
+            tasks.append(session_task(
+                workload=workload, dataset=dataset, tuner="DeepCAT",
+                seed=seed, scale=sc,
+                train_workload=source, train_dataset="D1",
+            ))
+        for tuner in ("CDBTune", "OtterTune"):
+            labels.append(tuner)
+            tasks.append(session_task(
+                workload=workload, dataset=dataset, tuner=tuner,
+                seed=seed, scale=sc,
+            ))
+
+    best: dict[str, list[float]] = {}
+    cost: dict[str, list[float]] = {}
+    for label, session in zip(labels, default_engine(engine).run(tasks)):
+        best.setdefault(label, []).append(session.best_duration_s)
+        cost.setdefault(label, []).append(session.total_tuning_seconds)
 
     return Fig9Result(
         best={k: float(np.mean(v)) for k, v in best.items()},

@@ -5,6 +5,12 @@ and renders a markdown report with the paper's numbers next to ours.
 The repository's checked-in ``EXPERIMENTS.md`` is produced by::
 
     python -m repro.experiments.report --scale standard
+
+Generation is sharded through the experiment engine: ``jobs`` fans the
+grid cells out over worker processes and ``cache_dir`` makes repeated
+invocations incremental (only tasks whose parameters — or the code salt
+— changed are recomputed).  Parallelism and caching never change the
+report's science; see ``docs/experiments.md``.
 """
 
 from __future__ import annotations
@@ -30,16 +36,44 @@ from repro.experiments import (
     tables,
 )
 from repro.experiments.common import get_scale
+from repro.experiments.engine import ExperimentEngine, ResultCache
 
-__all__ = ["build_report"]
+__all__ = ["build_report", "make_engine", "add_engine_arguments"]
 
 
 def _block(text: str) -> str:
     return f"```\n{text}\n```\n"
 
 
-def build_report(scale: str = "quick") -> str:
-    """Run every experiment and render the markdown report."""
+def make_engine(
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    telemetry=None,
+) -> ExperimentEngine:
+    """The engine a report run shares across all figure modules."""
+    from repro.telemetry import NULL_CONTEXT
+
+    return ExperimentEngine(
+        jobs=jobs,
+        cache=ResultCache(cache_dir) if cache_dir else None,
+        telemetry=telemetry if telemetry is not None else NULL_CONTEXT,
+    )
+
+
+def build_report(
+    scale: str = "quick",
+    *,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    engine: ExperimentEngine | None = None,
+) -> str:
+    """Run every experiment and render the markdown report.
+
+    ``jobs``/``cache_dir`` build a fresh engine; pass ``engine`` instead
+    to share one (and its telemetry/statistics) with the caller.
+    """
+    if engine is None:
+        engine = make_engine(jobs=jobs, cache_dir=cache_dir)
     sc = get_scale(scale)
     out = io.StringIO()
     w = out.write
@@ -65,7 +99,7 @@ def build_report(scale: str = "quick") -> str:
     )
 
     w("## Figure 2 — CDF of 200 random configurations (TeraSort D1)\n\n")
-    r2 = fig2_cdf.run(scale)
+    r2 = fig2_cdf.run(scale, engine=engine)
     w(_block(fig2_cdf.format_result(r2)))
     w(
         "\n**Paper:** easy to beat the default, but close-to-optimal "
@@ -76,7 +110,7 @@ def build_report(scale: str = "quick") -> str:
     )
 
     w("## Figure 3 — twin-Q vs real reward during offline training\n\n")
-    r3 = fig3_twinq_trend.run(scale)
+    r3 = fig3_twinq_trend.run(scale, engine=engine)
     w(_block(fig3_twinq_trend.format_result(r3)))
     w(
         "\n**Paper:** min(Q1, Q2) shares the real reward's trend, "
@@ -85,7 +119,7 @@ def build_report(scale: str = "quick") -> str:
     )
 
     w("## Figure 4 — RDPER vs conventional replay\n\n")
-    r4 = fig4_rdper.run(scale)
+    r4 = fig4_rdper.run(scale, engine=engine)
     w(_block(fig4_rdper.format_result(r4)))
     w(
         "\n**Paper:** TD3+RDPER converges 1.60x faster and finds a "
@@ -98,7 +132,7 @@ def build_report(scale: str = "quick") -> str:
     )
 
     w("## Figure 5 — Twin-Q Optimizer ablation\n\n")
-    r5 = fig5_twinq_ablation.run(scale)
+    r5 = fig5_twinq_ablation.run(scale, engine=engine)
     w(_block(fig5_twinq_ablation.format_result(r5)))
     w(
         "\n**Paper:** -19.29% total 5-step cost, 7.29% better best "
@@ -113,7 +147,7 @@ def build_report(scale: str = "quick") -> str:
     )
 
     w("## Figures 6-8 — comparison with CDBTune and OtterTune\n\n")
-    r6 = fig6_speedup.run(scale)
+    r6 = fig6_speedup.run(scale, engine=engine)
     w(_block(fig6_speedup.format_result(r6)))
     avg = r6.average_speedups()
     w(
@@ -126,7 +160,7 @@ def build_report(scale: str = "quick") -> str:
         "show the largest DeepCAT margin, as in the paper (§5.2.1).\n\n"
     )
 
-    r7 = fig7_tuning_cost.run(scale)
+    r7 = fig7_tuning_cost.run(scale, engine=engine)
     w(_block(fig7_tuning_cost.format_result(r7)))
     avg_c, max_c = r7.reduction_vs_cdbtune()
     avg_o, max_o = r7.reduction_vs_ottertune()
@@ -142,7 +176,7 @@ def build_report(scale: str = "quick") -> str:
         "for OtterTune).\n\n"
     )
 
-    r8 = fig8_cost_constraint.run(scale)
+    r8 = fig8_cost_constraint.run(scale, engine=engine)
     w(_block(fig8_cost_constraint.format_result(r8)))
     w(
         "\n**Paper:** DeepCAT reaches a better configuration with less "
@@ -152,7 +186,7 @@ def build_report(scale: str = "quick") -> str:
     )
 
     w("## Figure 9 — workload adaptability (PageRank D1)\n\n")
-    r9 = fig9_workload_adapt.run(scale)
+    r9 = fig9_workload_adapt.run(scale, engine=engine)
     w(_block(fig9_workload_adapt.format_result(r9)))
     w(
         "\n**Paper:** transferred DeepCAT models land within 11.22-19.44% "
@@ -173,7 +207,7 @@ def build_report(scale: str = "quick") -> str:
     )
 
     w("## Figure 10 — hardware adaptability (Cluster-A -> Cluster-B)\n\n")
-    r10 = fig10_hardware_adapt.run(scale)
+    r10 = fig10_hardware_adapt.run(scale, engine=engine)
     w(_block(fig10_hardware_adapt.format_result(r10)))
     w(
         "\n**Paper:** on Cluster-B, speedups 1.68/1.30/1.17x (WC) and "
@@ -183,7 +217,7 @@ def build_report(scale: str = "quick") -> str:
     )
 
     w("## Figure 11 — RDPER ratio beta\n\n")
-    r11 = fig11_beta.run(scale)
+    r11 = fig11_beta.run(scale, engine=engine)
     w(_block(fig11_beta.format_result(r11)))
     w(
         "\n**Paper:** U-shaped; beta in [0.4, 0.7] works best, 0.6 "
@@ -192,7 +226,7 @@ def build_report(scale: str = "quick") -> str:
     )
 
     w("## Figure 12 — Q-value threshold\n\n")
-    r12 = fig12_qth.run(scale)
+    r12 = fig12_qth.run(scale, engine=engine)
     w(_block(fig12_qth.format_result(r12)))
     best_qth = r12.thresholds[
         int(np.argmin(r12.best))
@@ -226,16 +260,40 @@ def build_report(scale: str = "quick") -> str:
     return out.getvalue()
 
 
+def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The engine flags shared by this module's CLI and ``repro report``."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the experiment grid (1 = serial, "
+             "bit-for-bit the historical code path)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="on-disk result cache; repeated runs only recompute tasks "
+             "whose parameters or code salt changed",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk cache (always recompute)",
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="quick",
                         choices=("quick", "standard", "full"))
     parser.add_argument("--output", default="EXPERIMENTS.md")
+    add_engine_arguments(parser)
     args = parser.parse_args()
-    report = build_report(args.scale)
+    engine = make_engine(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    report = build_report(args.scale, engine=engine)
     with open(args.output, "w") as fh:
         fh.write(report)
     print(f"wrote {args.output} at scale {args.scale!r}")
+    print(f"engine: {engine.stats.summary()}")
 
 
 if __name__ == "__main__":

@@ -2,7 +2,13 @@
 
 Runs the full comparison — every workload-input pair, tuned online by
 DeepCAT, CDBTune and OtterTune from their offline models — once per
-(scale, pairs) request and caches the resulting sessions.
+(scale, pairs, overrides) request and caches the resulting sessions.
+
+The grid is sharded into one :class:`~repro.experiments.engine.TaskSpec`
+per (pair, seed, tuner) cell and executed by an
+:class:`~repro.experiments.engine.ExperimentEngine`, so callers can run
+it in parallel (``jobs > 1``) and/or incrementally (on-disk result
+cache) without changing a single float of the outcome.
 """
 
 from __future__ import annotations
@@ -12,13 +18,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.result import OnlineSession
-from repro.experiments.common import (
-    fork_tuner,
-    get_scale,
-    online_env,
-    train_cdbtune,
-    train_deepcat,
-    train_ottertune,
+from repro.experiments.common import ExperimentScale, get_scale
+from repro.experiments.engine import (
+    ExperimentEngine,
+    default_engine,
+    session_task,
 )
 
 __all__ = ["SessionGrid", "comparison_grid", "ALL_PAIRS", "QUICK_PAIRS"]
@@ -88,36 +92,63 @@ class SessionGrid:
         return float(np.mean(reductions)), float(np.max(reductions))
 
 
+def _scale_key(sc: ExperimentScale) -> tuple:
+    """Every field of the scale, not just its name.
+
+    The historical key was ``(sc.name, pairs, sc.seeds)``; two scales
+    sharing a name and seed list but differing in any budget override
+    (offline iterations, OtterTune samples, online steps) collided, so a
+    grid computed under one budget could be served for the other.
+    """
+    return (
+        sc.name,
+        sc.offline_iterations,
+        sc.ottertune_samples,
+        sc.seeds,
+        sc.online_steps,
+    )
+
+
 def comparison_grid(
     scale: str = "quick",
     pairs: tuple[tuple[str, str], ...] | None = None,
+    *,
+    engine: ExperimentEngine | None = None,
+    overrides: dict | None = None,
 ) -> SessionGrid:
-    """Run (or fetch) the tuner-comparison grid at the given scale."""
+    """Run (or fetch) the tuner-comparison grid at the given scale.
+
+    ``overrides`` are DeepCAT construction hyper-parameters applied to
+    every DeepCAT cell (the baselines are untouched); they are part of
+    the memoization key, so sweeps over overrides never alias.
+    """
     sc = get_scale(scale)
     if pairs is None:
         pairs = QUICK_PAIRS if sc.name == "quick" else ALL_PAIRS
-    key = (sc.name, pairs, sc.seeds)
+    key = (
+        _scale_key(sc), pairs,
+        tuple(sorted((overrides or {}).items())),
+    )
     if key in _GRID_CACHE:
         return _GRID_CACHE[key]
 
+    eng = default_engine(engine)
+    cells = [
+        (workload, dataset, seed, tuner)
+        for workload, dataset in pairs
+        for seed in sc.seeds
+        for tuner in TUNERS
+    ]
+    tasks = [
+        session_task(
+            workload=w, dataset=d, tuner=t, seed=seed, scale=sc,
+            overrides=overrides if t == "DeepCAT" else None,
+        )
+        for w, d, seed, t in cells
+    ]
     sessions: dict[tuple[str, str, str], list[OnlineSession]] = {}
-    for workload, dataset in pairs:
-        for seed in sc.seeds:
-            tuners = {
-                "DeepCAT": fork_tuner(
-                    train_deepcat(workload, dataset, seed, sc)
-                ),
-                "CDBTune": fork_tuner(
-                    train_cdbtune(workload, dataset, seed, sc)
-                ),
-                "OtterTune": fork_tuner(
-                    train_ottertune(workload, dataset, seed, sc)
-                ),
-            }
-            for name, tuner in tuners.items():
-                env = online_env(workload, dataset, seed)
-                s = tuner.tune_online(env, steps=sc.online_steps)
-                sessions.setdefault((name, workload, dataset), []).append(s)
+    for (w, d, _seed, t), session in zip(cells, eng.run(tasks)):
+        sessions.setdefault((t, w, d), []).append(session)
     grid = SessionGrid(pairs=pairs, seeds=sc.seeds, sessions=sessions)
     _GRID_CACHE[key] = grid
     return grid

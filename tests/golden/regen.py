@@ -1,0 +1,51 @@
+"""Regenerate the simulator golden file.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Pins the *noise-free* default-configuration execution time of every
+paper workload at dataset D1 on both clusters.  These are pure functions
+of the simulator's physics; any edit that moves them must (a) be
+intentional, (b) regenerate this file, and (c) bump
+``repro.experiments.engine.CACHE_VERSION`` so stale on-disk task results
+are invalidated alongside.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).parent / "sim_defaults.json"
+
+WORKLOADS = ("WC", "TS", "PR", "KM")
+CLUSTERS = ("cluster-a", "cluster-b")
+DATASET = "D1"
+
+
+def compute() -> dict[str, float]:
+    from repro.cluster.hardware import CLUSTER_A, CLUSTER_B
+    from repro.factory import make_env
+
+    spec = {"cluster-a": CLUSTER_A, "cluster-b": CLUSTER_B}
+    out = {}
+    for cluster in CLUSTERS:
+        for workload in WORKLOADS:
+            env = make_env(workload, DATASET, cluster=spec[cluster],
+                           seed=0, noise_sigma=0.0)
+            out[f"{workload}-{DATASET}@{cluster}"] = env.default_duration
+    return out
+
+
+def main() -> None:
+    values = compute()
+    GOLDEN_PATH.write_text(json.dumps(values, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {GOLDEN_PATH}:")
+    for key, value in sorted(values.items()):
+        print(f"  {key:<18} {value:10.4f}s")
+
+
+if __name__ == "__main__":
+    main()

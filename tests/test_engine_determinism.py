@@ -1,0 +1,123 @@
+"""Determinism regression suite (``pytest -m determinism``).
+
+The engine's contract is that ``jobs`` and the cache change wall-clock
+only, never science.  These tests run the same tiny session grid through
+the inline path, a 4-worker process pool, and a cache round-trip, and
+require the :class:`~repro.core.result.OnlineSession` science to match
+exactly — no tolerances.
+
+``recommendation_s`` is the one intentionally nondeterministic field
+(measured wall-clock of the recommender, see docs/experiments.md); it is
+excluded from cross-run comparison but included in the cache round-trip,
+where the bytes on disk are the single source.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentScale, clear_model_cache
+from repro.experiments.engine import (
+    ExperimentEngine,
+    ResultCache,
+    session_task,
+)
+
+pytestmark = pytest.mark.determinism
+
+TINY = ExperimentScale(
+    name="tiny-determinism", offline_iterations=60, ottertune_samples=30,
+    seeds=(0, 1), online_steps=3,
+)
+
+
+def _grid_tasks():
+    """A small but heterogeneous grid: 2 tuners x 2 seeds."""
+    return [
+        session_task(workload="WC", dataset="D1", tuner=tuner, seed=seed,
+                     scale=TINY)
+        for tuner in ("DeepCAT", "CDBTune")
+        for seed in TINY.seeds
+    ]
+
+
+def _science(session):
+    """Every deterministic field of an OnlineSession."""
+    return {
+        "tuner": session.tuner,
+        "workload": session.workload,
+        "dataset": session.dataset,
+        "default_duration_s": session.default_duration_s,
+        "steps": [
+            {
+                "step": s.step,
+                "duration_s": s.duration_s,
+                "reward": s.reward,
+                "success": s.success,
+                "config": s.config,
+                "action": s.action.tolist(),
+                "twinq_iterations": s.twinq_iterations,
+                "twinq_accepted": s.twinq_accepted,
+                "original_q": s.original_q,
+                "final_q": s.final_q,
+            }
+            for s in session.steps
+        ],
+    }
+
+
+@pytest.fixture(autouse=True)
+def _fresh_model_cache():
+    clear_model_cache()
+    yield
+    clear_model_cache()
+
+
+def test_jobs_4_matches_jobs_1():
+    """The acceptance criterion: sharding never changes results."""
+    inline = ExperimentEngine(jobs=1).run(_grid_tasks())
+    clear_model_cache()
+    parallel = ExperimentEngine(jobs=4).run(_grid_tasks())
+    assert [_science(s) for s in inline] == [_science(s) for s in parallel]
+
+
+def test_repeated_inline_runs_identical():
+    a = ExperimentEngine(jobs=1).run(_grid_tasks())
+    clear_model_cache()
+    b = ExperimentEngine(jobs=1).run(_grid_tasks())
+    assert [_science(s) for s in a] == [_science(s) for s in b]
+
+
+def test_cache_round_trip_value_identical(tmp_path):
+    """What goes into the cache comes back out, recommendation_s and all."""
+    tasks = _grid_tasks()
+    eng = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+    first = eng.run(tasks)
+    assert eng.stats.executed == len(tasks)
+
+    reloaded_eng = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+    reloaded = reloaded_eng.run(tasks)
+    assert reloaded_eng.stats.cache_hits == len(tasks)
+    assert reloaded_eng.stats.executed == 0
+
+    for a, b in zip(first, reloaded):
+        assert _science(a) == _science(b)
+        # the cached copy preserves even the wall-clock field exactly
+        for sa, sb in zip(a.steps, b.steps):
+            assert math.isclose(sa.recommendation_s, sb.recommendation_s,
+                                rel_tol=0.0, abs_tol=0.0)
+
+
+def test_cached_and_computed_mix_preserves_order(tmp_path):
+    """A warm cache plus new cells: submission order still holds."""
+    tasks = _grid_tasks()
+    warm = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+    warm.run(tasks[:2])
+
+    eng = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+    out = eng.run(tasks)
+    assert eng.stats.cache_hits == 2
+    assert eng.stats.executed == len(tasks) - 2
+    clear_model_cache()
+    fresh = ExperimentEngine(jobs=1).run(tasks)
+    assert [_science(s) for s in out] == [_science(s) for s in fresh]

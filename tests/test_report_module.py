@@ -22,13 +22,40 @@ class TestReportCli:
         # patch build_report so the CLI path is tested without a full run
         import repro.experiments.report as report_mod
 
-        monkeypatch.setattr(
-            report_mod, "build_report", lambda scale: f"# stub ({scale})\n"
-        )
+        seen = {}
+
+        def stub(scale, *, engine=None, **kwargs):
+            seen["engine"] = engine
+            return f"# stub ({scale})\n"
+
+        monkeypatch.setattr(report_mod, "build_report", stub)
         out = tmp_path / "E.md"
         monkeypatch.setattr(
             "sys.argv",
-            ["report", "--scale", "quick", "--output", str(out)],
+            ["report", "--scale", "quick", "--output", str(out),
+             "--cache-dir", str(tmp_path / "cache"), "--jobs", "2"],
         )
         report_mod.main()
         assert out.read_text().startswith("# stub (quick)")
+        # main() built an engine from the CLI flags and passed it through
+        assert seen["engine"] is not None
+        assert seen["engine"].jobs == 2
+        assert seen["engine"].cache is not None
+
+    def test_module_main_no_cache_flag(self, tmp_path, monkeypatch):
+        import repro.experiments.report as report_mod
+
+        seen = {}
+
+        def stub(scale, *, engine=None, **kwargs):
+            seen["engine"] = engine
+            return "# stub\n"
+
+        monkeypatch.setattr(report_mod, "build_report", stub)
+        out = tmp_path / "E.md"
+        monkeypatch.setattr(
+            "sys.argv",
+            ["report", "--output", str(out), "--no-cache"],
+        )
+        report_mod.main()
+        assert seen["engine"].cache is None

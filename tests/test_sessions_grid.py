@@ -71,3 +71,32 @@ class TestComparisonGrid:
         for sessions in grid.sessions.values():
             for s in sessions:
                 assert s.n_steps == TINY.online_steps
+
+
+class TestGridCacheKey:
+    """Regressions for the memo key (it once was just (name, pairs, seeds),
+    so scales differing only in budgets aliased to the same grid)."""
+
+    def test_same_name_different_budget_not_aliased(self, grid):
+        """The historical stale-hit: same name+seeds, different budget."""
+        shorter = ExperimentScale(
+            name=TINY.name,  # deliberately identical
+            offline_iterations=TINY.offline_iterations,
+            ottertune_samples=TINY.ottertune_samples,
+            seeds=TINY.seeds,  # deliberately identical
+            online_steps=TINY.online_steps - 1,
+        )
+        other = comparison_grid(shorter, pairs=PAIRS)
+        assert other is not grid
+        for sessions in other.sessions.values():
+            for s in sessions:
+                assert s.n_steps == shorter.online_steps
+
+    def test_different_overrides_not_aliased(self, grid):
+        pair = (PAIRS[0],)
+        plain = comparison_grid(TINY, pairs=pair)
+        swept = comparison_grid(TINY, pairs=pair, overrides={"beta": 0.4})
+        assert swept is not plain
+        # and the memoization itself still works per overrides value
+        assert comparison_grid(TINY, pairs=pair,
+                               overrides={"beta": 0.4}) is swept

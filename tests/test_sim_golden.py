@@ -1,0 +1,65 @@
+"""Golden-file tests pinning the simulator's default execution times.
+
+The engine's on-disk cache trusts that a task result is a pure function
+of (parameters, code salt).  The code-salt half of that contract is
+human-maintained: whoever changes the simulator's physics must bump
+``CACHE_VERSION``.  These tests make such drift loud — if a physics edit
+moves the default-configuration duration of any workload, the suite
+fails until the golden file is regenerated (``tests/golden/regen.py``)
+and the salt reviewed.  See docs/experiments.md.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.hardware import CLUSTER_A, CLUSTER_B
+from repro.factory import make_env
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "sim_defaults.json"
+
+pytestmark = pytest.mark.golden
+
+_SPECS = {"cluster-a": CLUSTER_A, "cluster-b": CLUSTER_B}
+
+
+def _golden() -> dict[str, float]:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_covers_the_full_matrix():
+    golden = _golden()
+    expected = {
+        f"{w}-D1@{c}"
+        for w in ("WC", "TS", "PR", "KM")
+        for c in ("cluster-a", "cluster-b")
+    }
+    assert set(golden) == expected
+
+
+@pytest.mark.parametrize("key", sorted(_golden()))
+def test_default_duration_matches_golden(key):
+    pair, cluster = key.split("@")
+    workload, dataset = pair.split("-")
+    env = make_env(workload, dataset, cluster=_SPECS[cluster], seed=0,
+                   noise_sigma=0.0)
+    assert env.default_duration == pytest.approx(
+        _golden()[key], rel=1e-9, abs=0.0
+    ), (
+        f"simulator default duration for {key} drifted; if intentional, "
+        "regenerate tests/golden/sim_defaults.json via tests/golden/"
+        "regen.py AND bump repro.experiments.engine.CACHE_VERSION"
+    )
+
+
+def test_default_duration_reproducible_per_seed():
+    """Same seed, same duration — the property the cache relies on.
+
+    (The value is seed-*dependent* — straggler draws consume the env RNG
+    even at ``noise_sigma=0`` — which is why the golden file pins
+    ``seed=0`` explicitly.)
+    """
+    a = make_env("WC", "D1", seed=0, noise_sigma=0.0)
+    b = make_env("WC", "D1", seed=0, noise_sigma=0.0)
+    assert a.default_duration == b.default_duration
