@@ -18,7 +18,9 @@ configuration on the simulator (the HiBench-equivalent one-off run);
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
+import signal
 import sys
 
 import numpy as np
@@ -28,10 +30,38 @@ from repro.cluster.hardware import CLUSTER_A, CLUSTER_B
 from repro.core.deepcat import DeepCAT
 from repro.core.persistence import load_tuner, save_tuner
 from repro.factory import make_env
+from repro.faults import PROFILES
 
 __all__ = ["main", "build_parser"]
 
 _CLUSTERS = {"cluster-a": CLUSTER_A, "cluster-b": CLUSTER_B}
+
+#: conventional exit status for "terminated by SIGINT"
+_INTERRUPTED_RC = 130
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Deliver SIGTERM as KeyboardInterrupt for the wrapped block.
+
+    Long-running commands get one graceful-shutdown path for Ctrl-C and
+    ``kill``: flush telemetry, write the final checkpoint, exit 130.
+    Restores the previous handler on exit; a no-op off the main thread
+    (where ``signal.signal`` is unavailable).
+    """
+
+    def handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, handler)
+    except ValueError:
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,10 +114,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune = sub.add_parser("tune", help="serve an online tuning request")
     common(p_tune)
     telemetry_flags(p_tune)
-    p_tune.add_argument("--model", required=True, help="trained .npz path")
+    p_tune.add_argument("--model", default=None,
+                        help="trained .npz path (required unless --resume)")
     p_tune.add_argument("--steps", type=int, default=5)
     p_tune.add_argument("--time-budget", type=float, default=None,
                         help="total tuning cost constraint in seconds")
+    p_tune.add_argument(
+        "--fault-profile", default="none", choices=sorted(PROFILES),
+        help="chaos preset injected into evaluations (default: none)",
+    )
+    p_tune.add_argument(
+        "--no-resilience", action="store_true",
+        help="disable retry/watchdog/safety-guard even under faults",
+    )
+    p_tune.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot the session here for crash recovery",
+    )
+    p_tune.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot cadence in steps (default: every step)",
+    )
+    p_tune.add_argument(
+        "--resume", default=None, metavar="CKPT",
+        help="resume a killed session from its checkpoint; --steps is "
+             "the TOTAL step count (already-completed steps are kept)",
+    )
 
     p_eval = sub.add_parser(
         "evaluate", help="run one configuration on the simulator"
@@ -193,6 +245,18 @@ def _finish_telemetry(ctx) -> None:
         print(f"telemetry: wrote {path}")
 
 
+def _finish_interrupted(ctx, stage: str) -> None:
+    """Seal telemetry for a command cut short by SIGINT/SIGTERM.
+
+    The manifest (when recording) is stamped ``interrupted`` so a
+    partial run is never mistaken for a complete one.
+    """
+    if ctx.manifest is not None:
+        ctx.manifest.extra["interrupted"] = True
+        ctx.manifest.extra["interrupted_stage"] = stage
+    _finish_telemetry(ctx)
+
+
 def _cmd_train(args) -> int:
     env = make_env(args.workload, args.dataset,
                    cluster=_CLUSTERS[args.cluster], seed=args.seed)
@@ -203,7 +267,14 @@ def _cmd_train(args) -> int:
         f"({args.iterations} iterations)..."
     )
     ctx = _telemetry_context(args, kind="offline-train")
-    log = tuner.train_offline(env, args.iterations, telemetry=ctx)
+    with _sigterm_as_interrupt():
+        try:
+            log = tuner.train_offline(env, args.iterations, telemetry=ctx)
+        except KeyboardInterrupt:
+            save_tuner(tuner, args.model)
+            print(f"\ninterrupted: saved partially-trained {args.model}")
+            _finish_interrupted(ctx, "offline-train")
+            return _INTERRUPTED_RC
     save_tuner(tuner, args.model)
     print(
         f"saved {args.model}; best configuration seen offline "
@@ -213,26 +284,99 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _cmd_tune(args) -> int:
-    tuner = load_tuner(args.model, seed=args.seed)
-    env = make_env(args.workload, args.dataset,
-                   cluster=_CLUSTERS[args.cluster], seed=1000 + args.seed)
-    ctx = _telemetry_context(args, kind="online-tune")
-    session = tuner.tune_online(
-        env, steps=args.steps, time_budget_s=args.time_budget,
-        telemetry=ctx,
-    )
+def _print_session(session) -> None:
     for step in session.steps:
         status = "ok" if step.success else "FAILED"
+        extras = []
+        if step.attempts > 1:
+            extras.append(f"{step.attempts} attempts")
+        if step.aborted:
+            extras.append("watchdog-abort")
+        if step.fallback:
+            extras.append("fallback")
+        if step.faults:
+            extras.append("faults: " + ",".join(step.faults))
+        suffix = f" [{'; '.join(extras)}]" if extras else ""
         print(
             f"step {step.step + 1}: {step.duration_s:8.1f}s "
-            f"(reward {step.reward:+.2f}, {status})"
+            f"(reward {step.reward:+.2f}, {status}){suffix}"
         )
-    print(
-        f"best {session.best_duration_s:.1f}s "
-        f"({session.speedup_over_default:.2f}x over default), "
-        f"total tuning cost {session.total_tuning_seconds:.1f}s"
+    if any(s.success for s in session.steps):
+        print(
+            f"best {session.best_duration_s:.1f}s "
+            f"({session.speedup_over_default:.2f}x over default), "
+            f"total tuning cost {session.total_tuning_seconds:.1f}s"
+        )
+    else:
+        print(
+            "no successful step in session; "
+            f"total tuning cost {session.total_tuning_seconds:.1f}s"
+        )
+
+
+def _cmd_tune(args) -> int:
+    from repro.core.persistence import CheckpointManager, load_checkpoint
+    from repro.core.resilience import ResiliencePolicy
+
+    if args.resume is None and args.model is None:
+        print("tune: either --model or --resume is required",
+              file=sys.stderr)
+        return 2
+    if args.resume is not None:
+        ckpt = load_checkpoint(args.resume)
+        tuner, env = ckpt.tuner, ckpt.env
+        session, start_step = ckpt.session, ckpt.next_step
+        resilience = ckpt.resilience
+        # keep snapshotting into the same file unless redirected
+        ckpt_path = args.checkpoint if args.checkpoint else args.resume
+        if start_step >= args.steps:
+            print(f"nothing to do: {args.resume} already has "
+                  f"{start_step} step(s)")
+            _print_session(session)
+            return 0
+        print(
+            f"resuming {session.workload}-{session.dataset} from "
+            f"{args.resume} at step {start_step + 1}/{args.steps}"
+        )
+    else:
+        tuner = load_tuner(args.model, seed=args.seed)
+        env = make_env(args.workload, args.dataset,
+                       cluster=_CLUSTERS[args.cluster], seed=1000 + args.seed,
+                       fault_profile=args.fault_profile)
+        session, start_step = None, 0
+        # Resilience rides along with chaos: a fault-free tune keeps the
+        # historical single-attempt behaviour unless faults are injected.
+        resilience = (
+            ResiliencePolicy.default(seed=args.seed)
+            if args.fault_profile != "none" and not args.no_resilience
+            else None
+        )
+        ckpt_path = args.checkpoint
+    checkpoint = (
+        CheckpointManager(
+            ckpt_path, tuner, env, resilience=resilience,
+            every=args.checkpoint_every,
+        )
+        if ckpt_path
+        else None
     )
+    ctx = _telemetry_context(args, kind="online-tune")
+    with _sigterm_as_interrupt():
+        try:
+            session = tuner.tune_online(
+                env, steps=args.steps, time_budget_s=args.time_budget,
+                telemetry=ctx, resilience=resilience, session=session,
+                start_step=start_step, checkpoint=checkpoint,
+            )
+        except KeyboardInterrupt:
+            print("\ninterrupted", end="")
+            if checkpoint is not None:
+                print(f": session checkpointed to {checkpoint.path}; "
+                      f"resume with --resume {checkpoint.path}", end="")
+            print()
+            _finish_interrupted(ctx, "online-tune")
+            return _INTERRUPTED_RC
+    _print_session(session)
     _finish_telemetry(ctx)
     return 0
 
@@ -296,7 +440,14 @@ def _cmd_bench_report(args) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         telemetry=ctx,
     )
-    report = build_report(args.scale, engine=engine)
+    with _sigterm_as_interrupt():
+        try:
+            report = build_report(args.scale, engine=engine)
+        except KeyboardInterrupt:
+            print("\ninterrupted: report not written "
+                  "(completed sessions stay in the result cache)")
+            _finish_interrupted(ctx, "bench-report")
+            return _INTERRUPTED_RC
     with open(args.output, "w") as fh:
         fh.write(report)
     print(f"wrote {args.output} at scale {args.scale!r}")

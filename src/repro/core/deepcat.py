@@ -139,8 +139,20 @@ class DeepCAT:
         fine_tune_updates: int = 2,
         exploration_sigma: float = 0.3,
         telemetry=None,
+        resilience=None,
+        session: OnlineSession | None = None,
+        start_step: int = 0,
+        checkpoint=None,
     ) -> OnlineSession:
-        """Online tuning stage for a new request on ``env``."""
+        """Online tuning stage for a new request on ``env``.
+
+        ``resilience`` (a :class:`~repro.core.resilience.ResiliencePolicy`)
+        enables retry/backoff, the evaluation watchdog, and the safety
+        guard.  ``session``/``start_step``/``checkpoint`` resume and
+        snapshot crash-recoverable sessions — see
+        :meth:`~repro.core.online.OnlineTuner.tune` and
+        :class:`~repro.core.persistence.CheckpointManager`.
+        """
         self._record_provenance(telemetry, env)
         tuner = OnlineTuner(
             self.agent,
@@ -154,7 +166,15 @@ class DeepCAT:
             rng=self._online_rng,
             telemetry=telemetry,
         )
-        return tuner.tune(env, steps=steps, time_budget_s=time_budget_s)
+        return tuner.tune(
+            env,
+            steps=steps,
+            time_budget_s=time_budget_s,
+            session=session,
+            start_step=start_step,
+            resilience=resilience,
+            checkpoint=checkpoint,
+        )
 
     def _record_provenance(self, telemetry, env: TuningEnv) -> None:
         """Stamp tuner configuration + cluster spec into the manifest."""

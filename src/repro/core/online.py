@@ -12,9 +12,11 @@ is exhausted, and the best configuration ever found is reported.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import numpy as np
 
+from repro.core.resilience import ResiliencePolicy, sanitize_state
 from repro.core.result import OnlineSession, TuningStepRecord
 from repro.core.twinq import twin_q_optimize
 from repro.envs.tuning_env import TuningEnv
@@ -61,13 +63,16 @@ class OnlineTuner:
         """The event logger (backward-compatible accessor)."""
         return self.telemetry.logger
 
-    def _recommend(self, state: np.ndarray) -> tuple[np.ndarray, dict]:
+    def _recommend(
+        self, state: np.ndarray, sigma: float | None = None
+    ) -> tuple[np.ndarray, dict]:
         """Produce the action for this step; returns (action, twinq diag)."""
+        if sigma is None:
+            sigma = self.exploration_sigma
         action = self.agent.act(state, explore=False)
-        if self.exploration_sigma > 0:
+        if sigma > 0:
             action = np.clip(
-                action
-                + self._rng.normal(0.0, self.exploration_sigma, action.shape),
+                action + self._rng.normal(0.0, sigma, action.shape),
                 0.0,
                 1.0,
             )
@@ -91,20 +96,95 @@ class OnlineTuner:
             }
         return action, diag
 
+    def _evaluate_resilient(
+        self, env: TuningEnv, action: np.ndarray, resilience: ResiliencePolicy
+    ):
+        """Evaluate ``action`` under the resilience policy.
+
+        Failed (or watchdog-aborted) evaluations are retried up to the
+        policy's ``max_attempts``; every burnt attempt and its backoff
+        delay are charged into the step's tuning cost (no real sleep —
+        the delay is simulated wall-clock, like every other duration
+        here).  Returns ``(final outcome, attempts used, extra cost)``
+        where the extra cost is the burnt seconds *preceding* the final
+        attempt.
+        """
+        t = self.telemetry
+        watchdog = resilience.watchdog
+        schedule = (
+            resilience.retry.schedule() if resilience.retry is not None else ()
+        )
+        max_attempts = resilience.max_attempts
+        extra_cost = 0.0
+        for attempt in range(max_attempts):
+            outcome = env.step(action)
+            if watchdog is not None:
+                verdict = watchdog.inspect(
+                    outcome.duration_s, env.default_duration
+                )
+                if verdict.aborted:
+                    # The evaluation is killed at the budget: the step
+                    # pays the burnt budget and the reward sees a failure
+                    # (Eq. (1) failure semantics, like sim.faults).
+                    outcome = replace(
+                        outcome,
+                        duration_s=verdict.charged_s,
+                        success=False,
+                        reward=float(
+                            env.reward_fn(verdict.charged_s, success=False)
+                        ),
+                        faults=(*outcome.faults, "watchdog-abort"),
+                    )
+                    t.count(
+                        "resilience.watchdog_aborts_total",
+                        help="evaluations aborted by the watchdog",
+                        tuner=self.name,
+                    )
+            if outcome.success or attempt == max_attempts - 1:
+                return outcome, attempt + 1, extra_cost
+            extra_cost += outcome.duration_s + schedule[attempt]
+            t.count(
+                "resilience.retries_total",
+                help="failed evaluations retried with backoff",
+                tuner=self.name,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def tune(
         self,
         env: TuningEnv,
         steps: int = 5,
         time_budget_s: float | None = None,
+        *,
+        session: OnlineSession | None = None,
+        start_step: int = 0,
+        resilience: ResiliencePolicy | None = None,
+        checkpoint=None,
     ) -> OnlineSession:
         """Run up to ``steps`` online tuning steps (5 in the paper).
 
         ``time_budget_s`` optionally bounds the *total tuning cost*
         (evaluation + recommendation time); the session stops once it is
         exceeded (§5.2.3's tuning-cost constraint).
+
+        ``resilience`` enables retry/backoff, the evaluation watchdog,
+        and the safety guard (see :mod:`repro.core.resilience`); with
+        ``None`` the loop behaves bit-identically to earlier builds.
+
+        ``session``/``start_step`` resume a checkpointed run: pass the
+        restored session and the next step index (which must equal
+        ``len(session.steps)``); the loop continues from there as if it
+        had never stopped.  ``checkpoint`` is a
+        :class:`~repro.core.persistence.CheckpointManager` to snapshot
+        after each step; on ``KeyboardInterrupt`` a final checkpoint is
+        written before the interrupt propagates.
         """
         if steps <= 0:
             raise ValueError("steps must be positive")
+        if session is not None and start_step != len(session.steps):
+            raise ValueError(
+                "start_step must equal len(session.steps) when resuming"
+            )
         t = self.telemetry
         if hasattr(env, "attach_telemetry"):
             env.attach_telemetry(t)
@@ -112,106 +192,174 @@ class OnlineTuner:
             self.buffer.set_telemetry(t)
         if hasattr(self.agent, "telemetry"):
             self.agent.telemetry = t
-        session = OnlineSession(
-            tuner=self.name,
-            workload=env.runner.workload.code,
-            dataset=env.runner.dataset.label,
-            default_duration_s=env.default_duration,
-        )
-        state = env.state
-        with t.span(
-            "online.tune", tuner=self.name, workload=session.workload,
-            dataset=session.dataset,
-        ):
-            for step in range(steps):
-                with t.span("online.step", step=step):
-                    t0 = time.perf_counter()
-                    with t.span("online.recommend"):
-                        action, diag = self._recommend(state)
-                    recommendation_s = time.perf_counter() - t0
+        if session is None:
+            session = OnlineSession(
+                tuner=self.name,
+                workload=env.runner.workload.code,
+                dataset=env.runner.dataset.label,
+                default_duration_s=env.default_duration,
+            )
+        guard = resilience.guard if resilience is not None else None
+        # Resume from what the metric collector last reported (identical
+        # to the clean state on a fresh env), so a restored session sees
+        # exactly the observation the killed one would have acted on.
+        state = env.observation if hasattr(env, "observation") else env.state
+        if resilience is not None:
+            state, _ = sanitize_state(state)
+        try:
+            with t.span(
+                "online.tune", tuner=self.name, workload=session.workload,
+                dataset=session.dataset,
+            ):
+                for step in range(start_step, steps):
+                    with t.span("online.step", step=step):
+                        fallback = False
+                        t0 = time.perf_counter()
+                        if guard is not None and guard.should_fallback:
+                            # A bad streak: stop exploring, revert to the
+                            # best-known-good configuration.
+                            action = guard.trigger_fallback()
+                            diag: dict = {}
+                            fallback = True
+                            t.count(
+                                "resilience.fallbacks_total",
+                                help="safety-guard fallbacks to "
+                                "best-known-good configuration",
+                                tuner=self.name,
+                            )
+                        else:
+                            sigma = (
+                                guard.effective_sigma(self.exploration_sigma)
+                                if guard is not None
+                                else self.exploration_sigma
+                            )
+                            with t.span("online.recommend"):
+                                action, diag = self._recommend(
+                                    state, sigma=sigma
+                                )
+                        recommendation_s = time.perf_counter() - t0
 
-                    with t.span("online.evaluate"):
-                        outcome = env.step(action)
-                    state = outcome.next_state
+                        with t.span("online.evaluate"):
+                            if resilience is not None:
+                                outcome, attempts, extra_cost = (
+                                    self._evaluate_resilient(
+                                        env, action, resilience
+                                    )
+                                )
+                            else:
+                                outcome = env.step(action)
+                                attempts, extra_cost = 1, 0.0
+                        next_state = outcome.next_state
+                        if resilience is not None:
+                            next_state, n_repaired = sanitize_state(next_state)
+                            if n_repaired:
+                                t.count(
+                                    "resilience.state_repairs_total",
+                                    n_repaired,
+                                    help="NaN observation entries repaired",
+                                    tuner=self.name,
+                                )
+                        state = next_state
+                        if guard is not None:
+                            guard.record(
+                                outcome.success, outcome.reward, outcome.action
+                            )
 
-                    if self.buffer is not None:
-                        self.buffer.push(
-                            Transition(
-                                state=outcome.state,
-                                action=outcome.action,
+                        if self.buffer is not None:
+                            self.buffer.push(
+                                Transition(
+                                    state=outcome.state,
+                                    action=outcome.action,
+                                    reward=outcome.reward,
+                                    next_state=next_state,
+                                )
+                            )
+                            if self.buffer.can_sample(self.agent.hp.batch_size):
+                                with t.span("online.finetune"):
+                                    for _ in range(self.fine_tune_updates):
+                                        batch = self.buffer.sample(
+                                            self.agent.hp.batch_size
+                                        )
+                                        d = self.agent.update(batch)
+                                        if isinstance(
+                                            self.buffer, PrioritizedReplayBuffer
+                                        ):
+                                            self.buffer.update_priorities(
+                                                batch.indices, d["td_errors"]
+                                            )
+
+                        step_cost_s = float(outcome.duration_s + extra_cost)
+                        session.add(
+                            TuningStepRecord(
+                                step=step,
+                                duration_s=step_cost_s,
+                                recommendation_s=recommendation_s,
                                 reward=outcome.reward,
-                                next_state=outcome.next_state,
+                                success=outcome.success,
+                                config=outcome.config,
+                                action=outcome.action,
+                                twinq_iterations=diag.get("twinq_iterations"),
+                                twinq_accepted=diag.get("twinq_accepted"),
+                                original_q=diag.get("original_q"),
+                                final_q=diag.get("final_q"),
+                                attempts=attempts,
+                                aborted="watchdog-abort" in outcome.faults,
+                                fallback=fallback,
+                                faults=outcome.faults,
                             )
                         )
-                        if self.buffer.can_sample(self.agent.hp.batch_size):
-                            with t.span("online.finetune"):
-                                for _ in range(self.fine_tune_updates):
-                                    batch = self.buffer.sample(
-                                        self.agent.hp.batch_size
-                                    )
-                                    d = self.agent.update(batch)
-                                    if isinstance(
-                                        self.buffer, PrioritizedReplayBuffer
-                                    ):
-                                        self.buffer.update_priorities(
-                                            batch.indices, d["td_errors"]
-                                        )
-
-                    session.add(
-                        TuningStepRecord(
-                            step=step,
-                            duration_s=outcome.duration_s,
-                            recommendation_s=recommendation_s,
-                            reward=outcome.reward,
-                            success=outcome.success,
-                            config=outcome.config,
-                            action=outcome.action,
-                            twinq_iterations=diag.get("twinq_iterations"),
-                            twinq_accepted=diag.get("twinq_accepted"),
-                            original_q=diag.get("original_q"),
-                            final_q=diag.get("final_q"),
+                        # The paper's cost split: recommendation time is the
+                        # tuner's own overhead, evaluation time is what the
+                        # Twin-Q Optimizer exists to reduce (Figure 7).
+                        t.count(
+                            "online.steps_total",
+                            help="online tuning steps served",
+                            tuner=self.name,
                         )
-                    )
-                    # The paper's cost split: recommendation time is the
-                    # tuner's own overhead, evaluation time is what the
-                    # Twin-Q Optimizer exists to reduce (Figure 7).
-                    t.count(
-                        "online.steps_total",
-                        help="online tuning steps served",
-                        tuner=self.name,
-                    )
-                    t.count(
-                        "online.recommendation_seconds_total",
-                        recommendation_s,
-                        help="cumulative recommendation time",
-                        tuner=self.name,
-                    )
-                    t.count(
-                        "online.evaluation_seconds_total",
-                        float(outcome.duration_s),
-                        help="cumulative configuration evaluation time",
-                        tuner=self.name,
-                    )
-                    t.observe(
-                        "online.step_reward",
-                        float(outcome.reward),
-                        help="per-step reward",
-                        tuner=self.name,
-                    )
-                    t.event(
-                        "online-step",
-                        tuner=self.name,
-                        step=step,
-                        duration_s=float(outcome.duration_s),
-                        reward=float(outcome.reward),
-                        success=bool(outcome.success),
-                        recommendation_s=float(recommendation_s),
-                    )
-                    if (
-                        time_budget_s is not None
-                        and session.total_tuning_seconds >= time_budget_s
-                    ):
-                        break
+                        t.count(
+                            "online.recommendation_seconds_total",
+                            recommendation_s,
+                            help="cumulative recommendation time",
+                            tuner=self.name,
+                        )
+                        t.count(
+                            "online.evaluation_seconds_total",
+                            step_cost_s,
+                            help="cumulative configuration evaluation time",
+                            tuner=self.name,
+                        )
+                        t.observe(
+                            "online.step_reward",
+                            float(outcome.reward),
+                            help="per-step reward",
+                            tuner=self.name,
+                        )
+                        t.event(
+                            "online-step",
+                            tuner=self.name,
+                            step=step,
+                            duration_s=step_cost_s,
+                            reward=float(outcome.reward),
+                            success=bool(outcome.success),
+                            recommendation_s=float(recommendation_s),
+                            attempts=attempts,
+                            fallback=fallback,
+                            faults=list(outcome.faults),
+                        )
+                        if checkpoint is not None:
+                            checkpoint.on_step(session, step + 1)
+                        if (
+                            time_budget_s is not None
+                            and session.total_tuning_seconds >= time_budget_s
+                        ):
+                            break
+        except KeyboardInterrupt:
+            # Killed mid-session: persist everything completed so far so
+            # --resume can continue bit-identically, then propagate.
+            if checkpoint is not None:
+                checkpoint.save(session, len(session.steps))
+            raise
+        successes = [s for s in session.steps if s.success]
         if t.manifest is not None:
             t.manifest.record_stage(
                 "online-tune",
@@ -219,7 +367,9 @@ class OnlineTuner:
                 workload=session.workload,
                 dataset=session.dataset,
                 steps=len(session.steps),
-                best_duration_s=session.best_duration_s,
+                best_duration_s=(
+                    session.best_duration_s if successes else None
+                ),
                 total_tuning_seconds=session.total_tuning_seconds,
             )
         return session

@@ -1,19 +1,33 @@
-"""Save/load trained tuner models.
+"""Save/load trained tuner models and crash-recoverable tuning sessions.
 
 The offline stage is trained once and reused for every tuning request
 (Figure 1), so models must outlive the training process.  Network
 parameters are stored in a single ``.npz`` archive together with the
 metadata needed to rebuild the agent (dimensions, hyper-parameters,
-DeepCAT thresholds).  Replay buffers are deliberately *not* persisted:
-a fresh request starts fine-tuning from the offline weights, and the
-paper's online stage only pushes new transitions.
+DeepCAT thresholds).  Replay buffers are deliberately *not* persisted
+in *model* archives: a fresh request starts fine-tuning from the
+offline weights, and the paper's online stage only pushes new
+transitions.
+
+Session *checkpoints* are the opposite: they freeze an in-flight online
+tuning session completely — agent weights, RDPER P_high/P_low pools,
+every RNG state, the environment (cluster tracker + simulator + fault
+injector), the resilience policy's streak state, and the step counter —
+so a killed session resumed with ``repro tune --resume`` replays
+bit-identically to one that was never interrupted.  Snapshots are
+written atomically (tmp file + ``os.replace``), so a kill mid-write
+never corrupts the previous checkpoint.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
-from dataclasses import asdict
+import os
+import pickle
+from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -21,9 +35,17 @@ from repro.agents.base import AgentHyperParams
 from repro.baselines.cdbtune import CDBTune
 from repro.core.deepcat import DeepCAT
 
-__all__ = ["save_tuner", "load_tuner"]
+__all__ = [
+    "save_tuner",
+    "load_tuner",
+    "SessionCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointManager",
+]
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_VERSION = 1
 
 _TD3_NETS = (
     "actor", "actor_target",
@@ -137,3 +159,153 @@ def load_tuner(path: str | Path, seed: int = 0):
         else:
             raise ValueError(f"unknown tuner kind {meta['kind']!r}")
     return tuner
+
+
+# ===================================================================== #
+#  Session checkpointing                                                #
+# ===================================================================== #
+
+
+@dataclass
+class SessionCheckpoint:
+    """A frozen in-flight online tuning session.
+
+    ``next_step`` is the index of the first step *not yet executed*
+    (always ``len(session.steps)``); resuming means calling
+    ``tuner.tune_online(env, steps=total, session=session,
+    start_step=next_step, resilience=resilience)``.
+    """
+
+    tuner: Any
+    env: Any
+    session: Any
+    next_step: int
+    resilience: Any = None
+
+
+def _telemetry_attachment_points(tuner, env):
+    """Every ``(obj, attr)`` through which live telemetry (lock-bearing
+    tracers/registries) can leak into the pickled object graph."""
+    points = []
+    agent = getattr(tuner, "agent", None)
+    if agent is not None and hasattr(agent, "telemetry"):
+        points.append((agent, "telemetry"))
+    buffer = getattr(tuner, "buffer", None)
+    if buffer is not None and hasattr(buffer, "_telemetry"):
+        points.append((buffer, "_telemetry"))
+    simulator = getattr(getattr(env, "runner", None), "simulator", None)
+    if simulator is not None and hasattr(simulator, "telemetry"):
+        points.append((simulator, "telemetry"))
+    return points
+
+
+@contextlib.contextmanager
+def _telemetry_detached(tuner, env):
+    """Temporarily swap live telemetry for the null context.
+
+    Live tracers/registries hold ``threading.Lock`` (and
+    ``threading.local``) and cannot be pickled; telemetry is shared
+    infrastructure, not run state, so it is excluded from checkpoints
+    and reattached by the caller after a restore.
+    """
+    from repro.telemetry.context import NULL_CONTEXT
+
+    points = _telemetry_attachment_points(tuner, env)
+    saved = [(obj, attr, getattr(obj, attr)) for obj, attr in points]
+    for obj, attr in points:
+        setattr(obj, attr, NULL_CONTEXT)
+    try:
+        yield
+    finally:
+        for obj, attr, value in saved:
+            setattr(obj, attr, value)
+
+
+def save_checkpoint(
+    path: str | Path,
+    *,
+    tuner,
+    env,
+    session,
+    next_step: int,
+    resilience=None,
+) -> Path:
+    """Atomically snapshot an in-flight tuning session to ``path``.
+
+    The tmp-file + ``os.replace`` dance guarantees the file at ``path``
+    is always a complete checkpoint — a kill during the write leaves the
+    previous snapshot intact.
+    """
+    path = Path(path)
+    payload = {
+        "checkpoint_version": _CHECKPOINT_VERSION,
+        "tuner": tuner,
+        "env": env,
+        "session": session,
+        "next_step": int(next_step),
+        "resilience": resilience,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with _telemetry_detached(tuner, env):
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> SessionCheckpoint:
+    """Restore a session snapshot written by :func:`save_checkpoint`.
+
+    Telemetry comes back as the null context; reattach a live
+    :class:`~repro.telemetry.context.RunContext` by passing it to
+    ``tune_online`` as usual.
+    """
+    with open(Path(path), "rb") as fh:
+        payload = pickle.load(fh)
+    version = payload.get("checkpoint_version")
+    if version != _CHECKPOINT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {version}")
+    return SessionCheckpoint(
+        tuner=payload["tuner"],
+        env=payload["env"],
+        session=payload["session"],
+        next_step=payload["next_step"],
+        resilience=payload["resilience"],
+    )
+
+
+class CheckpointManager:
+    """Periodic checkpointer handed to ``OnlineTuner.tune``.
+
+    ``every`` controls the snapshot cadence in steps (1 = after every
+    step).  ``on_step`` is called by the tuning loop with the session
+    and the next step index; ``save`` writes unconditionally (used for
+    the final snapshot on interrupt).
+    """
+
+    def __init__(self, path: str | Path, tuner, env, resilience=None,
+                 every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.path = Path(path)
+        self.tuner = tuner
+        self.env = env
+        self.resilience = resilience
+        self.every = every
+        self.saves = 0
+
+    def save(self, session, next_step: int) -> Path:
+        self.saves += 1
+        return save_checkpoint(
+            self.path,
+            tuner=self.tuner,
+            env=self.env,
+            session=session,
+            next_step=next_step,
+            resilience=self.resilience,
+        )
+
+    def on_step(self, session, next_step: int) -> Path | None:
+        if next_step % self.every == 0:
+            return self.save(session, next_step)
+        return None

@@ -1,0 +1,246 @@
+"""Resilience policies for the online tuning loop.
+
+Three composable defenses against a noisy, partially-failing cluster
+(the chaos modelled by :mod:`repro.faults`):
+
+* :class:`RetryPolicy` — re-evaluate a failed configuration with
+  exponential backoff and deterministic seeded jitter.  Backoff delays
+  are *charged into the step's tuning cost*, never slept: the simulated
+  online loop accounts for the operator's wall-clock without burning it.
+* :class:`EvaluationWatchdog` — abort evaluations exceeding
+  ``k x default_duration``; the burnt time is charged into the reward
+  through the failure semantics of Eq. (1), exactly how
+  :mod:`repro.sim.faults` charges OOM retries.
+* :class:`SafetyGuard` — after N consecutive failed/aborted steps, fall
+  back to the best-known-good configuration and decay the exploration
+  noise, bounding how long a destabilized agent can burn money.
+
+:class:`ResiliencePolicy` bundles the three for
+:meth:`repro.core.deepcat.DeepCAT.tune_online`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "RetryPolicy",
+    "WatchdogVerdict",
+    "EvaluationWatchdog",
+    "SafetyGuard",
+    "ResiliencePolicy",
+    "sanitize_state",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded, bounded jitter.
+
+    The nominal delay before retry ``i`` (0-based) is
+    ``min(base_delay_s * multiplier**i, max_delay_s)``; jitter scales
+    each delay by a factor in ``[1 - jitter, 1 + jitter]`` drawn from a
+    generator seeded with ``seed``, so the same policy always produces
+    the same schedule (resumable sessions replay it bit-identically).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 2.0
+    multiplier: float = 2.0
+    max_delay_s: float = 60.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s cannot be negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def nominal_delay(self, retry_index: int) -> float:
+        """The jitter-free backoff before retry ``retry_index``."""
+        if retry_index < 0:
+            raise ValueError("retry_index cannot be negative")
+        return float(
+            min(
+                self.base_delay_s * self.multiplier**retry_index,
+                self.max_delay_s,
+            )
+        )
+
+    def schedule(self) -> tuple[float, ...]:
+        """The jittered delays before retries 1..max_attempts-1.
+
+        Pure in the policy's fields: the same (parameters, seed) always
+        yields the same tuple.
+        """
+        n = self.max_attempts - 1
+        if n == 0:
+            return ()
+        rng = np.random.default_rng(self.seed)
+        factors = 1.0 + self.jitter * rng.uniform(-1.0, 1.0, size=n)
+        return tuple(
+            float(self.nominal_delay(i) * factors[i]) for i in range(n)
+        )
+
+
+@dataclass(frozen=True)
+class WatchdogVerdict:
+    """Outcome of one watchdog inspection."""
+
+    aborted: bool
+    #: tuning cost charged for the evaluation (the burnt wall-clock:
+    #: capped at the abort budget when aborted, untouched otherwise)
+    charged_s: float
+
+
+class EvaluationWatchdog:
+    """Bounds the cost of any single evaluation to ``k x default``.
+
+    A hung or pathologically slow evaluation is killed once it has
+    burnt ``k`` times the default-configuration execution time; the
+    burnt budget is what the step pays (and the reward sees a failure).
+    """
+
+    def __init__(self, k: float = 4.0):
+        if k <= 1.0:
+            raise ValueError("k must exceed 1 (the default run itself)")
+        self.k = float(k)
+        self.aborts = 0
+
+    def budget_s(self, default_duration_s: float) -> float:
+        return self.k * default_duration_s
+
+    def inspect(
+        self, duration_s: float, default_duration_s: float
+    ) -> WatchdogVerdict:
+        budget = self.budget_s(default_duration_s)
+        if duration_s <= budget:
+            return WatchdogVerdict(aborted=False, charged_s=float(duration_s))
+        self.aborts += 1
+        return WatchdogVerdict(aborted=True, charged_s=float(budget))
+
+
+class SafetyGuard:
+    """Falls back to the best-known-good configuration after a bad streak.
+
+    ``record(...)`` is fed every completed step; once
+    ``max_consecutive_failures`` failed/aborted steps accumulate, the
+    next recommendation is replaced by the best successful action seen
+    so far and the exploration noise is decayed (multiplied by
+    ``sigma_decay``, floored at ``sigma_min``) so the agent stops
+    gambling on a cluster that is punishing exploration.
+    """
+
+    def __init__(
+        self,
+        max_consecutive_failures: int = 3,
+        sigma_decay: float = 0.5,
+        sigma_min: float = 0.02,
+    ):
+        if max_consecutive_failures < 1:
+            raise ValueError("max_consecutive_failures must be >= 1")
+        if not 0.0 < sigma_decay <= 1.0:
+            raise ValueError("sigma_decay must be in (0, 1]")
+        if sigma_min < 0:
+            raise ValueError("sigma_min cannot be negative")
+        self.max_consecutive_failures = max_consecutive_failures
+        self.sigma_decay = sigma_decay
+        self.sigma_min = sigma_min
+        self.consecutive_failures = 0
+        self.fallbacks = 0
+        #: cumulative exploration-noise attenuation; part of the guard's
+        #: checkpointed state so a resumed session keeps the decayed noise
+        self.sigma_scale = 1.0
+        self.best_reward = -np.inf
+        self.best_action: np.ndarray | None = None
+
+    @property
+    def should_fallback(self) -> bool:
+        return (
+            self.consecutive_failures >= self.max_consecutive_failures
+            and self.best_action is not None
+        )
+
+    def record(self, success: bool, reward: float, action: np.ndarray) -> None:
+        """Fold one completed step into the guard's streak/best state."""
+        if success:
+            self.consecutive_failures = 0
+            if reward > self.best_reward:
+                self.best_reward = float(reward)
+                self.best_action = np.array(action, dtype=np.float64)
+        else:
+            self.consecutive_failures += 1
+
+    def trigger_fallback(self) -> np.ndarray:
+        """Consume a fallback: reset the streak, decay the noise scale,
+        and return the best-known-good action."""
+        if self.best_action is None:
+            raise RuntimeError("no best-known-good action to fall back to")
+        self.fallbacks += 1
+        self.consecutive_failures = 0
+        self.sigma_scale *= self.sigma_decay
+        return self.best_action.copy()
+
+    def effective_sigma(self, sigma: float) -> float:
+        """``sigma`` attenuated by the fallbacks seen so far.
+
+        Identity until the first fallback, so a guard that never fires
+        leaves the exploration noise untouched.
+        """
+        if self.sigma_scale >= 1.0:
+            return sigma
+        return max(sigma * self.sigma_scale, self.sigma_min)
+
+
+@dataclass
+class ResiliencePolicy:
+    """The resilience bundle :meth:`DeepCAT.tune_online` accepts.
+
+    Any member may be ``None`` to disable that defense.  The policy is
+    stateful (guard streaks, watchdog abort counts) and is included in
+    session checkpoints so a resumed run continues mid-streak exactly
+    where the killed one stopped.
+    """
+
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    watchdog: EvaluationWatchdog | None = field(
+        default_factory=EvaluationWatchdog
+    )
+    guard: SafetyGuard | None = field(default_factory=SafetyGuard)
+
+    @classmethod
+    def default(cls, seed: int = 0) -> "ResiliencePolicy":
+        """The shipped defaults with retry jitter derived from ``seed``."""
+        return cls(
+            retry=RetryPolicy(seed=seed),
+            watchdog=EvaluationWatchdog(),
+            guard=SafetyGuard(),
+        )
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retry.max_attempts if self.retry is not None else 1
+
+
+def sanitize_state(state: np.ndarray, fill: float = 0.0) -> tuple[np.ndarray, int]:
+    """Replace non-finite observation entries (metric dropout) by ``fill``.
+
+    Returns the cleaned state and the number of entries repaired; a
+    fully-finite state is returned as-is (no copy).
+    """
+    bad = ~np.isfinite(state)
+    n = int(bad.sum())
+    if n == 0:
+        return state, 0
+    clean = state.copy()
+    clean[bad] = fill
+    return clean, n

@@ -7,7 +7,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["TuningStepRecord", "OnlineSession"]
+__all__ = ["TuningStepRecord", "OnlineSession", "sessions_equal"]
 
 
 @dataclass(frozen=True)
@@ -26,6 +26,12 @@ class TuningStepRecord:
     twinq_accepted: bool | None = None
     original_q: float | None = None
     final_q: float | None = None
+    #: resilience diagnostics (1/False/False/() when the step was clean
+    #: or no resilience policy was active)
+    attempts: int = 1
+    aborted: bool = False
+    fallback: bool = False
+    faults: tuple[str, ...] = ()
 
 
 @dataclass
@@ -106,3 +112,32 @@ class OnlineSession:
             acc += s.duration_s + s.recommendation_s
             out.append(acc)
         return out
+
+
+def sessions_equal(a: OnlineSession, b: OnlineSession) -> bool:
+    """Field-exact equality of two sessions, ignoring ``recommendation_s``.
+
+    Recommendation time is measured with ``time.perf_counter`` and is the
+    only inherently nondeterministic field, so it is excluded; everything
+    else — rewards, durations, configs, actions, resilience diagnostics —
+    must match bit-for-bit.  Used by the checkpoint/resume determinism
+    tests: a killed-and-resumed session must equal the uninterrupted one.
+    """
+    if (a.tuner, a.workload, a.dataset) != (b.tuner, b.workload, b.dataset):
+        return False
+    if a.default_duration_s != b.default_duration_s:
+        return False
+    if len(a.steps) != len(b.steps):
+        return False
+    for ra, rb in zip(a.steps, b.steps):
+        fields_a = {**vars(ra)}
+        fields_b = {**vars(rb)}
+        fields_a.pop("recommendation_s")
+        fields_b.pop("recommendation_s")
+        act_a = fields_a.pop("action")
+        act_b = fields_b.pop("action")
+        if not np.array_equal(act_a, act_b):
+            return False
+        if fields_a != fields_b:
+            return False
+    return True

@@ -20,6 +20,7 @@ from repro.cluster.hardware import ClusterSpec
 from repro.cluster.state import ClusterStateTracker
 from repro.config.space import ConfigurationSpace
 from repro.envs.reward import RewardFunction
+from repro.faults import FaultInjector, FaultProfile, get_profile
 from repro.hibench.runner import BenchmarkRunner
 from repro.sim.result import ExecutionResult
 from repro.workloads.base import DatasetSpec, Workload
@@ -39,6 +40,9 @@ class StepOutcome:
     success: bool
     config: dict[str, Any]
     result: ExecutionResult
+    #: chaos faults injected into this step ("crash", "hang",
+    #: "executor-loss", "straggler", "metric-dropout"); empty when clean
+    faults: tuple[str, ...] = ()
 
 
 class TuningEnv:
@@ -53,8 +57,12 @@ class TuningEnv:
         rng: np.random.Generator,
         expected_speedup: float = 4.0,
         noise_sigma: float = 0.10,
+        fault_profile: FaultProfile | str | None = None,
     ):
-        state_rng, sim_rng = rng.spawn(2)
+        # Always spawn three children: the first two match the historical
+        # spawn(2) exactly (SeedSequence spawn keys are positional), so
+        # fault-free environments stay bit-identical to older builds.
+        state_rng, sim_rng, fault_rng = rng.spawn(3)
         self.space = space
         self.runner = BenchmarkRunner(
             workload, dataset, cluster, sim_rng, noise_sigma=noise_sigma
@@ -63,7 +71,13 @@ class TuningEnv:
         self._tracker = ClusterStateTracker(cluster, state_rng)
         default_perf = self.runner.simulator.default_duration(space)
         self.reward_fn = RewardFunction(default_perf, expected_speedup)
+        self.fault_profile = get_profile(fault_profile)
+        self._fault_injector = FaultInjector(self.fault_profile, fault_rng)
+        # Attach AFTER the default duration is cached: the reward
+        # baseline must come from a clean run of the defaults.
+        self.runner.simulator.fault_injector = self._fault_injector
         self._state = self._tracker.reset()
+        self._last_observation: np.ndarray | None = None
         self.total_evaluation_seconds = 0.0
         self.steps_taken = 0
 
@@ -77,8 +91,21 @@ class TuningEnv:
 
     @property
     def state(self) -> np.ndarray:
-        """Current observation (copy)."""
+        """Current internal state (copy); always clean."""
         return self._state.copy()
+
+    @property
+    def observation(self) -> np.ndarray:
+        """What the metric collector last reported (copy).
+
+        Equals :attr:`state` until a step runs; afterwards it is that
+        step's returned ``next_state``, which metric dropout may have
+        corrupted with NaNs.  Checkpointed sessions resume from this —
+        the corruption the agent saw is part of the trajectory.
+        """
+        if self._last_observation is None:
+            return self.state
+        return self._last_observation.copy()
 
     @property
     def default_duration(self) -> float:
@@ -87,6 +114,7 @@ class TuningEnv:
     def reset(self) -> np.ndarray:
         """Reset the load-average history (a fresh tuning request)."""
         self._state = self._tracker.reset()
+        self._last_observation = None
         return self.state
 
     def attach_telemetry(self, telemetry) -> None:
@@ -121,16 +149,33 @@ class TuningEnv:
             if result.cpu_demand_per_node.size
             else np.full(self.cluster.n_nodes, 0.1)
         )
+        # The tracker always folds in the true demand — the cluster's
+        # load exists whether or not the metric collector sees it; only
+        # the *observation* handed back may be corrupted.
         self._state = self._tracker.observe(demand)
+        observation, n_dropped = self._fault_injector.corrupt_state(
+            self.state
+        )
+        self._last_observation = observation
+        faults = result.injected_faults
+        if n_dropped:
+            faults = (*faults, "metric-dropout")
+            self.runner.simulator.telemetry.count(
+                "faults.injected_total",
+                n_dropped,
+                help="stochastic chaos injections by kind",
+                kind="metric-dropout",
+            )
         self.total_evaluation_seconds += result.duration_s
         self.steps_taken += 1
         return StepOutcome(
             state=prev_state,
             action=vec,
             reward=float(reward),
-            next_state=self.state,
+            next_state=observation,
             duration_s=result.duration_s,
             success=result.success,
             config=config,
             result=result,
+            faults=faults,
         )

@@ -27,6 +27,7 @@ module                paper artifact
 ``ablations``         (extension) agent x replay matrix
 ``whitebox_ablation`` (extension) reduced-space tuning
 ``drift``             (extension) workload-drift request stream
+``fault_sweep``       (extension) tuning quality under chaos profiles
 ``headline``          abstract-level claim checks
 ``engine``            parallel task engine + on-disk result cache
 ``report``            EXPERIMENTS.md generator

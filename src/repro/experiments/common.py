@@ -208,9 +208,11 @@ def online_env(
     dataset: str,
     seed: int,
     cluster: ClusterSpec = CLUSTER_A,
+    fault_profile: str | None = None,
 ):
     """A fresh environment representing a new online tuning request."""
-    return make_env(workload, dataset, cluster=cluster, seed=10_000 + seed)
+    return make_env(workload, dataset, cluster=cluster, seed=10_000 + seed,
+                    fault_profile=fault_profile)
 
 
 def describe_session(s: OnlineSession) -> str:

@@ -74,7 +74,9 @@ __all__ = [
 #: Code-version salt folded into every cache key.  Bump whenever a change
 #: alters what any task computes (simulator physics, tuner semantics,
 #: reward shaping, ...) so stale on-disk results can never be served.
-CACHE_VERSION = "deepcat-engine-v1"
+#: v2: online-session tasks gained fault_profile/resilience parameters —
+#: v1 keys never encoded the chaos setting, so any v1 entry is ambiguous.
+CACHE_VERSION = "deepcat-engine-v2"
 
 _CLUSTERS: dict[str, ClusterSpec] = {
     "cluster-a": CLUSTER_A,
@@ -119,7 +121,10 @@ class TaskSpec:
 
     def cache_payload(self) -> str:
         """Like :meth:`canonical_key` but with cluster *names* expanded to
-        their full hardware specs, so editing a spec invalidates keys."""
+        their full hardware specs and fault-profile names to their full
+        rate/factor presets, so editing either invalidates keys."""
+        from repro.faults import PROFILES
+
         params = dict(self.params)
         for key in ("cluster", "train_cluster"):
             name = params.get(key)
@@ -127,6 +132,9 @@ class TaskSpec:
                 spec = _canonical(_CLUSTERS[name])
                 spec["name"] = name
                 params[key] = spec
+        profile = params.get("fault_profile")
+        if isinstance(profile, str) and profile in PROFILES:
+            params["fault_profile"] = _canonical(PROFILES[profile])
         return json.dumps(
             {"kind": self.kind, "params": _canonical(params)},
             sort_keys=True, separators=(",", ":"),
@@ -190,6 +198,8 @@ def _run_online_session(
     train_cluster: str = "cluster-a",
     overrides: dict[str, Any] | None = None,
     tuner_attrs: dict[str, Any] | None = None,
+    fault_profile: str = "none",
+    resilience: bool = False,
 ):
     """Train one tuner and serve one online request — one grid cell.
 
@@ -198,7 +208,10 @@ def _run_online_session(
     transfer (Figure 10); ``overrides`` are DeepCAT construction
     hyper-parameters (Figure 11's β); ``tuner_attrs`` are set on the
     forked tuner before tuning (Figure 12's ``q_threshold``, Figure 5's
-    ``use_twin_q``).
+    ``use_twin_q``).  ``fault_profile`` injects chaos into the *online*
+    evaluations only (offline training stays clean — the model is a
+    shared artifact); ``resilience`` enables the default
+    retry/watchdog/guard policy during tuning (fault-sweep cells).
     """
     sc = _budget_scale(
         seed, offline_iterations=offline_iterations,
@@ -225,8 +238,16 @@ def _run_online_session(
         if not hasattr(t, attr):
             raise AttributeError(f"{tuner} has no attribute {attr!r}")
         setattr(t, attr, value)
-    env = online_env(workload, dataset, seed, cluster=_CLUSTERS[cluster])
-    return t.tune_online(env, steps=sc.online_steps)
+    env = online_env(workload, dataset, seed, cluster=_CLUSTERS[cluster],
+                     fault_profile=fault_profile)
+    tune_kwargs: dict[str, Any] = {}
+    if resilience:
+        if tuner != "DeepCAT":
+            raise ValueError("resilience cells are DeepCAT-only")
+        from repro.core.resilience import ResiliencePolicy
+
+        tune_kwargs["resilience"] = ResiliencePolicy.default(seed=seed)
+    return t.tune_online(env, steps=sc.online_steps, **tune_kwargs)
 
 
 @task_kind("policy-quality")
@@ -329,8 +350,15 @@ def session_task(
     train_cluster: str = "cluster-a",
     overrides: Mapping[str, Any] | None = None,
     tuner_attrs: Mapping[str, Any] | None = None,
+    fault_profile: str = "none",
+    resilience: bool = False,
 ) -> TaskSpec:
-    """Build the :class:`TaskSpec` for one online-session grid cell."""
+    """Build the :class:`TaskSpec` for one online-session grid cell.
+
+    ``fault_profile``/``resilience`` always enter the params — and hence
+    the cache key — even at their defaults: a cached chaos run must never
+    be served for a clean cell or vice versa.
+    """
     params: dict[str, Any] = {
         "workload": workload,
         "dataset": dataset,
@@ -339,6 +367,8 @@ def session_task(
         **_scale_params(scale),
         "cluster": cluster,
         "train_cluster": train_cluster,
+        "fault_profile": fault_profile,
+        "resilience": resilience,
     }
     if train_workload is not None:
         params["train_workload"] = train_workload

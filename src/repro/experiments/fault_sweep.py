@@ -1,0 +1,126 @@
+"""Fault sweep: tuning-quality degradation under escalating chaos.
+
+One DeepCAT online session per (fault profile, seed) cell, all served
+from the same offline model (training stays clean — the chaos lives in
+the target cluster, not the historical data).  Every arm runs the same
+default resilience policy so the sweep isolates the *environment's*
+hostility: the ``none`` column is the clean baseline, and the
+degradation curve shows how gracefully tuning quality decays through
+``flaky``/``degraded``/``hostile``.
+
+Cells go through the experiment engine, so the sweep shards across
+``--jobs`` workers and caches like every other figure — and because the
+fault profile is part of the cache key, a chaos cell can never be
+served a clean cell's result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import get_scale
+from repro.experiments.engine import default_engine, session_task
+from repro.utils.tables import format_table
+
+__all__ = ["FaultSweepResult", "PROFILE_ORDER", "run", "format_result"]
+
+#: sweep order, benign to hostile
+PROFILE_ORDER = ("none", "flaky", "degraded", "hostile")
+
+
+@dataclass(frozen=True)
+class FaultSweepResult:
+    profiles: tuple[str, ...]
+    #: seed-mean best-so-far execution time after each step, per profile
+    #: (failed-only sessions carry the default duration — no NaNs)
+    curves: tuple[tuple[float, ...], ...]
+    #: seed-mean final best-so-far per profile
+    best: tuple[float, ...]
+    #: seed-mean evaluation cost per profile (retry/backoff/watchdog
+    #: charges included; recommendation wall-clock deliberately excluded
+    #: so the sweep is bit-deterministic for the ``-m determinism`` suite)
+    total_cost: tuple[float, ...]
+    #: fraction of successful steps per profile
+    success_rate: tuple[float, ...]
+    #: seed-mean evaluation attempts per step (retries included)
+    mean_attempts: tuple[float, ...]
+
+    def degradation_pct(self, profile: str) -> float:
+        """Final best-so-far regression of ``profile`` vs the clean arm."""
+        baseline = self.best[self.profiles.index("none")]
+        value = self.best[self.profiles.index(profile)]
+        return (value / baseline - 1.0) * 100.0
+
+
+def run(
+    scale: str = "quick",
+    workload: str = "TS",
+    dataset: str = "D1",
+    profiles: tuple[str, ...] = PROFILE_ORDER,
+    seeds: tuple[int, ...] | None = None,
+    *,
+    engine=None,
+) -> FaultSweepResult:
+    if "none" not in profiles:
+        raise ValueError("the sweep needs the 'none' baseline arm")
+    sc = get_scale(scale)
+    seeds = seeds if seeds is not None else sc.seeds
+    cells = [(profile, seed) for profile in profiles for seed in seeds]
+    tasks = [
+        session_task(
+            workload=workload, dataset=dataset, tuner="DeepCAT", seed=seed,
+            scale=sc, fault_profile=profile, resilience=True,
+        )
+        for profile, seed in cells
+    ]
+    sessions = dict(zip(cells, default_engine(engine).run(tasks)))
+    curves, best, cost, success, attempts = [], [], [], [], []
+    for profile in profiles:
+        ss = [sessions[(profile, seed)] for seed in seeds]
+        series = np.mean([s.best_so_far() for s in ss], axis=0)
+        curves.append(tuple(float(v) for v in series))
+        best.append(float(series[-1]))
+        cost.append(float(np.mean([s.evaluation_seconds for s in ss])))
+        steps = [rec for s in ss for rec in s.steps]
+        success.append(
+            float(np.mean([1.0 if rec.success else 0.0 for rec in steps]))
+        )
+        attempts.append(float(np.mean([rec.attempts for rec in steps])))
+    return FaultSweepResult(
+        profiles=tuple(profiles),
+        curves=tuple(curves),
+        best=tuple(best),
+        total_cost=tuple(cost),
+        success_rate=tuple(success),
+        mean_attempts=tuple(attempts),
+    )
+
+
+def format_result(r: FaultSweepResult) -> str:
+    from repro.utils.ascii_plot import line_plot
+
+    rows = [
+        (
+            profile,
+            f"{r.best[i]:.1f}",
+            f"{r.degradation_pct(profile):+.1f}%",
+            f"{r.total_cost[i]:.1f}",
+            f"{r.success_rate[i] * 100:.0f}%",
+            f"{r.mean_attempts[i]:.2f}",
+        )
+        for i, profile in enumerate(r.profiles)
+    ]
+    table = format_table(
+        headers=("profile", "final best (s)", "vs clean",
+                 "tuning cost (s)", "step success", "attempts/step"),
+        rows=rows,
+        title="Fault sweep: tuning quality under escalating chaos",
+    )
+    steps = tuple(range(1, len(r.curves[0]) + 1))
+    plot = line_plot(
+        {profile: r.curves[i] for i, profile in enumerate(r.profiles)},
+        x=steps, height=10, width=54,
+    )
+    return table + "\n\n" + plot

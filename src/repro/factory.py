@@ -28,12 +28,15 @@ def make_env(
     space: ConfigurationSpace | None = None,
     expected_speedup: float | None = None,
     noise_sigma: float = 0.10,
+    fault_profile: str | None = None,
 ) -> TuningEnv:
     """Build a :class:`TuningEnv` for a paper workload-input pair.
 
     ``workload_code`` is one of WC/TS/PR/KM; ``dataset_label`` D1/D2/D3.
     ``expected_speedup`` defaults to the workload's entry in
-    :data:`EXPECTED_SPEEDUPS`.
+    :data:`EXPECTED_SPEEDUPS`.  ``fault_profile`` names a chaos preset
+    from :data:`repro.faults.PROFILES` (``None`` == ``"none"``: no
+    injection, bit-identical to fault-free builds).
     """
     if expected_speedup is None:
         expected_speedup = EXPECTED_SPEEDUPS.get(workload_code, 2.0)
@@ -46,4 +49,5 @@ def make_env(
         rng=rng,
         expected_speedup=expected_speedup,
         noise_sigma=noise_sigma,
+        fault_profile=fault_profile,
     )

@@ -1,0 +1,11 @@
+"""Stochastic fault injection for chaos-hardening the online loop.
+
+See :mod:`repro.faults.profile` for the named chaos levels and
+:mod:`repro.faults.injector` for how they are applied; the counterpart
+resilience policies live in :mod:`repro.core.resilience`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.profile import PROFILES, FaultProfile, get_profile
+
+__all__ = ["FaultInjector", "FaultProfile", "PROFILES", "get_profile"]

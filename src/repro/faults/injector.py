@@ -1,0 +1,134 @@
+"""The seeded fault injector applied to every simulated evaluation.
+
+One injector owns one :class:`numpy.random.Generator` stream, spawned by
+:class:`~repro.envs.tuning_env.TuningEnv` from the environment seed, so a
+fault sequence is a pure function of ``(seed, profile)`` — the property
+the ``-m determinism`` suite pins (same seed + same profile => the same
+faults at ``--jobs 1`` and ``--jobs 4``).
+
+Faults compose in a fixed order per evaluation: crash (terminal,
+suppresses the rest), then hang, executor loss, and straggler (all
+multiplicative on the duration).  Metric dropout applies to the
+*observation*, not the run, and is drawn separately by the environment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.faults.profile import FaultProfile, get_profile
+from repro.sim.result import ExecutionResult
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Stochastic chaos source for one environment.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`~repro.faults.profile.FaultProfile` or preset name.
+    rng:
+        The injector's private generator.  A ``none`` profile never
+        draws from it, keeping fault-free runs bit-identical to builds
+        without the subsystem.
+    """
+
+    def __init__(self, profile: FaultProfile | str, rng: np.random.Generator):
+        self.profile = get_profile(profile)
+        self._rng = rng
+        #: cumulative injections by kind (mirrors the telemetry counter)
+        self.injected: dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return not self.profile.is_null
+
+    def _note(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    # -------------------------------------------------------- evaluations
+
+    def perturb_result(
+        self, result: ExecutionResult
+    ) -> tuple[ExecutionResult, tuple[str, ...]]:
+        """Apply evaluation-level faults to a simulator result.
+
+        Returns the (possibly replaced) result and the kinds injected.
+        """
+        p = self.profile
+        if p.is_null:
+            return result, ()
+        rng = self._rng
+        faults: list[str] = []
+        duration = float(result.duration_s)
+
+        if p.crash_rate and rng.random() < p.crash_rate:
+            # The evaluation dies early: a fraction of the clean run is
+            # burnt, nothing is learnt about the configuration itself.
+            burnt = duration * rng.uniform(0.05, 0.30)
+            self._note("crash")
+            return (
+                dataclasses.replace(
+                    result,
+                    duration_s=float(burnt),
+                    success=False,
+                    failure_reason="injected: evaluation crash",
+                    stages=(),
+                    injected_faults=("crash",),
+                ),
+                ("crash",),
+            )
+
+        if p.hang_rate and rng.random() < p.hang_rate:
+            # A hung run eventually completes, but only after burning
+            # hang_factor x the clean duration — the cost an
+            # EvaluationWatchdog exists to bound.
+            duration *= p.hang_factor
+            faults.append("hang")
+            self._note("hang")
+        if p.executor_loss_rate and rng.random() < p.executor_loss_rate:
+            duration *= rng.uniform(1.0, p.executor_loss_slowdown)
+            faults.append("executor-loss")
+            self._note("executor-loss")
+        if p.straggler_rate and rng.random() < p.straggler_rate:
+            duration *= rng.uniform(1.0, p.straggler_factor)
+            faults.append("straggler")
+            self._note("straggler")
+
+        if not faults:
+            return result, ()
+        return (
+            dataclasses.replace(
+                result,
+                duration_s=float(duration),
+                injected_faults=tuple(faults),
+            ),
+            tuple(faults),
+        )
+
+    # ------------------------------------------------------- observations
+
+    def corrupt_state(self, state: np.ndarray) -> tuple[np.ndarray, int]:
+        """Drop state metrics to NaN per ``metric_dropout_rate``.
+
+        Returns the (possibly corrupted copy of the) observation and the
+        number of dropped elements; with a zero rate the input array is
+        returned untouched and no randomness is consumed.
+        """
+        rate = self.profile.metric_dropout_rate
+        if rate == 0.0:
+            return state, 0
+        mask = self._rng.random(state.shape) < rate
+        n = int(mask.sum())
+        if n == 0:
+            return state, 0
+        corrupted = state.copy()
+        corrupted[mask] = np.nan
+        self.injected["metric-dropout"] = (
+            self.injected.get("metric-dropout", 0) + n
+        )
+        return corrupted, n

@@ -1,0 +1,137 @@
+"""Fault profiles — named rate bundles for stochastic chaos injection.
+
+The deterministic failure semantics in :mod:`repro.sim.faults` model what
+a *configuration* does to a run (OOM retries, YARN rejections).  A fault
+profile models what the *cluster* does to a run regardless of its
+configuration: transient stragglers, container loss, hung evaluations,
+crashed evaluations, and metric-collection dropout.  Production online
+tuners must keep making progress under all of these (Tuneful,
+arXiv:2001.08002; Li et al., arXiv:2309.01901); the resilience layer in
+:mod:`repro.core.resilience` is tested against exactly these profiles.
+
+All rates are per-evaluation probabilities; ``none`` (the default
+everywhere) injects nothing and draws nothing from the RNG, so existing
+seeded results are bit-identical with or without the subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["FaultProfile", "PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-evaluation fault rates for one chaos level.
+
+    Parameters
+    ----------
+    straggler_rate, straggler_factor:
+        Probability of a transient node straggler; a straggling
+        evaluation's duration is scaled by a factor drawn uniformly from
+        ``[1, straggler_factor]``.
+    executor_loss_rate, executor_loss_slowdown:
+        Probability of losing an executor/container mid-evaluation.
+        Spark recomputes the lost tasks, inflating the duration by up to
+        ``executor_loss_slowdown`` (uniform severity); the run still
+        completes.
+    crash_rate:
+        Probability the evaluation crashes outright, burning a fraction
+        of its clean duration before failing.
+    hang_rate, hang_factor:
+        Probability the evaluation hangs (stuck shuffle fetch, zombie
+        AM).  Without a watchdog the operator pays ``hang_factor`` times
+        the clean duration before the run limps to completion; an
+        :class:`~repro.core.resilience.EvaluationWatchdog` bounds that
+        cost.
+    metric_dropout_rate:
+        Per-element probability that a state metric fails to collect,
+        yielding NaN entries in the observation.
+    """
+
+    name: str
+    straggler_rate: float = 0.0
+    straggler_factor: float = 1.0
+    executor_loss_rate: float = 0.0
+    executor_loss_slowdown: float = 1.0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_factor: float = 25.0
+    metric_dropout_rate: float = 0.0
+
+    def __post_init__(self):
+        for f in fields(self):
+            if f.name.endswith("_rate"):
+                value = getattr(self, f.name)
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError(
+                        f"{f.name} must be in [0,1], got {value}"
+                    )
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.executor_loss_slowdown < 1.0:
+            raise ValueError("executor_loss_slowdown must be >= 1")
+        if self.hang_factor < 1.0:
+            raise ValueError("hang_factor must be >= 1")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the profile can never inject anything."""
+        return (
+            self.straggler_rate == 0.0
+            and self.executor_loss_rate == 0.0
+            and self.crash_rate == 0.0
+            and self.hang_rate == 0.0
+            and self.metric_dropout_rate == 0.0
+        )
+
+
+#: the named presets accepted by ``--fault-profile`` and ``make_env``
+PROFILES: dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "flaky": FaultProfile(
+        name="flaky",
+        straggler_rate=0.15,
+        straggler_factor=2.0,
+        executor_loss_rate=0.05,
+        executor_loss_slowdown=1.6,
+        crash_rate=0.05,
+        hang_rate=0.02,
+        metric_dropout_rate=0.05,
+    ),
+    "degraded": FaultProfile(
+        name="degraded",
+        straggler_rate=0.30,
+        straggler_factor=3.0,
+        executor_loss_rate=0.12,
+        executor_loss_slowdown=2.0,
+        crash_rate=0.10,
+        hang_rate=0.05,
+        metric_dropout_rate=0.15,
+    ),
+    "hostile": FaultProfile(
+        name="hostile",
+        straggler_rate=0.45,
+        straggler_factor=4.0,
+        executor_loss_rate=0.20,
+        executor_loss_slowdown=2.5,
+        crash_rate=0.20,
+        hang_rate=0.12,
+        metric_dropout_rate=0.30,
+    ),
+}
+
+
+def get_profile(profile: str | FaultProfile | None) -> FaultProfile:
+    """Coerce a preset name (or ``None``) into a :class:`FaultProfile`."""
+    if profile is None:
+        return PROFILES["none"]
+    if isinstance(profile, FaultProfile):
+        return profile
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault profile {profile!r}; have {sorted(PROFILES)}"
+        ) from None

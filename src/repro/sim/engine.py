@@ -96,6 +96,10 @@ class SparkSimulator:
         #: attach a RunContext (e.g. via TuningEnv.attach_telemetry) to
         #: trace per-evaluation spans and fault-injection counters
         self.telemetry = NULL_CONTEXT
+        #: optional :class:`~repro.faults.injector.FaultInjector` applied
+        #: to every evaluation (set by TuningEnv after the default
+        #: duration is cached, so the baseline itself is never faulted)
+        self.fault_injector = None
 
     # ------------------------------------------------------------------ API
 
@@ -105,6 +109,16 @@ class SparkSimulator:
             "sim.evaluate", workload=self.workload.code
         ) as span:
             result = self._evaluate(config)
+            if self.fault_injector is not None and self.fault_injector.enabled:
+                result, injected = self.fault_injector.perturb_result(result)
+                if injected:
+                    span.set_attr("faults", ",".join(injected))
+                    for kind in injected:
+                        self.telemetry.count(
+                            "faults.injected_total",
+                            help="stochastic chaos injections by kind",
+                            kind=kind,
+                        )
             span.set_attr("success", result.success)
             span.set_attr("simulated_s", round(result.duration_s, 3))
         return result

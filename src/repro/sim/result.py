@@ -45,6 +45,9 @@ class ExecutionResult:
     n_executors: int = 0
     executor_cores: int = 0
     executor_heap_mb: int = 0
+    #: chaos faults injected into this evaluation (empty when the run
+    #: was clean or fault injection is disabled)
+    injected_faults: tuple[str, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         if self.duration_s < 0:

@@ -1,0 +1,220 @@
+"""Crash-recoverable session checkpoints: kill, resume, bit-identical.
+
+The heavyweight equality test is marked ``determinism`` — it is the
+robustness counterpart of the engine's sharding invariants: interrupting
+a session must never change the science.
+"""
+
+import pickle
+
+import pytest
+
+from repro.agents.base import AgentHyperParams
+from repro.cli import main
+from repro.core.deepcat import DeepCAT
+from repro.core.persistence import (
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.resilience import ResiliencePolicy
+from repro.core.result import sessions_equal
+from repro.factory import make_env
+
+FAST_HP = AgentHyperParams(batch_size=16, warmup_steps=8, hidden=(16, 16))
+
+
+class _DyingStep:
+    """Picklable ``env.step`` stand-in: raises ``KeyboardInterrupt`` once
+    ``die_at`` evaluations have completed (a mid-session kill)."""
+
+    def __init__(self, env, die_at):
+        self.env = env
+        self.die_at = die_at
+        self.calls = 0
+
+    def __call__(self, action):
+        if self.calls == self.die_at:
+            raise KeyboardInterrupt
+        self.calls += 1
+        return type(self.env).step(self.env, action)
+
+
+def _trained(seed=7):
+    env = make_env("WC", "D1", seed=3)
+    tuner = DeepCAT.from_env(env, seed=seed, hp=FAST_HP)
+    tuner.train_offline(env, 40)
+    return tuner
+
+
+@pytest.mark.determinism
+class TestResumeEquality:
+    """Kill at step k, resume, and demand field-exact equality with the
+    uninterrupted run (wall-clock ``recommendation_s`` excluded)."""
+
+    STEPS = 6
+    KILL_AT = 3
+
+    def _uninterrupted(self):
+        tuner = _trained()
+        env = make_env("WC", "D1", seed=11, fault_profile="hostile")
+        return tuner.tune_online(
+            env, steps=self.STEPS, resilience=ResiliencePolicy.default(seed=5)
+        )
+
+    def _killed_and_resumed(self, tmp_path):
+        ckpt = tmp_path / "session.ckpt"
+        tuner = _trained()
+        env = make_env("WC", "D1", seed=11, fault_profile="hostile")
+        res = ResiliencePolicy.default(seed=5)
+        manager = CheckpointManager(ckpt, tuner, env, resilience=res)
+        # the "kill": run only the first KILL_AT steps, checkpointing
+        tuner.tune_online(
+            env, steps=self.KILL_AT, resilience=res, checkpoint=manager
+        )
+        # a different process: everything restored from the snapshot
+        restored = load_checkpoint(ckpt)
+        assert restored.next_step == self.KILL_AT
+        return restored.tuner.tune_online(
+            restored.env,
+            steps=self.STEPS,
+            resilience=restored.resilience,
+            session=restored.session,
+            start_step=restored.next_step,
+        )
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        full = self._uninterrupted()
+        resumed = self._killed_and_resumed(tmp_path)
+        assert len(resumed.steps) == self.STEPS
+        assert sessions_equal(full, resumed)
+
+    def test_sessions_equal_detects_divergence(self):
+        a = self._uninterrupted()
+        tuner = _trained()
+        env = make_env("WC", "D1", seed=12, fault_profile="hostile")
+        b = tuner.tune_online(
+            env, steps=self.STEPS, resilience=ResiliencePolicy.default(seed=5)
+        )
+        assert not sessions_equal(a, b)
+
+
+class TestCheckpointMechanics:
+    def _ready(self, tmp_path, steps=2):
+        tuner = _trained()
+        env = make_env("WC", "D1", seed=11, fault_profile="flaky")
+        res = ResiliencePolicy.default(seed=5)
+        ckpt = tmp_path / "s.ckpt"
+        session = tuner.tune_online(
+            env, steps=steps, resilience=res,
+            checkpoint=CheckpointManager(ckpt, tuner, env, resilience=res),
+        )
+        return tuner, env, res, ckpt, session
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        _, _, _, ckpt, _ = self._ready(tmp_path)
+        assert ckpt.exists()
+        assert not ckpt.with_name(ckpt.name + ".tmp").exists()
+
+    def test_roundtrip_restores_counters(self, tmp_path):
+        tuner, env, res, ckpt, session = self._ready(tmp_path, steps=3)
+        restored = load_checkpoint(ckpt)
+        assert restored.next_step == len(restored.session.steps) == 3
+        assert sessions_equal(restored.session, session)
+        assert restored.resilience.guard.consecutive_failures == (
+            res.guard.consecutive_failures
+        )
+        assert restored.resilience.guard.sigma_scale == res.guard.sigma_scale
+        assert restored.resilience.watchdog.aborts == res.watchdog.aborts
+
+    def test_manager_cadence(self, tmp_path):
+        tuner = _trained()
+        env = make_env("WC", "D1", seed=11)
+        manager = CheckpointManager(tmp_path / "s.ckpt", tuner, env, every=2)
+        tuner.tune_online(env, steps=5, checkpoint=manager)
+        # steps 2 and 4 hit the cadence; 1, 3 and 5 do not
+        assert manager.saves == 2
+        assert load_checkpoint(manager.path).next_step == 4
+
+    def test_manager_rejects_bad_cadence(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path / "s.ckpt", None, None, every=0)
+
+    def test_keyboard_interrupt_writes_final_snapshot(self, tmp_path):
+        tuner = _trained()
+        env = make_env("WC", "D1", seed=11)
+        ckpt = tmp_path / "s.ckpt"
+        manager = CheckpointManager(
+            ckpt, tuner, env, every=100
+        )  # cadence never fires — only the interrupt handler saves
+        env.step = _DyingStep(env, die_at=2)
+        with pytest.raises(KeyboardInterrupt):
+            tuner.tune_online(env, steps=5, checkpoint=manager)
+        restored = load_checkpoint(ckpt)
+        assert restored.next_step == len(restored.session.steps) == 2
+
+    def test_resume_validates_start_step(self, tmp_path):
+        tuner, env, res, ckpt, _ = self._ready(tmp_path, steps=2)
+        restored = load_checkpoint(ckpt)
+        with pytest.raises(ValueError):
+            restored.tuner.tune_online(
+                restored.env, steps=5, session=restored.session,
+                start_step=restored.next_step + 1,
+            )
+
+    def test_version_mismatch_raises(self, tmp_path):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(pickle.dumps({"checkpoint_version": 999}))
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(bad)
+
+    def test_save_checkpoint_with_live_telemetry(self, tmp_path):
+        """Live telemetry holds locks; the saver must detach it, pickle,
+        and put it back."""
+        from repro.telemetry.context import RunContext
+        from repro.telemetry.metrics import MetricsRegistry
+        from repro.telemetry.tracing import Tracer
+
+        tuner = _trained()
+        env = make_env("WC", "D1", seed=11)
+        ctx = RunContext(tracer=Tracer(), metrics=MetricsRegistry())
+        session = tuner.tune_online(env, steps=1, telemetry=ctx)
+        before = env.runner.simulator.telemetry
+        save_checkpoint(
+            tmp_path / "s.ckpt", tuner=tuner, env=env,
+            session=session, next_step=1,
+        )
+        # telemetry reattached after the detached pickle
+        assert env.runner.simulator.telemetry is before
+
+
+class TestCLIResume:
+    def test_tune_checkpoint_then_resume(self, tmp_path, capsys):
+        model = str(tmp_path / "m.npz")
+        ckpt = str(tmp_path / "s.ckpt")
+        assert main(
+            ["train", "--workload", "WC", "--iterations", "80",
+             "--model", model]
+        ) == 0
+        assert main(
+            ["tune", "--workload", "WC", "--model", model, "--steps", "2",
+             "--fault-profile", "hostile", "--checkpoint", ckpt]
+        ) == 0
+        assert main(["tune", "--resume", ckpt, "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming" in out
+        restored = load_checkpoint(ckpt)
+        assert restored.next_step == 4
+
+    def test_resume_of_finished_session_is_noop(self, tmp_path, capsys):
+        model = str(tmp_path / "m.npz")
+        ckpt = str(tmp_path / "s.ckpt")
+        main(["train", "--workload", "WC", "--iterations", "80",
+              "--model", model])
+        main(["tune", "--workload", "WC", "--model", model, "--steps", "2",
+              "--checkpoint", ckpt])
+        assert main(["tune", "--resume", ckpt, "--steps", "2"]) == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_tune_requires_model_or_resume(self, capsys):
+        assert main(["tune", "--workload", "WC"]) == 2

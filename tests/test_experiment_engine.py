@@ -114,7 +114,7 @@ class TestResultCache:
         task = _cdf(seed=3)
         ResultCache(tmp_path, salt=CACHE_VERSION).store(task, 42)
         assert ResultCache.is_miss(
-            ResultCache(tmp_path, salt="deepcat-engine-v2").load(task)
+            ResultCache(tmp_path, salt=CACHE_VERSION + "-other").load(task)
         )
 
     def test_param_change_misses(self, tmp_path):

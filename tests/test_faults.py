@@ -1,0 +1,193 @@
+"""Tests for the chaos layer: fault profiles, the injector, and the
+environment/simulator wiring."""
+
+import numpy as np
+import pytest
+
+from repro.agents.base import AgentHyperParams
+from repro.core.deepcat import DeepCAT
+from repro.core.resilience import ResiliencePolicy
+from repro.core.result import sessions_equal
+from repro.factory import make_env
+from repro.faults import FaultInjector, FaultProfile, PROFILES, get_profile
+
+FAST_HP = AgentHyperParams(batch_size=16, warmup_steps=8, hidden=(16, 16))
+
+
+class TestFaultProfile:
+    def test_presets_exist_and_escalate(self):
+        assert set(PROFILES) == {"none", "flaky", "degraded", "hostile"}
+        assert PROFILES["none"].is_null
+        for benign, worse in (("flaky", "degraded"), ("degraded", "hostile")):
+            assert (
+                PROFILES[worse].straggler_rate
+                > PROFILES[benign].straggler_rate
+            )
+            assert PROFILES[worse].crash_rate > PROFILES[benign].crash_rate
+            assert (
+                PROFILES[worse].metric_dropout_rate
+                > PROFILES[benign].metric_dropout_rate
+            )
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultProfile(name="bad", straggler_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(name="bad", crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultProfile(name="bad", straggler_rate=0.5, straggler_factor=0.5)
+
+    def test_get_profile_coercions(self):
+        assert get_profile(None) is PROFILES["none"]
+        assert get_profile("hostile") is PROFILES["hostile"]
+        custom = FaultProfile(name="custom", crash_rate=0.5)
+        assert get_profile(custom) is custom
+        with pytest.raises(KeyError):
+            get_profile("nope")
+
+
+class TestFaultInjector:
+    def _result(self):
+        env = make_env("WC", "D1", seed=0)
+        return env.step(env.space.encode(env.space.defaults())).result
+
+    def test_null_profile_draws_nothing(self):
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        inj = FaultInjector(PROFILES["none"], rng)
+        result = self._result()
+        out, injected = inj.perturb_result(result)
+        state, n = inj.corrupt_state(np.zeros(9))
+        assert out is result and injected == () and n == 0
+        assert rng.bit_generator.state == before
+        assert not inj.enabled
+
+    def test_injection_is_seed_deterministic(self):
+        result = self._result()
+        outs = []
+        for _ in range(2):
+            inj = FaultInjector(PROFILES["hostile"], np.random.default_rng(9))
+            durations, faults = [], []
+            for _ in range(20):
+                out, injected = inj.perturb_result(result)
+                durations.append(out.duration_s)
+                faults.append(injected)
+            outs.append((durations, faults))
+        assert outs[0] == outs[1]
+
+    def test_crash_is_terminal_and_cheaper_than_run(self):
+        result = self._result()
+        inj = FaultInjector(
+            FaultProfile(name="crashy", crash_rate=1.0), np.random.default_rng(0)
+        )
+        out, injected = inj.perturb_result(result)
+        assert injected == ("crash",)
+        assert not out.success
+        assert out.duration_s < result.duration_s
+        assert "crash" in out.failure_reason
+
+    def test_slowdown_faults_only_stretch_duration(self):
+        result = self._result()
+        profile = FaultProfile(
+            name="slow", straggler_rate=1.0, straggler_factor=3.0,
+            executor_loss_rate=1.0, executor_loss_slowdown=2.0,
+            hang_rate=1.0, hang_factor=10.0,
+        )
+        inj = FaultInjector(profile, np.random.default_rng(0))
+        out, injected = inj.perturb_result(result)
+        assert set(injected) == {"straggler", "executor-loss", "hang"}
+        assert out.success == result.success
+        assert out.duration_s > result.duration_s
+
+    def test_metric_dropout_bounds(self):
+        inj = FaultInjector(
+            FaultProfile(name="drop", metric_dropout_rate=1.0),
+            np.random.default_rng(1),
+        )
+        state, n = inj.corrupt_state(np.ones(9))
+        assert n == 9 and np.all(np.isnan(state))
+
+
+class TestEnvIntegration:
+    def test_none_profile_bit_identical_to_default(self):
+        outs = []
+        for profile in (None, "none"):
+            env = make_env("WC", "D1", seed=5, fault_profile=profile)
+            rng = np.random.default_rng(0)
+            outcomes = [env.step(env.space.sample_vector(rng))
+                        for _ in range(3)]
+            outs.append(outcomes)
+        for a, b in zip(*outs):
+            assert a.duration_s == b.duration_s
+            assert a.reward == b.reward
+            np.testing.assert_array_equal(a.next_state, b.next_state)
+            assert a.faults == b.faults == ()
+
+    def test_faults_surface_in_outcome(self):
+        env = make_env("WC", "D1", seed=5, fault_profile="hostile")
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(25):
+            outcome = env.step(env.space.sample_vector(rng))
+            seen.update(outcome.faults)
+            if np.isnan(outcome.next_state).any():
+                assert "metric-dropout" in outcome.faults
+        assert seen & {"straggler", "executor-loss", "crash", "hang",
+                       "metric-dropout"}
+
+    def test_internal_state_stays_clean_under_dropout(self):
+        env = make_env("WC", "D1", seed=5, fault_profile="hostile")
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            env.step(env.space.sample_vector(rng))
+            assert np.isfinite(env.state).all()
+
+    def test_observation_tracks_last_corruption(self):
+        env = make_env(
+            "WC", "D1", seed=5,
+            fault_profile=FaultProfile(name="drop", metric_dropout_rate=1.0),
+        )
+        assert np.isfinite(env.observation).all()  # pre-step: clean state
+        outcome = env.step(env.space.encode(env.space.defaults()))
+        np.testing.assert_array_equal(env.observation, outcome.next_state)
+        assert np.isnan(env.observation).all()
+        env.reset()
+        assert np.isfinite(env.observation).all()
+
+    def test_default_duration_immune_to_injection(self):
+        clean = make_env("WC", "D1", seed=5)
+        chaotic = make_env("WC", "D1", seed=5, fault_profile="hostile")
+        assert clean.default_duration == chaotic.default_duration
+
+
+@pytest.mark.faults
+class TestChaosSmoke:
+    """A whole tuning session on the hostile profile must complete with
+    zero unhandled exceptions — the chaos-smoke CI gate."""
+
+    def test_hostile_session_completes(self):
+        env_t = make_env("WC", "D1", seed=3)
+        tuner = DeepCAT.from_env(env_t, seed=7, hp=FAST_HP)
+        tuner.train_offline(env_t, 40)
+        env = make_env("WC", "D1", seed=11, fault_profile="hostile")
+        session = tuner.tune_online(
+            env, steps=6, resilience=ResiliencePolicy.default(seed=5)
+        )
+        assert len(session.steps) == 6
+        # chaos was actually exercised, and the records stayed coherent
+        assert any(s.faults for s in session.steps)
+        for s in session.steps:
+            assert s.duration_s > 0
+            assert np.isfinite(s.reward)
+
+    def test_hostile_session_is_deterministic(self):
+        def run():
+            env_t = make_env("WC", "D1", seed=3)
+            tuner = DeepCAT.from_env(env_t, seed=7, hp=FAST_HP)
+            tuner.train_offline(env_t, 40)
+            env = make_env("WC", "D1", seed=11, fault_profile="hostile")
+            return tuner.tune_online(
+                env, steps=5, resilience=ResiliencePolicy.default(seed=5)
+            )
+
+        assert sessions_equal(run(), run())

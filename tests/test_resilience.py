@@ -1,0 +1,235 @@
+"""Property and edge-case tests for the resilience layer.
+
+RetryPolicy schedules are property-tested with hypothesis (monotone
+backoff, bounded jitter, seed-deterministic); the deterministic failure
+semantics in :mod:`repro.sim.faults` get explicit boundary coverage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.resilience import (
+    EvaluationWatchdog,
+    ResiliencePolicy,
+    RetryPolicy,
+    SafetyGuard,
+    sanitize_state,
+)
+from repro.sim.faults import (
+    TASK_MAX_FAILURES,
+    oom_attempt_charge,
+    vmem_kill_penalty,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=8),
+    base_delay_s=st.floats(min_value=0.0, max_value=30.0,
+                           allow_nan=False, allow_infinity=False),
+    multiplier=st.floats(min_value=1.0, max_value=4.0,
+                         allow_nan=False, allow_infinity=False),
+    max_delay_s=st.floats(min_value=30.0, max_value=300.0,
+                          allow_nan=False, allow_infinity=False),
+    jitter=st.floats(min_value=0.0, max_value=0.5,
+                     allow_nan=False, allow_infinity=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+class TestRetryPolicyProperties:
+    @given(policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_nominal_delay_monotone_and_capped(self, policy):
+        delays = [policy.nominal_delay(i) for i in range(8)]
+        for earlier, later in zip(delays, delays[1:]):
+            assert later >= earlier
+        assert all(d <= policy.max_delay_s for d in delays)
+        assert delays[0] == min(policy.base_delay_s, policy.max_delay_s)
+
+    @given(policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_jitter_bounded_around_nominal(self, policy):
+        schedule = policy.schedule()
+        assert len(schedule) == policy.max_attempts - 1
+        for i, delay in enumerate(schedule):
+            nominal = policy.nominal_delay(i)
+            assert (1.0 - policy.jitter) * nominal <= delay
+            assert delay <= (1.0 + policy.jitter) * nominal
+
+    @given(policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_same_seed_same_schedule(self, policy):
+        assert policy.schedule() == policy.schedule()
+        assert policy.schedule() == RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay_s=policy.base_delay_s,
+            multiplier=policy.multiplier,
+            max_delay_s=policy.max_delay_s,
+            jitter=policy.jitter,
+            seed=policy.seed,
+        ).schedule()
+
+    @given(seed_a=st.integers(0, 1000), seed_b=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_seed_is_the_only_jitter_source(self, seed_a, seed_b):
+        a = RetryPolicy(max_attempts=5, jitter=0.4, seed=seed_a).schedule()
+        b = RetryPolicy(max_attempts=5, jitter=0.4, seed=seed_b).schedule()
+        if seed_a == seed_b:
+            assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=10.0, max_delay_s=5.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().nominal_delay(-1)
+
+    def test_single_attempt_has_empty_schedule(self):
+        assert RetryPolicy(max_attempts=1).schedule() == ()
+
+
+class TestSimFaultBoundaries:
+    def test_oom_charge_zero_stage(self):
+        assert oom_attempt_charge(0.0) == 0.0
+
+    def test_oom_charge_scales_with_attempts(self):
+        assert oom_attempt_charge(10.0) == TASK_MAX_FAILURES * 0.5 * 10.0
+
+    def test_oom_charge_rejects_negative(self):
+        with pytest.raises(ValueError):
+            oom_attempt_charge(-0.1)
+
+    def test_vmem_penalty_at_threshold_is_clean(self):
+        threshold = 1.9 + 0.3 * (1.0 - 1.0)
+        assert vmem_kill_penalty(threshold, 1.0).penalty_factor == 1.0
+        assert vmem_kill_penalty(threshold + 1.0, 1.0).penalty_factor == 1.0
+
+    def test_vmem_penalty_just_below_threshold(self):
+        threshold = 1.9 + 0.3 * (1.0 - 1.0)
+        verdict = vmem_kill_penalty(threshold - 1e-6, 1.0)
+        assert verdict.penalty_factor > 1.0
+        # and bounded: deficit < 1 => factor < 1.8
+        assert verdict.penalty_factor < 1.8
+
+    def test_vmem_threshold_moves_with_deserialization(self):
+        # fatter object graphs (java serializer) raise the safe ratio
+        ratio = 2.0
+        lean = vmem_kill_penalty(ratio, 1.0).penalty_factor
+        fat = vmem_kill_penalty(ratio, 2.0).penalty_factor
+        assert lean == 1.0 and fat > 1.0
+
+    def test_vmem_rejects_nonpositive_ratio(self):
+        with pytest.raises(ValueError):
+            vmem_kill_penalty(0.0, 1.0)
+        with pytest.raises(ValueError):
+            vmem_kill_penalty(-1.0, 1.0)
+
+
+class TestEvaluationWatchdog:
+    def test_within_budget_charges_true_duration(self):
+        wd = EvaluationWatchdog(k=4.0)
+        verdict = wd.inspect(duration_s=30.0, default_duration_s=10.0)
+        assert not verdict.aborted and verdict.charged_s == 30.0
+        assert wd.aborts == 0
+
+    def test_at_budget_boundary_not_aborted(self):
+        wd = EvaluationWatchdog(k=4.0)
+        verdict = wd.inspect(duration_s=40.0, default_duration_s=10.0)
+        assert not verdict.aborted and verdict.charged_s == 40.0
+
+    def test_over_budget_charges_the_cap(self):
+        wd = EvaluationWatchdog(k=4.0)
+        verdict = wd.inspect(duration_s=400.0, default_duration_s=10.0)
+        assert verdict.aborted and verdict.charged_s == 40.0
+        assert wd.aborts == 1
+
+    def test_k_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            EvaluationWatchdog(k=1.0)
+        with pytest.raises(ValueError):
+            EvaluationWatchdog(k=0.5)
+
+
+class TestSafetyGuard:
+    def test_fallback_needs_streak_and_a_known_good(self):
+        guard = SafetyGuard(max_consecutive_failures=2)
+        action = np.full(4, 0.5)
+        guard.record(False, -1.0, action)
+        guard.record(False, -1.0, action)
+        # streak reached but no successful action recorded yet
+        assert not guard.should_fallback
+        with pytest.raises(RuntimeError):
+            guard.trigger_fallback()
+        guard.record(True, 0.8, action)
+        assert guard.consecutive_failures == 0
+        guard.record(False, -1.0, action)
+        guard.record(False, -1.0, action)
+        assert guard.should_fallback
+
+    def test_trigger_returns_best_copy_and_decays_sigma(self):
+        guard = SafetyGuard(max_consecutive_failures=1, sigma_decay=0.5)
+        best = np.array([0.1, 0.9])
+        guard.record(True, 1.0, best)
+        guard.record(True, 0.2, np.array([0.5, 0.5]))  # worse, not kept
+        guard.record(False, -1.0, best)
+        fallback = guard.trigger_fallback()
+        np.testing.assert_array_equal(fallback, best)
+        assert fallback is not guard.best_action
+        assert guard.fallbacks == 1 and guard.consecutive_failures == 0
+        assert guard.sigma_scale == 0.5
+
+    def test_effective_sigma_identity_then_floored(self):
+        guard = SafetyGuard(
+            max_consecutive_failures=1, sigma_decay=0.1, sigma_min=0.02
+        )
+        assert guard.effective_sigma(0.2) == 0.2
+        guard.record(True, 1.0, np.zeros(2))
+        guard.record(False, -1.0, np.zeros(2))
+        guard.trigger_fallback()
+        assert guard.effective_sigma(0.2) == pytest.approx(0.02)
+        guard.record(False, -1.0, np.zeros(2))
+        guard.trigger_fallback()
+        assert guard.effective_sigma(0.2) == 0.02  # floored
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SafetyGuard(max_consecutive_failures=0)
+        with pytest.raises(ValueError):
+            SafetyGuard(sigma_decay=0.0)
+        with pytest.raises(ValueError):
+            SafetyGuard(sigma_min=-0.1)
+
+
+class TestResiliencePolicy:
+    def test_default_bundle(self):
+        policy = ResiliencePolicy.default(seed=7)
+        assert policy.retry.seed == 7
+        assert policy.max_attempts == policy.retry.max_attempts
+
+    def test_disabled_retry_means_single_attempt(self):
+        assert ResiliencePolicy(retry=None).max_attempts == 1
+
+
+class TestSanitizeState:
+    def test_clean_state_untouched_no_copy(self):
+        state = np.ones(5)
+        clean, n = sanitize_state(state)
+        assert clean is state and n == 0
+
+    def test_nonfinite_replaced(self):
+        state = np.array([1.0, np.nan, np.inf, -np.inf, 2.0])
+        clean, n = sanitize_state(state, fill=0.5)
+        assert n == 3
+        np.testing.assert_array_equal(clean, [1.0, 0.5, 0.5, 0.5, 2.0])
+        # input untouched
+        assert np.isnan(state[1])
