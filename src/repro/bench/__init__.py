@@ -1,0 +1,45 @@
+"""Benchmark harness: registered micro/macro benchmarks, runner, gate.
+
+* :mod:`repro.bench.registry` — named benchmarks with lazy setup;
+* :mod:`repro.bench.benches` — the suite (simulator step, TD3 update,
+  RDPER push/sample, Twin-Q accept loop, codec round-trip, cache
+  round-trip, plus short offline-train / online-tune macros);
+* :mod:`repro.bench.runner` — warmup + timed repetitions + allocation
+  pass, emitting schema-versioned ``BENCH_*.json`` documents;
+* :mod:`repro.bench.compare` — median-based regression gating between
+  two bench documents (the ``repro bench compare`` exit code).
+"""
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    BenchDelta,
+    Comparison,
+    compare_docs,
+    render_comparison,
+)
+from repro.bench.registry import Benchmark, bench, get_benchmark, iter_benchmarks
+from repro.bench.runner import run_benchmarks, run_one
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    load_doc,
+    make_doc,
+    validate_doc,
+)
+
+__all__ = [
+    "Benchmark",
+    "bench",
+    "get_benchmark",
+    "iter_benchmarks",
+    "run_benchmarks",
+    "run_one",
+    "SCHEMA_VERSION",
+    "load_doc",
+    "make_doc",
+    "validate_doc",
+    "BenchDelta",
+    "Comparison",
+    "compare_docs",
+    "render_comparison",
+    "DEFAULT_THRESHOLD",
+]

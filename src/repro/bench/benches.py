@@ -1,0 +1,235 @@
+"""The benchmark suite: hot-path micro-benchmarks + pipeline macros.
+
+Micro benchmarks isolate one hot operation each (the same regions the
+profiler's phases cover); macro benchmarks run a short but complete
+pipeline stage.  Everything is seeded, so two runs on the same machine
+measure the same work — the only variable is the code under test.
+
+Setup cost (building environments, pre-training models, filling replay
+pools) happens in the factory, outside the timed region.  One repetition
+loops ``items`` inner operations because the single operations run in
+micro- to milliseconds, far below timer jitter.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import numpy as np
+
+from repro.bench.registry import bench
+
+_SEED = 1234
+
+
+def _make_env(seed: int = _SEED):
+    from repro.factory import make_env
+
+    return make_env("WC", "D1", seed=seed)
+
+
+def _trained_deepcat(iterations: int = 120):
+    from repro.core.deepcat import DeepCAT
+
+    env = _make_env()
+    tuner = DeepCAT.from_env(env, seed=_SEED)
+    tuner.train_offline(env, iterations)
+    return tuner
+
+
+def _fill_buffer(buffer, env, n: int) -> None:
+    from repro.replay.base import Transition
+
+    rng = np.random.default_rng(_SEED)
+    dim = env.state.shape[0]
+    act_dim = env.space.dim
+    for _ in range(n):
+        reward = float(rng.uniform(-1.0, 1.0))
+        buffer.push(
+            Transition(
+                state=rng.uniform(0.0, 1.0, dim),
+                action=rng.uniform(0.0, 1.0, act_dim),
+                reward=reward,
+                next_state=rng.uniform(0.0, 1.0, dim),
+            )
+        )
+
+
+# ------------------------------------------------------------------ micro
+
+
+@bench("sim.step", kind="micro", items=50,
+       description="simulator evaluation of one configuration")
+def _bench_sim_step():
+    env = _make_env()
+    rng = np.random.default_rng(_SEED)
+    actions = [env.space.sample_vector(rng) for _ in range(50)]
+
+    def run() -> None:
+        for action in actions:
+            env.step(action)
+
+    return run
+
+
+@bench("td3.update", kind="micro", items=25,
+       description="one TD3 gradient update on a fixed batch")
+def _bench_td3_update():
+    from repro.core.deepcat import DeepCAT
+
+    env = _make_env()
+    tuner = DeepCAT.from_env(env, seed=_SEED)
+    _fill_buffer(tuner.buffer, env, 256)
+    batch = tuner.buffer.sample(tuner.agent.hp.batch_size)
+
+    def run() -> None:
+        for _ in range(25):
+            tuner.agent.update(batch)
+
+    return run
+
+
+@bench("rdper.push", kind="micro", items=2000,
+       description="RDPER transition routing into the dual pools")
+def _bench_rdper_push():
+    from repro.replay.base import Transition
+    from repro.replay.rdper import RewardDrivenReplayBuffer
+
+    env = _make_env()
+    dim = env.state.shape[0]
+    act_dim = env.space.dim
+    rng = np.random.default_rng(_SEED)
+    buffer = RewardDrivenReplayBuffer(
+        capacity=4096, state_dim=dim, action_dim=act_dim, rng=rng
+    )
+    transitions = [
+        Transition(
+            state=rng.uniform(0.0, 1.0, dim),
+            action=rng.uniform(0.0, 1.0, act_dim),
+            reward=float(rng.uniform(-1.0, 1.0)),
+            next_state=rng.uniform(0.0, 1.0, dim),
+        )
+        for _ in range(2000)
+    ]
+
+    def run() -> None:
+        for tr in transitions:
+            buffer.push(tr)
+
+    return run
+
+
+@bench("rdper.sample", kind="micro", items=500,
+       description="RDPER dual-pool batch sampling (m=64)")
+def _bench_rdper_sample():
+    from repro.replay.rdper import RewardDrivenReplayBuffer
+
+    env = _make_env()
+    buffer = RewardDrivenReplayBuffer(
+        capacity=4096,
+        state_dim=env.state.shape[0],
+        action_dim=env.space.dim,
+        rng=np.random.default_rng(_SEED),
+    )
+    _fill_buffer(buffer, env, 1024)
+
+    def run() -> None:
+        for _ in range(500):
+            buffer.sample(64)
+
+    return run
+
+
+@bench("twinq.accept", kind="micro", items=20,
+       description="Twin-Q Optimizer accept loop on one recommendation")
+def _bench_twinq_accept():
+    from repro.core.twinq import twin_q_optimize
+
+    tuner = _trained_deepcat(iterations=40)
+    env = _make_env(seed=_SEED + 1)
+    state = env.state
+    rng = np.random.default_rng(_SEED)
+    actions = [env.space.sample_vector(rng) for _ in range(20)]
+
+    def run() -> None:
+        for action in actions:
+            twin_q_optimize(
+                tuner.agent,
+                state,
+                action,
+                q_threshold=0.3,
+                noise_sigma=0.1,
+                rng=rng,
+            )
+
+    return run
+
+
+@bench("codec.roundtrip", kind="micro", items=500,
+       description="configuration vector decode + dict encode round-trip")
+def _bench_codec_roundtrip():
+    from repro.config.pipeline import build_pipeline_space
+
+    space = build_pipeline_space()
+    rng = np.random.default_rng(_SEED)
+    vectors = [space.sample_vector(rng) for _ in range(500)]
+
+    def run() -> None:
+        for vec in vectors:
+            space.encode(space.decode(vec))
+
+    return run
+
+
+@bench("cache.roundtrip", kind="micro", items=50,
+       description="ResultCache store + load of one pickled session")
+def _bench_cache_roundtrip():
+    from repro.experiments.engine import ResultCache, TaskSpec
+
+    root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    cache = ResultCache(root)
+    payload = {"rewards": list(range(100)), "best_s": 123.4}
+    tasks = [
+        TaskSpec(kind="bench-dummy", params={"i": i}) for i in range(50)
+    ]
+
+    def run() -> None:
+        for task in tasks:
+            cache.store(task, payload)
+            cache.load(task)
+
+    def cleanup() -> None:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return run, cleanup
+
+
+# ------------------------------------------------------------------ macro
+
+
+@bench("pipeline.offline_train", kind="macro", items=80,
+       description="short offline training run (fresh model, 80 steps)")
+def _bench_offline_train():
+    from repro.core.deepcat import DeepCAT
+
+    def run() -> None:
+        env = _make_env()
+        tuner = DeepCAT.from_env(env, seed=_SEED)
+        tuner.train_offline(env, 80)
+
+    return run
+
+
+@bench("pipeline.online_tune", kind="macro", items=5,
+       description="5-step online tuning session from a pre-trained model")
+def _bench_online_tune():
+    import copy
+
+    tuner = _trained_deepcat(iterations=120)
+
+    def run() -> None:
+        env = _make_env(seed=_SEED + 7)
+        copy.deepcopy(tuner).tune_online(env, steps=5)
+
+    return run

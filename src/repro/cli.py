@@ -39,6 +39,9 @@ _CLUSTERS = {"cluster-a": CLUSTER_A, "cluster-b": CLUSTER_B}
 #: conventional exit status for "terminated by SIGINT"
 _INTERRUPTED_RC = 130
 
+#: the committed regression-gate baseline (see tools/bench_baseline.py)
+BASELINE_BENCH_PATH = "benchmarks/baselines/BENCH_baseline.json"
+
 
 @contextlib.contextmanager
 def _sigterm_as_interrupt():
@@ -102,9 +105,28 @@ def build_parser() -> argparse.ArgumentParser:
                  "online-step, sim-stage, ...) here",
         )
 
+    def run_flags(p):
+        """Profiling/heartbeat flags for the long-running run commands."""
+        p.add_argument(
+            "--profile", action="store_true",
+            help="profile the run: per-phase timing report plus a "
+                 "cProfile capture (pstats dump + hotspot table)",
+        )
+        p.add_argument(
+            "--profile-out", default=None, metavar="PATH",
+            help="where to write the pstats dump (default: "
+                 "profile.pstats; implies --profile)",
+        )
+        p.add_argument(
+            "--heartbeat", default=None, metavar="PATH",
+            help="overwrite a small JSON progress document here every "
+                 "step (readable live via 'repro telemetry watch')",
+        )
+
     p_train = sub.add_parser("train", help="offline-train a tuner")
     common(p_train)
     telemetry_flags(p_train)
+    run_flags(p_train)
     p_train.add_argument("--tuner", default="deepcat",
                          choices=("deepcat", "cdbtune"))
     p_train.add_argument("--iterations", type=int, default=1500)
@@ -114,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune = sub.add_parser("tune", help="serve an online tuning request")
     common(p_tune)
     telemetry_flags(p_tune)
+    run_flags(p_tune)
     p_tune.add_argument("--model", default=None,
                         help="trained .npz path (required unless --resume)")
     p_tune.add_argument("--steps", type=int, default=5)
@@ -174,19 +197,75 @@ def build_parser() -> argparse.ArgumentParser:
         "telemetry", help="inspect telemetry artifacts from a tuned run"
     )
     p_tel.add_argument(
-        "action", choices=("summary", "dump"),
+        "action", choices=("summary", "dump", "watch"),
         help="summary: human-readable cost breakdown; dump: normalized "
-             "JSON of the artifact",
+             "JSON of the artifact; watch: tail a live heartbeat file",
     )
     p_tel.add_argument(
         "path",
-        help="a trace .jsonl, a metrics .prom/.json dump, or a run "
-             "manifest .json",
+        help="a trace .jsonl, a metrics .prom/.json dump, a run "
+             "manifest .json, an events .jsonl, or (watch) a heartbeat "
+             "file",
     )
     p_tel.add_argument(
         "--min-ms", type=float, default=0.0,
         help="hide spans shorter than this in the trace summary",
     )
+    p_tel.add_argument(
+        "--follow", action="store_true",
+        help="watch: keep re-rendering until interrupted (default: "
+             "print the current heartbeat once)",
+    )
+    p_tel.add_argument(
+        "--interval", type=float, default=2.0,
+        help="watch --follow: poll cadence in seconds",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="performance benchmarks and regression gating"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_action", required=True)
+
+    pb_run = bench_sub.add_parser("run", help="measure and write BENCH_*.json")
+    pb_run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output file (default: BENCH_<utc-timestamp>.json)",
+    )
+    pb_run.add_argument("--repetitions", type=int, default=5)
+    pb_run.add_argument("--warmup", type=int, default=1)
+    pb_run.add_argument(
+        "--kind", default=None, choices=("micro", "macro"),
+        help="run only this benchmark kind (default: all)",
+    )
+    pb_run.add_argument(
+        "--only", action="append", default=[], metavar="NAME",
+        help="run only the named benchmark (repeatable)",
+    )
+    pb_run.add_argument(
+        "--no-alloc", action="store_true",
+        help="skip the tracemalloc allocation pass",
+    )
+
+    pb_cmp = bench_sub.add_parser(
+        "compare", help="gate a candidate bench file against a baseline"
+    )
+    pb_cmp.add_argument("candidate", help="candidate BENCH_*.json")
+    pb_cmp.add_argument(
+        "baseline", nargs="?", default=BASELINE_BENCH_PATH,
+        help=f"baseline bench file (default: {BASELINE_BENCH_PATH})",
+    )
+    pb_cmp.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="median slowdown that fails the gate (default: 0.25 = 25%%)",
+    )
+    pb_cmp.add_argument(
+        "--check-schema", action="store_true",
+        help="only validate both documents against the bench schema; "
+             "no timing comparison (CI mode — timings are not asserted "
+             "on shared runners)",
+    )
+
+    bench_sub.add_parser("list", help="list registered benchmarks")
     return parser
 
 
@@ -214,29 +293,92 @@ def _coerce(param, raw: str):
     raise TypeError(f"unknown parameter type for {param.name}")
 
 
-def _telemetry_context(args, kind: str):
+def _run_logger(args, total_steps: int | None):
+    """The event logger from --events/--heartbeat (``None`` when unset)."""
+    from repro.telemetry import HeartbeatWriter
+    from repro.utils.logging import JsonlLogger, TeeLogger
+
+    events = JsonlLogger(args.events) if args.events else None
+    heartbeat = (
+        HeartbeatWriter(args.heartbeat, total_steps=total_steps)
+        if getattr(args, "heartbeat", None)
+        else None
+    )
+    if events and heartbeat:
+        return TeeLogger(events, heartbeat)
+    return events or heartbeat
+
+
+def _run_profiler(args):
+    """A cProfile-capable profiler when --profile[-out] is set, else None."""
+    if getattr(args, "profile", False) or getattr(args, "profile_out", None):
+        from repro.telemetry import Profiler
+
+        return Profiler(cprofile=True)
+    return None
+
+
+def _telemetry_context(args, kind: str, total_steps: int | None = None):
     """Build a RunContext from the --trace/--metrics-out/... flags.
 
     Returns the shared null context when no flag is set, so the default
-    CLI path stays on the telemetry-free fast path.
+    CLI path stays on the telemetry-free fast path.  ``--profile`` and
+    ``--heartbeat`` ride on the same context: profiling-only runs get a
+    plain context (no recording pillars, nothing extra written).
     """
     from repro.telemetry import NULL_CONTEXT, RunContext
-    from repro.utils.logging import JsonlLogger
 
-    if not (args.trace or args.metrics_out or args.manifest or args.events):
-        return NULL_CONTEXT
+    logger = _run_logger(args, total_steps)
+    profiler = _run_profiler(args)
+    if not (args.trace or args.metrics_out or args.manifest):
+        if logger is None and profiler is None:
+            return NULL_CONTEXT
+        return RunContext(logger=logger, profiler=profiler)
     ctx = RunContext.recording(
         trace=args.trace,
         metrics=args.metrics_out,
         manifest=args.manifest,
-        logger=JsonlLogger(args.events) if args.events else None,
+        logger=logger,
         seed=args.seed,
         kind=kind,
+        profiler=profiler,
     )
     ctx.manifest.workload = args.workload
     ctx.manifest.dataset = args.dataset
     ctx.manifest.extra["cluster_name"] = args.cluster
     return ctx
+
+
+@contextlib.contextmanager
+def _profiled(ctx, args):
+    """Run the wrapped block under the context's profiler, if any.
+
+    On exit (normal or interrupted) the capture stops, the nn-layer hook
+    is deactivated, the phase table and cProfile hotspot table print,
+    and the pstats dump is written (``--profile-out``, default
+    ``profile.pstats``).
+    """
+    from repro.telemetry import NullProfiler
+    from repro.telemetry.profiling import activate, deactivate
+
+    prof = ctx.profiler
+    if isinstance(prof, NullProfiler):
+        yield
+        return
+    activate(prof)
+    prof.start()
+    try:
+        yield
+    finally:
+        prof.stop()
+        deactivate()
+        print("\nprofile: per-phase wall time")
+        print(prof.report())
+        if prof.has_cprofile:
+            out = args.profile_out or "profile.pstats"
+            prof.dump_pstats(out)
+            print(f"\nprofile: wrote pstats dump {out}")
+            print(prof.hotspot_table(top_n=15))
 
 
 def _finish_telemetry(ctx) -> None:
@@ -266,8 +408,10 @@ def _cmd_train(args) -> int:
         f"offline-training {args.tuner} on {args.workload}-{args.dataset} "
         f"({args.iterations} iterations)..."
     )
-    ctx = _telemetry_context(args, kind="offline-train")
-    with _sigterm_as_interrupt():
+    ctx = _telemetry_context(
+        args, kind="offline-train", total_steps=args.iterations
+    )
+    with _sigterm_as_interrupt(), _profiled(ctx, args):
         try:
             log = tuner.train_offline(env, args.iterations, telemetry=ctx)
         except KeyboardInterrupt:
@@ -360,8 +504,8 @@ def _cmd_tune(args) -> int:
         if ckpt_path
         else None
     )
-    ctx = _telemetry_context(args, kind="online-tune")
-    with _sigterm_as_interrupt():
+    ctx = _telemetry_context(args, kind="online-tune", total_steps=args.steps)
+    with _sigterm_as_interrupt(), _profiled(ctx, args):
         try:
             session = tuner.tune_online(
                 env, steps=args.steps, time_budget_s=args.time_budget,
@@ -482,9 +626,9 @@ def _cmd_corpus(args) -> int:
 def _classify_artifact(path: str) -> str:
     """Sniff what kind of telemetry artifact a file is.
 
-    Recognizes JSONL span traces, run manifests, JSON metrics dumps, and
-    Prometheus text; anything unparseable is treated as Prometheus text
-    (whose grammar is "anything line-oriented").
+    Recognizes JSONL span traces, JSONL event logs, run manifests, JSON
+    metrics dumps, and Prometheus text; anything unparseable is treated
+    as Prometheus text (whose grammar is "anything line-oriented").
     """
     import json as _json
 
@@ -502,24 +646,72 @@ def _classify_artifact(path: str) -> str:
     if isinstance(record, dict):
         if "duration_s" in record and "id" in record:
             return "trace"
+        if "kind" in record and "ts" in record:
+            return "events"
         if "run_id" in record:
             return "manifest"
         return "metrics-json"
     return "prometheus"
 
 
+def _read_events_lenient(path: str) -> tuple[list[dict], bool]:
+    """Read a JSONL events file, tolerating a truncated final line.
+
+    A crashed run can leave the event being written at the instant of
+    death half-flushed; that partial *final* line is dropped (reported
+    via the returned flag).  A malformed line anywhere *else* means the
+    file is corrupt, which is worth failing loudly over.
+    """
+    import json as _json
+
+    records: list[dict] = []
+    lines = [
+        ln for ln in open(path, encoding="utf-8").read().splitlines()
+        if ln.strip()
+    ]
+    truncated = False
+    for i, line in enumerate(lines):
+        try:
+            records.append(_json.loads(line))
+        except _json.JSONDecodeError:
+            if i == len(lines) - 1:
+                truncated = True
+                break
+            raise ValueError(
+                f"{path}: line {i + 1} is not valid JSON (corrupt "
+                "events file)"
+            ) from None
+    return records, truncated
+
+
 def _cmd_telemetry(args) -> int:
+    if args.action == "watch":
+        return _cmd_telemetry_watch(args)
+    if not os.path.isfile(args.path):
+        print(f"{args.path}: no such file", file=sys.stderr)
+        return 1
+    try:
+        return _render_artifact(args)
+    except (ValueError, KeyError, OSError) as exc:
+        # Truncated traces, half-written JSON, unreadable files: one
+        # clear line on stderr, exit 1, no traceback.
+        print(f"{args.path}: cannot read artifact: {exc}", file=sys.stderr)
+        return 1
+
+
+def _render_artifact(args) -> int:
     import json as _json
 
     from repro.telemetry import RunManifest, load_trace, render_span_tree
 
-    if not os.path.isfile(args.path):
-        print(f"{args.path}: no such file", file=sys.stderr)
-        return 2
     kind = _classify_artifact(args.path)
     if kind == "empty":
-        print(f"{args.path}: empty file", file=sys.stderr)
-        return 2
+        print(
+            f"{args.path}: empty file (no telemetry was recorded, or "
+            "the run died before its first write)",
+            file=sys.stderr,
+        )
+        return 1
 
     if kind == "trace":
         roots = load_trace(args.path)
@@ -529,6 +721,32 @@ def _cmd_telemetry(args) -> int:
         n_spans = sum(1 for r in roots for _ in _iter_tree(r))
         print(f"trace: {len(roots)} root span(s), {n_spans} total")
         print(render_span_tree(roots, min_duration_s=args.min_ms / 1e3))
+        return 0
+
+    if kind == "events":
+        records, truncated = _read_events_lenient(args.path)
+        if truncated:
+            print(
+                f"{args.path}: final line is truncated (crashed run?); "
+                "ignoring it",
+                file=sys.stderr,
+            )
+        if not records:
+            print(f"{args.path}: no complete events", file=sys.stderr)
+            return 1
+        if args.action == "dump":
+            print(_json.dumps(records, indent=2))
+            return 0
+        counts: dict[str, int] = {}
+        for rec in records:
+            k = rec.get("kind", "?")
+            counts[k] = counts.get(k, 0) + 1
+        span_s = records[-1].get("ts", 0.0) - records[0].get("ts", 0.0)
+        print(
+            f"events: {len(records)} record(s) over {span_s:.1f}s"
+        )
+        for k in sorted(counts):
+            print(f"  {k:<20} x{counts[k]}")
         return 0
 
     if kind == "manifest":
@@ -577,6 +795,104 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_telemetry_watch(args) -> int:
+    import time as _time
+
+    from repro.telemetry import read_heartbeat, render_heartbeat
+
+    try:
+        print(render_heartbeat(read_heartbeat(args.path)), flush=True)
+    except ValueError as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 1
+    if not args.follow:
+        return 0
+    try:
+        while True:
+            _time.sleep(max(args.interval, 0.1))
+            try:
+                print(render_heartbeat(read_heartbeat(args.path)),
+                      flush=True)
+            except ValueError as exc:
+                print(f"watch: {exc}", file=sys.stderr)
+                return 1
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_bench(args) -> int:
+    import json as _json
+
+    from repro.bench import (
+        DEFAULT_THRESHOLD,
+        compare_docs,
+        iter_benchmarks,
+        load_doc,
+        render_comparison,
+        run_benchmarks,
+    )
+
+    if args.bench_action == "list":
+        for b in iter_benchmarks():
+            print(f"{b.kind:<6} {b.name:<24} x{b.items:<5} {b.description}")
+        return 0
+
+    if args.bench_action == "run":
+        if args.repetitions < 1:
+            print("bench run: --repetitions must be >= 1", file=sys.stderr)
+            return 2
+        doc = run_benchmarks(
+            names=args.only or None,
+            kind=args.kind,
+            repetitions=args.repetitions,
+            warmup=args.warmup,
+            track_alloc=not args.no_alloc,
+            progress=lambda b: print(f"bench: {b.name} ...", flush=True),
+        )
+        if args.out:
+            out = args.out
+        else:
+            stamp = doc["created_at"].replace(":", "").replace("-", "")
+            stamp = stamp.split(".")[0].replace("T", "-")
+            out = f"BENCH_{stamp}.json"
+        with open(out, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        for r in doc["results"]:
+            thr = r["throughput_per_s"]
+            print(
+                f"{r['name']:<24} median {r['median_s'] * 1e3:9.3f}ms "
+                f"(p10 {r['p10_s'] * 1e3:8.3f} / p90 "
+                f"{r['p90_s'] * 1e3:8.3f})  {thr:10.1f} items/s"
+            )
+        print(f"wrote {out} ({len(doc['results'])} benchmark(s))")
+        return 0
+
+    # compare
+    try:
+        candidate = load_doc(args.candidate)
+        baseline = load_doc(args.baseline)
+    except ValueError as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 2
+    if args.check_schema:
+        print(
+            f"bench compare: schemas OK "
+            f"({len(candidate['results'])} candidate / "
+            f"{len(baseline['results'])} baseline result(s))"
+        )
+        return 0
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    if threshold <= 0:
+        print("bench compare: --threshold must be positive", file=sys.stderr)
+        return 2
+    cmp = compare_docs(candidate, baseline, threshold=threshold)
+    print(render_comparison(cmp))
+    return 0 if cmp.ok else 1
+
+
 def _iter_tree(rec):
     yield rec
     for child in rec.get("children", []):
@@ -593,6 +909,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_bench_report,
         "corpus": _cmd_corpus,
         "telemetry": _cmd_telemetry,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -96,9 +96,13 @@ class OfflineTrainer:
             self.agent.telemetry = t
         state = env.state
         warmup = self.agent.hp.warmup_steps
-        with t.span("offline.train", iterations=iterations):
+        with t.phase("offline.train"), t.span(
+            "offline.train", iterations=iterations
+        ):
             for it in range(iterations):
-                with t.span("offline.step", iteration=it):
+                with t.phase("offline.step"), t.span(
+                    "offline.step", iteration=it
+                ):
                     if len(self.buffer) < warmup:
                         action = self.agent.random_action()
                     else:

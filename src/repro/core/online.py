@@ -207,12 +207,14 @@ class OnlineTuner:
         if resilience is not None:
             state, _ = sanitize_state(state)
         try:
-            with t.span(
+            with t.phase("online.tune"), t.span(
                 "online.tune", tuner=self.name, workload=session.workload,
                 dataset=session.dataset,
             ):
                 for step in range(start_step, steps):
-                    with t.span("online.step", step=step):
+                    with t.phase("online.step"), t.span(
+                        "online.step", step=step
+                    ):
                         fallback = False
                         t0 = time.perf_counter()
                         if guard is not None and guard.should_fallback:

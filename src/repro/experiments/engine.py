@@ -631,7 +631,9 @@ class ExperimentEngine:
                                  help="configured worker processes")
         compute_s = 0.0
         pending: list[int] = []
-        with self.telemetry.span("engine.run", tasks=n, jobs=self.jobs):
+        with self.telemetry.phase("engine.dispatch"), self.telemetry.span(
+            "engine.run", tasks=n, jobs=self.jobs
+        ):
             for i, task in enumerate(tasks):
                 hit = self.cache.load(task) if self.cache else _MISS
                 if not ResultCache.is_miss(hit):

@@ -7,6 +7,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.nn.layers import Layer, Linear, make_activation
+from repro.telemetry.profiling import phase as _profile_phase
 
 __all__ = ["Parameter", "Sequential", "MLP"]
 
@@ -55,12 +56,16 @@ class Sequential:
 
     def forward(self, x: np.ndarray, cache: bool = True) -> np.ndarray:
         """Run the network; ``cache=True`` stores activations for backward."""
-        out = np.asarray(x, dtype=np.float64)
-        if out.ndim == 1:
-            out = out[None, :]
-        for layer in self.layers:
-            out = layer.forward(out, cache=cache)
-        return out
+        # The nn layer carries no RunContext (pure math), so its phases
+        # resolve through the process-wide active profiler — a shared
+        # no-op unless ``repro.telemetry.profiling.activate`` ran.
+        with _profile_phase("nn.forward"):
+            out = np.asarray(x, dtype=np.float64)
+            if out.ndim == 1:
+                out = out[None, :]
+            for layer in self.layers:
+                out = layer.forward(out, cache=cache)
+            return out
 
     __call__ = forward
 
@@ -70,12 +75,13 @@ class Sequential:
         Parameter gradients are *accumulated*; call :meth:`zero_grad`
         before each optimizer step.
         """
-        grad = np.asarray(grad_out, dtype=np.float64)
-        if grad.ndim == 1:
-            grad = grad[None, :]
-        for layer in reversed(self.layers):
-            grad = layer.backward(grad)
-        return grad
+        with _profile_phase("nn.backward"):
+            grad = np.asarray(grad_out, dtype=np.float64)
+            if grad.ndim == 1:
+                grad = grad[None, :]
+            for layer in reversed(self.layers):
+                grad = layer.backward(grad)
+            return grad
 
     def parameters(self) -> list[Parameter]:
         params: list[Parameter] = []

@@ -79,6 +79,10 @@ class RewardDrivenReplayBuffer:
 
     def push(self, transition: Transition) -> None:
         """Route the transition by its reward against ``R_th``."""
+        with self._telemetry.phase("replay.push"):
+            self._push(transition)
+
+    def _push(self, transition: Transition) -> None:
         if transition.reward >= self.reward_threshold:
             self._high.push(transition)
         else:
@@ -99,6 +103,10 @@ class RewardDrivenReplayBuffer:
         When one pool cannot supply its share (early training), the other
         pool covers the deficit, so the batch size is always honoured.
         """
+        with self._telemetry.phase("replay.sample"):
+            return self._sample(batch_size)
+
+    def _sample(self, batch_size: int) -> ReplayBatch:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if len(self) == 0:

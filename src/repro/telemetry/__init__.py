@@ -15,6 +15,11 @@ See ``docs/observability.md`` for the metric/span/event catalog.
 """
 
 from repro.telemetry.context import NULL_CONTEXT, RunContext, ensure_context
+from repro.telemetry.heartbeat import (
+    HeartbeatWriter,
+    read_heartbeat,
+    render_heartbeat,
+)
 from repro.telemetry.manifest import RunManifest, git_sha
 from repro.telemetry.metrics import (
     Counter,
@@ -23,6 +28,7 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.telemetry.profiling import NULL_PROFILER, NullProfiler, Profiler
 from repro.telemetry.tracing import (
     NullTracer,
     Span,
@@ -47,4 +53,10 @@ __all__ = [
     "Span",
     "load_trace",
     "render_span_tree",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "HeartbeatWriter",
+    "read_heartbeat",
+    "render_heartbeat",
 ]

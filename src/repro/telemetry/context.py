@@ -30,6 +30,7 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.telemetry.profiling import NULL_PROFILER, NullProfiler, Profiler
 from repro.telemetry.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.utils.logging import NullLogger, TuningLogger
 
@@ -52,6 +53,9 @@ class RunContext:
         null registry.
     manifest:
         A :class:`~repro.telemetry.manifest.RunManifest` for provenance.
+    profiler:
+        A :class:`~repro.telemetry.profiling.Profiler` aggregating phase
+        timings/allocations; default null profiler (no-op phases).
     trace_path, metrics_path, manifest_path:
         Where :meth:`save` persists each pillar (unset => not written).
     """
@@ -62,6 +66,7 @@ class RunContext:
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | NullRegistry | None = None,
         manifest: RunManifest | None = None,
+        profiler: Profiler | NullProfiler | None = None,
         trace_path: str | Path | None = None,
         metrics_path: str | Path | None = None,
         manifest_path: str | Path | None = None,
@@ -77,6 +82,7 @@ class RunContext:
             )
         self.metrics = metrics
         self.manifest = manifest
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.trace_path = Path(trace_path) if trace_path else None
         self.metrics_path = Path(metrics_path) if metrics_path else None
         self.manifest_path = Path(manifest_path) if manifest_path else None
@@ -92,18 +98,21 @@ class RunContext:
         logger: TuningLogger | None = None,
         seed: int | None = None,
         kind: str = "run",
+        profiler: Profiler | None = None,
     ) -> "RunContext":
         """A context that records everything, persisting what has a path.
 
         Unlike the raw constructor, tracer and registry are always live
         here — callers can inspect them in-process even without output
-        files.
+        files.  The profiler stays null unless one is passed explicitly
+        (profiling is opt-in even on a recording context).
         """
         return cls(
             logger=logger,
             tracer=Tracer(),
             metrics=MetricsRegistry(),
             manifest=RunManifest(kind=kind, seed=seed),
+            profiler=profiler,
             trace_path=trace,
             metrics_path=metrics,
             manifest_path=manifest,
@@ -117,6 +126,7 @@ class RunContext:
             isinstance(self.tracer, NullTracer)
             and isinstance(self.metrics, NullRegistry)
             and isinstance(self.logger, NullLogger)
+            and isinstance(self.profiler, NullProfiler)
             and self.manifest is None
         )
 
@@ -124,6 +134,12 @@ class RunContext:
 
     def span(self, name: str, **attrs: Any):
         return self.tracer.span(name, **attrs)
+
+    # ---------------------------------------------------- delegate: phases
+
+    def phase(self, name: str):
+        """Profiler phase frame (no-op on the default null profiler)."""
+        return self.profiler.phase(name)
 
     # ---------------------------------------------------- delegate: events
 
@@ -238,6 +254,7 @@ def ensure_context(
             tracer=telemetry.tracer,
             metrics=telemetry.metrics,
             manifest=telemetry.manifest,
+            profiler=telemetry.profiler,
             trace_path=telemetry.trace_path,
             metrics_path=telemetry.metrics_path,
             manifest_path=telemetry.manifest_path,

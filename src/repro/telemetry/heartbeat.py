@@ -1,0 +1,130 @@
+"""Live-session heartbeat: a small JSON file overwritten every episode.
+
+Long offline-training and online-tuning runs are opaque from outside the
+process: the events file grows append-only, but answering "where is it
+now and when will it finish?" means parsing the whole log.  The
+:class:`HeartbeatWriter` answers it in O(1): after every per-step event
+it atomically rewrites one JSON document with the current step, phase,
+elapsed wall-clock, and an ETA extrapolated from the mean step time.
+
+The writer is a :class:`~repro.utils.logging.TuningLogger`, so it plugs
+into the existing event stream (alone, or fanned out next to a
+``JsonlLogger`` via :class:`~repro.utils.logging.TeeLogger`) without any
+trainer/tuner API change.  Writes are tmp-file + ``os.replace`` atomic:
+a reader (``repro telemetry watch``) never sees a torn document, and a
+crashed run leaves its last completed heartbeat behind as a post-mortem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.utils.logging import TuningLogger
+
+__all__ = ["HeartbeatWriter", "read_heartbeat", "render_heartbeat"]
+
+#: event kinds that advance the heartbeat, mapped to the phase they imply
+STEP_KINDS: dict[str, str] = {
+    "offline-step": "offline-train",
+    "online-step": "online-tune",
+}
+
+
+class HeartbeatWriter(TuningLogger):
+    """Writes the heartbeat document on every per-step event.
+
+    Parameters
+    ----------
+    path:
+        Where the heartbeat JSON lives (overwritten in place).
+    total_steps:
+        Planned step count, for progress/ETA (``None`` => unknown).
+    step_kinds:
+        Event kinds that count as a step (default: offline + online).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        total_steps: int | None = None,
+        step_kinds: dict[str, str] | None = None,
+    ):
+        self.path = Path(path)
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.total_steps = total_steps
+        self._kinds = dict(STEP_KINDS if step_kinds is None else step_kinds)
+        self._steps_done = 0
+        self._start_perf = time.perf_counter()
+
+    def event(self, kind: str, **fields: Any) -> None:
+        phase = self._kinds.get(kind)
+        if phase is None:
+            return
+        self._steps_done += 1
+        elapsed = time.perf_counter() - self._start_perf
+        eta: float | None = None
+        if self.total_steps and self._steps_done:
+            remaining = max(self.total_steps - self._steps_done, 0)
+            eta = elapsed / self._steps_done * remaining
+        doc = {
+            "phase": phase,
+            "step": self._steps_done,
+            "total_steps": self.total_steps,
+            "elapsed_s": round(elapsed, 6),
+            "eta_s": round(eta, 6) if eta is not None else None,
+            "updated_at": time.time(),
+            "pid": os.getpid(),
+            "last_event": {
+                k: v
+                for k, v in fields.items()
+                if isinstance(v, (str, int, float, bool)) or v is None
+            },
+        }
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc) + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)
+
+
+def read_heartbeat(path: str | Path) -> dict[str, Any]:
+    """Load a heartbeat document; raises ``ValueError`` on a bad file."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ValueError(f"{path}: no heartbeat file") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not a heartbeat JSON ({exc})") from None
+    if not isinstance(doc, dict) or "step" not in doc:
+        raise ValueError(f"{path}: not a heartbeat document")
+    return doc
+
+
+def _fmt_duration(seconds: float | None) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def render_heartbeat(doc: dict[str, Any]) -> str:
+    """One status line for the CLI watcher."""
+    total = doc.get("total_steps")
+    progress = (
+        f"{doc['step']}/{total}" if total else f"{doc['step']}"
+    )
+    age = time.time() - doc.get("updated_at", time.time())
+    stale = "  (stale)" if age > 60 else ""
+    return (
+        f"{doc.get('phase', '?'):<14} step {progress:<12} "
+        f"elapsed {_fmt_duration(doc.get('elapsed_s')):>8}  "
+        f"eta {_fmt_duration(doc.get('eta_s')):>8}  "
+        f"pid {doc.get('pid', '?')}{stale}"
+    )

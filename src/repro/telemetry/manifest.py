@@ -81,6 +81,12 @@ class RunManifest:
         self.dataset = dataset
         self.created_at = time.time()
         self.finished_at: float | None = None
+        # Wall timestamps (created_at/finished_at) are for display and
+        # correlation only; durations come from the monotonic clock so a
+        # system-clock step (NTP slew, suspend) cannot skew elapsed_s
+        # negative or wildly long.
+        self._created_perf = time.perf_counter()
+        self._elapsed_s: float | None = None
         self.run_id = f"{int(self.created_at * 1e3):x}-{os.getpid():x}"
         # Provenance of the *code*, not of wherever the run was launched
         # from: resolve the SHA against this package's checkout.
@@ -113,11 +119,13 @@ class RunManifest:
 
     def finish(self) -> None:
         self.finished_at = time.time()
+        self._elapsed_s = time.perf_counter() - self._created_perf
 
     @property
     def elapsed_s(self) -> float:
-        end = self.finished_at if self.finished_at else time.time()
-        return end - self.created_at
+        if self._elapsed_s is not None:
+            return self._elapsed_s
+        return time.perf_counter() - self._created_perf
 
     # -------------------------------------------------------- serialization
 
@@ -161,6 +169,9 @@ class RunManifest:
         manifest.git_sha = data.get("git_sha")
         manifest.created_at = data.get("created_at", manifest.created_at)
         manifest.finished_at = data.get("finished_at")
+        # A loaded manifest reports the duration it was saved with; its
+        # own monotonic clock has no relation to the recorded run.
+        manifest._elapsed_s = data.get("elapsed_s")
         manifest.hyper_parameters = data.get("hyper_parameters", {})
         manifest.cluster = data.get("cluster", {})
         manifest.wall_clock = data.get("wall_clock", {})

@@ -41,10 +41,17 @@ def _label_key(labels: Mapping[str, Any] | None) -> LabelPairs:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(labels: LabelPairs) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + body + "}"
 
 
@@ -71,6 +78,14 @@ class Counter:
 
     def snapshot(self) -> dict[str, Any]:
         return {"value": self._value}
+
+    def state(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Counts from independent processes add."""
+        with self._lock:
+            self._value += float(state["value"])
 
 
 class Gauge:
@@ -101,6 +116,14 @@ class Gauge:
 
     def snapshot(self) -> dict[str, Any]:
         return {"value": self._value}
+
+    def state(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """A gauge is "the latest value"; the incoming one wins."""
+        with self._lock:
+            self._value = float(state["value"])
 
 
 class Histogram:
@@ -194,6 +217,34 @@ class Histogram:
             },
         }
 
+    def state(self) -> dict[str, Any]:
+        """Mergeable (picklable) state, reservoir included."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "reservoir": list(self._reservoir),
+            }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Combine a sibling histogram's state into this one.
+
+        Count/sum/min/max merge exactly.  The combined reservoir is the
+        concatenation truncated to capacity — deterministic, and an
+        unbiased-enough pooled sample for the quantile estimates (both
+        inputs are themselves uniform samples of their streams).
+        """
+        with self._lock:
+            self._count += int(state["count"])
+            self._sum += float(state["sum"])
+            if state["count"]:
+                self._min = min(self._min, float(state["min"]))
+                self._max = max(self._max, float(state["max"]))
+            merged = self._reservoir + [float(v) for v in state["reservoir"]]
+            self._reservoir = merged[: self._reservoir_size]
+
 
 class MetricsRegistry:
     """Thread-safe registry of named counters, gauges, and histograms."""
@@ -251,6 +302,50 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         with self._lock:
             return sorted({name for _, name, _ in self._metrics})
+
+    # ------------------------------------------------------- merge support
+
+    def state(self) -> dict[str, Any]:
+        """Picklable snapshot of every instrument, for cross-process use.
+
+        A worker (e.g. a ``ProcessPoolExecutor`` task) records into its
+        own registry, returns ``registry.state()`` with its result, and
+        the parent folds it in via :meth:`merge` — counters add, gauges
+        take the incoming value, histograms pool their reservoirs.
+        """
+        with self._lock:
+            items = sorted(self._metrics.items(), key=lambda i: i[0])
+            help_map = dict(self._help)
+        return {
+            "metrics": [
+                {
+                    "kind": kind,
+                    "name": name,
+                    "labels": list(labels),
+                    "help": help_map.get(name, ""),
+                    "state": metric.state(),
+                }
+                for (kind, name, labels), metric in items
+            ],
+        }
+
+    def merge(self, state: dict[str, Any]) -> None:
+        """Fold a :meth:`state` snapshot from another process in."""
+        for rec in state["metrics"]:
+            labels = {k: v for k, v in rec["labels"]}
+            kind = rec["kind"]
+            if kind == "counter":
+                metric = self.counter(rec["name"], help=rec["help"],
+                                      labels=labels)
+            elif kind == "gauge":
+                metric = self.gauge(rec["name"], help=rec["help"],
+                                    labels=labels)
+            elif kind == "histogram":
+                metric = self.histogram(rec["name"], help=rec["help"],
+                                        labels=labels)
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+            metric.merge_state(rec["state"])
 
     # ---------------------------------------------------------- exporters
 
@@ -393,6 +488,12 @@ class NullRegistry:
 
     def names(self) -> list[str]:
         return []
+
+    def state(self) -> dict[str, Any]:
+        return {"metrics": []}
+
+    def merge(self, state: dict[str, Any]) -> None:
+        pass
 
     def to_json(self) -> dict[str, Any]:
         return {}

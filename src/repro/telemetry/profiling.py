@@ -1,0 +1,323 @@
+"""Deterministic profiling hooks for the tuning pipeline.
+
+A :class:`Profiler` aggregates *phases* — named code regions timed with
+``time.perf_counter`` — into per-phase wall time, call counts, and
+(optionally) peak allocation deltas.  Unlike the span tracer it builds no
+tree and allocates nothing per call beyond a tiny reusable frame, so the
+hot paths (simulator evaluations, network forward/backward, TD3 updates,
+RDPER sampling, Twin-Q screening, engine task dispatch) can stay
+instrumented permanently:
+
+* disabled (the default :data:`NULL_PROFILER`), a phase costs one method
+  call returning a shared no-op context manager — the same contract as
+  :class:`~repro.telemetry.tracing.NullTracer`;
+* enabled, a phase draws **no randomness** and mutates no science state,
+  so a profiled run produces bit-identical results to an unprofiled one.
+
+Two optional capture layers ride along:
+
+* **cProfile** — ``Profiler(cprofile=True)`` wraps ``start()``/``stop()``
+  around a deterministic-profiler session; :meth:`Profiler.dump_pstats`
+  writes the raw ``pstats`` file and :meth:`Profiler.hotspot_table`
+  renders a top-N cumulative-time table (the ``--profile`` CLI output).
+* **tracemalloc** — ``Profiler(trace_malloc=True)`` tracks the peak
+  traced allocation per phase (``tracemalloc.reset_peak`` on entry, peak
+  delta on exit) plus the global peak for the run.  Allocation tracking
+  distorts wall times, so benchmarks run it in a separate pass.
+
+Most instrumented subsystems reach their profiler through the
+:class:`~repro.telemetry.context.RunContext` they already carry
+(``ctx.phase("sim.evaluate")``).  ``repro.nn`` has no telemetry plumbing
+— networks are pure math — so it uses the module-level *active* profiler
+installed by :func:`activate`; :func:`phase` resolves it per call.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "PhaseStat",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "activate",
+    "deactivate",
+    "active_profiler",
+    "phase",
+]
+
+
+class PhaseStat:
+    """Aggregate record of one named phase."""
+
+    __slots__ = ("name", "calls", "total_s", "max_s", "alloc_peak_bytes")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+        self.alloc_peak_bytes = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "max_s": self.max_s,
+            "mean_s": self.total_s / self.calls if self.calls else 0.0,
+            "alloc_peak_bytes": self.alloc_peak_bytes,
+        }
+
+
+class _PhaseFrame:
+    """Context manager for one phase entry (re-entrant via nesting depth).
+
+    A single frame per (profiler, phase) pair is reused across calls, so
+    steady-state profiling allocates nothing.  Nested entries of the same
+    phase only time the outermost one — re-entrant totals would otherwise
+    double-count.
+    """
+
+    __slots__ = ("_profiler", "_stat", "_start", "_depth")
+
+    def __init__(self, profiler: "Profiler", stat: PhaseStat):
+        self._profiler = profiler
+        self._stat = stat
+        self._start = 0.0
+        self._depth = 0
+
+    def __enter__(self) -> "_PhaseFrame":
+        self._depth += 1
+        if self._depth == 1:
+            if self._profiler._malloc_active:
+                tracemalloc.reset_peak()
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._depth -= 1
+        if self._depth:
+            return
+        elapsed = time.perf_counter() - self._start
+        stat = self._stat
+        stat.calls += 1
+        stat.total_s += elapsed
+        if elapsed > stat.max_s:
+            stat.max_s = elapsed
+        if self._profiler._malloc_active:
+            _, peak = tracemalloc.get_traced_memory()
+            if peak > stat.alloc_peak_bytes:
+                stat.alloc_peak_bytes = peak
+
+
+class Profiler:
+    """Accumulates phase timings; optionally cProfile and tracemalloc.
+
+    Parameters
+    ----------
+    cprofile:
+        Capture a ``cProfile`` session between :meth:`start` and
+        :meth:`stop` (function-level hotspots, dumpable as pstats).
+    trace_malloc:
+        Track peak traced allocations per phase and globally.  Implies a
+        measurable slowdown; never enable it on a timing-critical pass.
+    """
+
+    def __init__(self, cprofile: bool = False, trace_malloc: bool = False):
+        self._stats: dict[str, PhaseStat] = {}
+        self._frames: dict[str, _PhaseFrame] = {}
+        self._cprofile = cProfile.Profile() if cprofile else None
+        self._trace_malloc = trace_malloc
+        self._malloc_active = False
+        self._started_tracemalloc = False
+        self.global_alloc_peak_bytes = 0
+        self._running = False
+
+    # ------------------------------------------------------------- session
+
+    def start(self) -> "Profiler":
+        """Begin the optional cProfile / tracemalloc capture layers."""
+        if self._running:
+            return self
+        self._running = True
+        if self._trace_malloc:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+            self._malloc_active = True
+        if self._cprofile is not None:
+            self._cprofile.enable()
+        return self
+
+    def stop(self) -> "Profiler":
+        """End the capture layers (phase timers keep working regardless)."""
+        if not self._running:
+            return self
+        if self._cprofile is not None:
+            self._cprofile.disable()
+        if self._malloc_active:
+            _, peak = tracemalloc.get_traced_memory()
+            if peak > self.global_alloc_peak_bytes:
+                self.global_alloc_peak_bytes = peak
+            self._malloc_active = False
+            if self._started_tracemalloc:
+                tracemalloc.stop()
+                self._started_tracemalloc = False
+        self._running = False
+        return self
+
+    def __enter__(self) -> "Profiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- phases
+
+    def phase(self, name: str) -> _PhaseFrame:
+        """Context manager timing the ``name`` region (re-entrant)."""
+        frame = self._frames.get(name)
+        if frame is None:
+            stat = self._stats[name] = PhaseStat(name)
+            frame = self._frames[name] = _PhaseFrame(self, stat)
+        return frame
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Snapshot of every phase: {name: {calls, total_s, ...}}."""
+        return {name: s.to_dict() for name, s in self._stats.items()}
+
+    def report(self, min_total_s: float = 0.0) -> str:
+        """Phase table sorted by total time (descending)."""
+        rows = sorted(
+            self._stats.values(), key=lambda s: s.total_s, reverse=True
+        )
+        lines = [
+            f"{'phase':<28} {'calls':>8} {'total':>10} {'mean':>10} "
+            f"{'max':>10} {'alloc-peak':>11}"
+        ]
+        for s in rows:
+            if s.total_s < min_total_s:
+                continue
+            mean = s.total_s / s.calls if s.calls else 0.0
+            alloc = (
+                f"{s.alloc_peak_bytes / 1024:.0f}K"
+                if s.alloc_peak_bytes
+                else "-"
+            )
+            lines.append(
+                f"{s.name:<28} {s.calls:>8} {s.total_s * 1e3:>8.1f}ms "
+                f"{mean * 1e3:>8.3f}ms {s.max_s * 1e3:>8.3f}ms {alloc:>11}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------ cProfile
+
+    @property
+    def has_cprofile(self) -> bool:
+        return self._cprofile is not None
+
+    def dump_pstats(self, path: str | Path) -> Path:
+        """Write the raw cProfile stats (loadable with :mod:`pstats`)."""
+        if self._cprofile is None:
+            raise RuntimeError("profiler was created without cprofile=True")
+        path = Path(path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        self._cprofile.dump_stats(str(path))
+        return path
+
+    def hotspot_table(self, top_n: int = 15) -> str:
+        """Top-N functions by cumulative time from the cProfile capture."""
+        if self._cprofile is None:
+            raise RuntimeError("profiler was created without cprofile=True")
+        buf = io.StringIO()
+        stats = pstats.Stats(self._cprofile, stream=buf)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top_n)
+        return buf.getvalue()
+
+
+# ------------------------------------------------------------- null object
+
+
+class _NullPhase:
+    """Reusable no-op phase: the cost of profiling when profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullProfiler:
+    """Discards all phases; ``phase()`` returns a shared no-op singleton."""
+
+    __slots__ = ()
+    global_alloc_peak_bytes = 0
+    has_cprofile = False
+
+    def start(self) -> "NullProfiler":
+        return self
+
+    def stop(self) -> "NullProfiler":
+        return self
+
+    def __enter__(self) -> "NullProfiler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def phase(self, name: str) -> _NullPhase:
+        return _NULL_PHASE
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        return {}
+
+    def report(self, min_total_s: float = 0.0) -> str:
+        return ""
+
+
+NULL_PROFILER = NullProfiler()
+
+
+# ------------------------------------------------------- active profiler
+
+# The nn layer is deliberately telemetry-free (pure math on arrays), so
+# its forward/backward hooks resolve the profiler through this module
+# instead of a RunContext.  ``activate`` installs a profiler process-wide;
+# the default keeps the hooks on the null fast path.
+_ACTIVE: Profiler | NullProfiler = NULL_PROFILER
+
+
+def activate(profiler: Profiler) -> None:
+    """Install ``profiler`` as the process-wide active profiler."""
+    global _ACTIVE
+    _ACTIVE = profiler
+
+
+def deactivate() -> None:
+    """Restore the null active profiler."""
+    global _ACTIVE
+    _ACTIVE = NULL_PROFILER
+
+
+def active_profiler() -> Profiler | NullProfiler:
+    return _ACTIVE
+
+
+def phase(name: str):
+    """Phase frame on the active profiler (used by RunContext-free code)."""
+    return _ACTIVE.phase(name)

@@ -20,6 +20,7 @@ __all__ = [
     "NullLogger",
     "ConsoleLogger",
     "JsonlLogger",
+    "TeeLogger",
     "HIGH_FREQUENCY_KINDS",
 ]
 
@@ -122,3 +123,26 @@ class JsonlLogger(TuningLogger):
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class TeeLogger(TuningLogger):
+    """Fans every event out to several sinks (e.g. JSONL + heartbeat).
+
+    The trainer/tuner APIs take exactly one logger; this is how the CLI
+    combines ``--events`` with ``--heartbeat`` without widening them.
+    """
+
+    def __init__(self, *loggers: TuningLogger):
+        self._loggers = [lg for lg in loggers if lg is not None]
+
+    def event(self, kind: str, **fields: Any) -> None:
+        for lg in self._loggers:
+            lg.event(kind, **fields)
+
+    def flush(self) -> None:
+        for lg in self._loggers:
+            lg.flush()
+
+    def close(self) -> None:
+        for lg in self._loggers:
+            lg.close()

@@ -1,0 +1,173 @@
+"""Heartbeat writer/reader, the watch CLI, and monotonic manifest time."""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import (
+    HeartbeatWriter,
+    read_heartbeat,
+    render_heartbeat,
+)
+from repro.telemetry.manifest import RunManifest
+from repro.utils.logging import TeeLogger, TuningLogger
+
+
+class TestHeartbeatWriter:
+    def test_counts_only_step_events(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        w = HeartbeatWriter(hb, total_steps=4)
+        w.event("config", seed=0)  # not a step kind
+        assert not hb.exists()
+        w.event("offline-step", iteration=0, loss=0.5)
+        w.event("offline-step", iteration=1, loss=0.4)
+        doc = read_heartbeat(hb)
+        assert doc["step"] == 2
+        assert doc["total_steps"] == 4
+        assert doc["phase"] == "offline-train"
+        assert doc["elapsed_s"] >= 0.0
+        assert doc["eta_s"] is not None
+        assert doc["last_event"]["loss"] == 0.4
+
+    def test_online_step_switches_phase(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        w = HeartbeatWriter(hb)
+        w.event("online-step", step=1)
+        doc = read_heartbeat(hb)
+        assert doc["phase"] == "online-tune"
+        assert doc["eta_s"] is None  # unknown total => no ETA
+
+    def test_last_event_keeps_scalars_only(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        HeartbeatWriter(hb).event(
+            "offline-step", loss=1.0, vec=[1, 2], note="x", flag=True
+        )
+        last = read_heartbeat(hb)["last_event"]
+        assert last == {"loss": 1.0, "note": "x", "flag": True}
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        HeartbeatWriter(hb).event("offline-step")
+        assert [p.name for p in tmp_path.iterdir()] == ["hb.json"]
+
+    def test_creates_parent_directory(self, tmp_path):
+        hb = tmp_path / "deep" / "nested" / "hb.json"
+        HeartbeatWriter(hb).event("offline-step")
+        assert hb.is_file()
+
+
+class TestHeartbeatReader:
+    def test_read_errors_are_valueerror(self, tmp_path):
+        with pytest.raises(ValueError, match="no heartbeat file"):
+            read_heartbeat(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn", encoding="utf-8")
+        with pytest.raises(ValueError, match="not a heartbeat JSON"):
+            read_heartbeat(bad)
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"kind": "config"}), encoding="utf-8")
+        with pytest.raises(ValueError, match="not a heartbeat document"):
+            read_heartbeat(other)
+
+    def test_render_line(self):
+        line = render_heartbeat({
+            "phase": "offline-train",
+            "step": 30,
+            "total_steps": 60,
+            "elapsed_s": 12.0,
+            "eta_s": 12.0,
+            "updated_at": time.time(),
+            "pid": 123,
+        })
+        assert "offline-train" in line
+        assert "30/60" in line
+        assert "12.0s" in line
+        assert "(stale)" not in line
+
+    def test_render_marks_stale(self):
+        line = render_heartbeat({
+            "phase": "online-tune",
+            "step": 1,
+            "total_steps": None,
+            "elapsed_s": 5000.0,
+            "eta_s": None,
+            "updated_at": time.time() - 3600,
+            "pid": 1,
+        })
+        assert "(stale)" in line
+        assert "1.4h" in line  # hour formatting
+        assert "eta        ?" in line
+
+
+class TestTeeLogger:
+    def test_fans_out_and_skips_none(self, tmp_path):
+        seen = []
+
+        class Probe(TuningLogger):
+            def event(self, kind, **fields):
+                seen.append((kind, fields))
+
+        hb = tmp_path / "hb.json"
+        tee = TeeLogger(Probe(), None, HeartbeatWriter(hb))
+        tee.event("offline-step", loss=0.1)
+        tee.flush()
+        tee.close()
+        assert seen == [("offline-step", {"loss": 0.1})]
+        assert read_heartbeat(hb)["step"] == 1
+
+
+class TestWatchCLI:
+    def test_watch_renders_once(self, tmp_path, capsys):
+        hb = tmp_path / "hb.json"
+        HeartbeatWriter(hb, total_steps=3).event("offline-step")
+        assert main(["telemetry", "watch", str(hb)]) == 0
+        assert "offline-train" in capsys.readouterr().out
+
+    def test_watch_missing_file_exits_1(self, tmp_path, capsys):
+        rc = main(["telemetry", "watch", str(tmp_path / "none.json")])
+        assert rc == 1
+        assert "watch:" in capsys.readouterr().err
+
+    def test_heartbeat_flag_during_train(self, tmp_path, capsys):
+        hb = tmp_path / "hb.json"
+        rc = main([
+            "train", "--workload", "TS", "--iterations", "12",
+            "--model", str(tmp_path / "m.npz"), "--heartbeat", str(hb),
+        ])
+        assert rc == 0
+        doc = read_heartbeat(hb)
+        assert doc["step"] == 12
+        assert doc["total_steps"] == 12
+        capsys.readouterr()
+        assert main(["telemetry", "watch", str(hb)]) == 0
+        assert "12/12" in capsys.readouterr().out
+
+
+class TestManifestDuration:
+    def test_elapsed_uses_monotonic_clock(self):
+        m = RunManifest(kind="t")
+        # A wall-clock step backwards must not produce a negative elapsed.
+        m.created_at = time.time() + 9999.0
+        m.finish()
+        assert m.elapsed_s >= 0.0
+        assert m.elapsed_s < 60.0
+
+    def test_finish_freezes_elapsed(self):
+        m = RunManifest(kind="t")
+        m.finish()
+        frozen = m.elapsed_s
+        time.sleep(0.01)
+        assert m.elapsed_s == frozen
+
+    def test_loaded_manifest_reports_saved_elapsed(self, tmp_path):
+        m = RunManifest(kind="t", seed=1)
+        m.finish()
+        path = tmp_path / "manifest.json"
+        m.save(path)
+        loaded = RunManifest.load(path)
+        assert loaded.elapsed_s == pytest.approx(m.elapsed_s)
+        time.sleep(0.01)
+        assert loaded.elapsed_s == pytest.approx(m.elapsed_s)
+        assert loaded.to_dict()["elapsed_s"] == pytest.approx(m.elapsed_s)

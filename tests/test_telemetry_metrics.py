@@ -203,3 +203,119 @@ class TestNullRegistry:
     def test_handles_are_shared_singletons(self):
         assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
         assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+
+
+def _worker_registry_state(seed: int) -> dict:
+    """ProcessPoolExecutor task: record into a fresh registry, ship state."""
+    reg = MetricsRegistry()
+    reg.counter("worker.tasks_total", help="tasks").inc(seed + 1)
+    reg.gauge("worker.last_seed").set(seed)
+    h = reg.histogram("worker.task_seconds")
+    for i in range(10):
+        h.observe(seed * 10.0 + i)
+    return reg.state()
+
+
+class TestPrometheusEscaping:
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "faults_total",
+            labels={"reason": 'disk "full"\nretry\\later'},
+        ).inc()
+        text = reg.to_prometheus_text()
+        assert (
+            'faults_total{reason="disk \\"full\\"\\nretry\\\\later"} 1'
+            in text
+        )
+        # escaped output stays one line per sample
+        assert all(
+            line.startswith(("#", "faults_total"))
+            for line in text.strip().splitlines()
+        )
+
+    def test_plain_values_unchanged(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels={"tuner": "DeepCAT"}).inc()
+        assert 'hits{tuner="DeepCAT"} 1' in reg.to_prometheus_text()
+
+    def test_type_lines_counter_vs_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", help="requests").inc()
+        reg.gauge("replay_size").set(7)
+        text = reg.to_prometheus_text()
+        assert "# TYPE requests_total counter" in text
+        assert "# TYPE replay_size gauge" in text
+        # one TYPE line per metric name, even with several label series
+        reg.counter("requests_total", labels={"tuner": "x"}).inc()
+        text = reg.to_prometheus_text()
+        assert text.count("# TYPE requests_total counter") == 1
+
+
+class TestRegistryMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(2)
+        b.counter("hits").inc(3)
+        a.merge(b.state())
+        assert a.counter("hits").value == 5.0
+
+    def test_gauges_take_incoming_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("size").set(1)
+        b.gauge("size").set(9)
+        a.merge(b.state())
+        assert a.gauge("size").value == 9.0
+
+    def test_histograms_pool(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1.0, 2.0):
+            a.histogram("lat").observe(v)
+        for v in (10.0, 20.0):
+            b.histogram("lat").observe(v)
+        a.merge(b.state())
+        snap = a.histogram("lat").snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 33.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 20.0
+
+    def test_merge_creates_missing_series(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("only_in_b", help="h", labels={"k": "v"}).inc(4)
+        a.merge(b.state())
+        assert a.counter("only_in_b", labels={"k": "v"}).value == 4.0
+        assert "# HELP only_in_b h" in a.to_prometheus_text()
+
+    def test_merge_rejects_unknown_kind(self):
+        a = MetricsRegistry()
+        bad = {"metrics": [{"kind": "exotic", "name": "x", "labels": [],
+                            "help": "", "state": {}}]}
+        with pytest.raises(ValueError):
+            a.merge(bad)
+
+    def test_state_is_picklable_and_empty_mergeable(self):
+        import pickle
+
+        a = MetricsRegistry()
+        a.histogram("lat").observe(1.0)
+        state = pickle.loads(pickle.dumps(a.state()))
+        fresh = MetricsRegistry()
+        fresh.merge(state)
+        assert fresh.histogram("lat").count == 1
+
+    def test_merge_across_process_pool_workers(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        parent = MetricsRegistry()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for state in pool.map(_worker_registry_state, range(3)):
+                parent.merge(state)
+        # counters add: (0+1) + (1+1) + (2+1)
+        assert parent.counter("worker.tasks_total").value == 6.0
+        hist = parent.histogram("worker.task_seconds")
+        assert hist.count == 30
+        assert hist.snapshot()["min"] == 0.0
+        assert hist.snapshot()["max"] == 29.0
+        # last-wins gauge came from one of the workers
+        assert parent.gauge("worker.last_seed").value in (0.0, 1.0, 2.0)

@@ -1,0 +1,65 @@
+"""Regenerate the committed benchmark baseline.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_baseline.py [--repetitions N]
+
+``repro bench compare`` gates pull requests against
+``benchmarks/baselines/BENCH_baseline.json``.  That file is a committed
+artifact, so it goes stale whenever the suite gains a benchmark or a
+deliberate performance change moves a median.  This script re-runs the
+full suite (micro + macro) at the default repetition count and rewrites
+the baseline in place; commit the result together with the change that
+motivated it.
+
+Absolute timings in the baseline are machine-specific.  The regression
+gate tolerates that by design: CI's ``bench-smoke`` job only checks the
+schema (``--check-schema``), while timing comparisons are meant to be
+run locally — same machine for baseline and candidate.  Regenerate on
+the machine you intend to compare on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "benchmarks" / "baselines" / "BENCH_baseline.json"
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repetitions", type=int, default=5)
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument(
+        "--out", default=str(BASELINE),
+        help=f"output path (default: {BASELINE.relative_to(REPO)})",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.bench import run_benchmarks, validate_doc
+
+    doc = run_benchmarks(
+        repetitions=args.repetitions,
+        warmup=args.warmup,
+        progress=lambda b: print(f"bench: {b.name} ...", flush=True),
+    )
+    problems = validate_doc(doc)
+    if problems:  # pragma: no cover - would be a harness bug
+        print(f"refusing to write invalid baseline: {problems}",
+              file=sys.stderr)
+        return 1
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out} ({len(doc['results'])} benchmark(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
