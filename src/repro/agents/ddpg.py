@@ -104,6 +104,9 @@ class DDPGAgent:
         self.critic.zero_grad()
         q = self.critic.forward(critic_input(batch.states, batch.actions))
         td_errors = q - y
+        # q aliases the critic's reusable forward buffer, which the actor
+        # pass below overwrites — reduce it now.
+        mean_q = float(np.mean(q))
         weights = batch.weights if batch.weights is not None else 1.0
         critic_loss = float(np.mean(weights * td_errors**2))
         self.critic.backward((2.0 / m) * weights * td_errors)
@@ -132,12 +135,12 @@ class DDPGAgent:
             help="per-update critic loss", agent="ddpg",
         )
         t.observe(
-            "agent.mean_q", float(np.mean(q)),
+            "agent.mean_q", mean_q,
             help="batch-mean critic Q", agent="ddpg",
         )
         return {
             "critic_loss": critic_loss,
-            "mean_q": float(np.mean(q)),
+            "mean_q": mean_q,
             "td_errors": td_errors.ravel(),
         }
 

@@ -63,6 +63,54 @@ class BestConfigTuner:
         lhs = env.space.latin_hypercube(self._rng, self.rounds_per_shrink)
         lhs_used = 0
 
+        if time_budget_s is None:
+            # The search box only moves at round boundaries, so a whole
+            # round of candidates is known upfront — evaluate each round
+            # through the simulator's batched fast path.  Bit-identical
+            # to the sequential loop: the units consume self._rng in the
+            # same order, and step_batch reproduces step's RNG schedule.
+            step = 0
+            while step < steps:
+                n_round = min(self.rounds_per_shrink, steps - step)
+                t0 = time.perf_counter()
+                units = np.empty((n_round, dim))
+                for j in range(n_round):
+                    if lhs_used < lhs.shape[0]:
+                        units[j] = lhs[lhs_used]
+                        lhs_used += 1
+                    else:
+                        units[j] = self._rng.uniform(0.0, 1.0, size=dim)
+                actions = lo + units * (hi - lo)
+                recommendation_s = (time.perf_counter() - t0) / n_round
+                for j, outcome in enumerate(env.step_batch(actions)):
+                    if outcome.success and outcome.duration_s < best_perf:
+                        best_perf = outcome.duration_s
+                        best_action = outcome.action
+                    session.add(
+                        TuningStepRecord(
+                            step=step + j,
+                            duration_s=outcome.duration_s,
+                            recommendation_s=recommendation_s,
+                            reward=outcome.reward,
+                            success=outcome.success,
+                            config=outcome.config,
+                            action=outcome.action,
+                        )
+                    )
+                step += n_round
+                if (
+                    step % self.rounds_per_shrink == 0
+                    and best_action is not None
+                ):
+                    width = (hi - lo) * self.shrink_factor / 2.0
+                    lo = np.clip(best_action - width, 0.0, 1.0)
+                    hi = np.clip(best_action + width, 0.0, 1.0)
+                    lhs = lo + env.space.latin_hypercube(
+                        self._rng, self.rounds_per_shrink
+                    ) * (hi - lo)
+                    lhs_used = 0
+            return session
+
         for step in range(steps):
             t0 = time.perf_counter()
             if lhs_used < lhs.shape[0]:
@@ -98,9 +146,6 @@ class BestConfigTuner:
                     self._rng, self.rounds_per_shrink
                 ) * (hi - lo)
                 lhs_used = 0
-            if (
-                time_budget_s is not None
-                and session.total_tuning_seconds >= time_budget_s
-            ):
+            if session.total_tuning_seconds >= time_budget_s:
                 break
         return session

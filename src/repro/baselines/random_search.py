@@ -42,6 +42,28 @@ class RandomSearchTuner:
             dataset=env.runner.dataset.label,
             default_duration_s=env.default_duration,
         )
+        if time_budget_s is None:
+            # Every action is independent of the outcomes, so draw them
+            # all at once and run the simulator's batched fast path.
+            # Bit-identical to the sequential loop: sample_vectors fills
+            # row-major off the same stream as per-step sample_vector
+            # calls, and step_batch reproduces step's RNG schedule.
+            t0 = time.perf_counter()
+            actions = env.space.sample_vectors(self._rng, steps)
+            recommendation_s = (time.perf_counter() - t0) / steps
+            for step, outcome in enumerate(env.step_batch(actions)):
+                session.add(
+                    TuningStepRecord(
+                        step=step,
+                        duration_s=outcome.duration_s,
+                        recommendation_s=recommendation_s,
+                        reward=outcome.reward,
+                        success=outcome.success,
+                        config=outcome.config,
+                        action=outcome.action,
+                    )
+                )
+            return session
         for step in range(steps):
             t0 = time.perf_counter()
             action = env.space.sample_vector(self._rng)
@@ -58,9 +80,6 @@ class RandomSearchTuner:
                     action=outcome.action,
                 )
             )
-            if (
-                time_budget_s is not None
-                and session.total_tuning_seconds >= time_budget_s
-            ):
+            if session.total_tuning_seconds >= time_budget_s:
                 break
         return session

@@ -182,6 +182,56 @@ def _bench_codec_roundtrip():
     return run
 
 
+@bench("codec.batch", kind="micro", items=500,
+       description="columnar decode_batch + encode_batch of 500 vectors")
+def _bench_codec_batch():
+    from repro.config.pipeline import build_pipeline_space
+
+    space = build_pipeline_space()
+    rng = np.random.default_rng(_SEED)
+    vectors = space.sample_vectors(rng, 500)
+
+    def run() -> None:
+        space.encode_batch(space.decode_batch(vectors))
+
+    return run
+
+
+@bench("sim.batch", kind="micro", items=50,
+       description="batched simulator evaluation of 50 configurations")
+def _bench_sim_batch():
+    env = _make_env()
+    sim = env.runner.simulator
+    rng = np.random.default_rng(_SEED)
+    vectors = env.space.sample_vectors(rng, 50)
+
+    def run() -> None:
+        sim.evaluate_batch(vectors, env.space)
+
+    return run
+
+
+@bench("rdper.sample_batch", kind="micro", items=200,
+       description="RDPER allocation-free sampling at m=256")
+def _bench_rdper_sample_batch():
+    from repro.replay.rdper import RewardDrivenReplayBuffer
+
+    env = _make_env()
+    buffer = RewardDrivenReplayBuffer(
+        capacity=4096,
+        state_dim=env.state.shape[0],
+        action_dim=env.space.dim,
+        rng=np.random.default_rng(_SEED),
+    )
+    _fill_buffer(buffer, env, 1024)
+
+    def run() -> None:
+        for _ in range(200):
+            buffer.sample(256)
+
+    return run
+
+
 @bench("cache.roundtrip", kind="micro", items=50,
        description="ResultCache store + load of one pickled session")
 def _bench_cache_roundtrip():

@@ -74,16 +74,103 @@ class OfflineTrainer:
         """The event logger (backward-compatible accessor)."""
         return self.telemetry.logger
 
+    def _q_estimate(self, state, action) -> float:
+        """Critic's view of ``action`` before learning from it."""
+        if hasattr(self.agent, "min_q"):
+            return self.agent.min_q(state, action)
+        return self.agent.q_value(state, action)
+
+    def _absorb(self, it, outcome, q_est, callback) -> None:
+        """Push one outcome into replay, run updates, log, emit telemetry.
+
+        Shared by the sequential loop and the batched LHS warmup so both
+        perform identical bookkeeping per evaluation.
+        """
+        t = self.telemetry
+        self.buffer.push(
+            Transition(
+                state=outcome.state,
+                action=outcome.action,
+                reward=outcome.reward,
+                next_state=outcome.next_state,
+            )
+        )
+
+        if self.buffer.can_sample(self.agent.hp.batch_size):
+            with t.span("offline.update"):
+                for _ in range(self.updates_per_step):
+                    batch = self.buffer.sample(self.agent.hp.batch_size)
+                    diag = self.agent.update(batch)
+                    if isinstance(self.buffer, PrioritizedReplayBuffer):
+                        self.buffer.update_priorities(
+                            batch.indices, diag["td_errors"]
+                        )
+                    self.log.critic_losses.append(diag["critic_loss"])
+
+        self.log.rewards.append(outcome.reward)
+        self.log.min_q.append(q_est)
+        self.log.durations.append(outcome.duration_s)
+        if (
+            outcome.success
+            and outcome.duration_s < self.log.best_duration_s
+        ):
+            self.log.best_duration_s = outcome.duration_s
+            self.log.best_action = outcome.action.copy()
+        t.count(
+            "offline.steps_total",
+            help="offline environment steps (evaluations)",
+        )
+        if not outcome.success:
+            t.count(
+                "offline.failed_steps_total",
+                help="offline evaluations that failed",
+            )
+        t.observe(
+            "offline.q_estimate",
+            float(q_est),
+            help="conservative critic Q of executed actions",
+        )
+        t.observe(
+            "offline.evaluation_seconds",
+            float(outcome.duration_s),
+            help="per-evaluation simulated cost",
+        )
+        t.gauge_set(
+            "replay.size",
+            len(self.buffer),
+            help="replay pool occupancy",
+        )
+        t.event(
+            "offline-step",
+            iteration=it,
+            reward=float(outcome.reward),
+            duration_s=float(outcome.duration_s),
+            success=bool(outcome.success),
+            best_s=float(self.log.best_duration_s),
+        )
+        if callback is not None:
+            callback(it, self.log)
+
     def train(
         self,
         env: TuningEnv,
         iterations: int,
         callback: Callable[[int, OfflineTrainingLog], None] | None = None,
+        *,
+        lhs_warmup: bool = False,
     ) -> OfflineTrainingLog:
         """Run ``iterations`` environment steps with interleaved updates.
 
         Each iteration is one costly configuration evaluation on the
         target cluster — the unit the paper's Figure 4 x-axis counts.
+
+        ``lhs_warmup=True`` replaces the uniform per-step warmup actions
+        with one Latin-hypercube draw evaluated through the simulator's
+        batched fast path (space-filling coverage, one vectorized
+        evaluation).  Replay pushes, agent updates, logging, and
+        telemetry still happen per outcome in order.  Off by default:
+        it changes which warmup configurations are explored, so runs are
+        only reproducible against other ``lhs_warmup=True`` runs.
         """
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -96,10 +183,27 @@ class OfflineTrainer:
             self.agent.telemetry = t
         state = env.state
         warmup = self.agent.hp.warmup_steps
+        start = 0
         with t.phase("offline.train"), t.span(
             "offline.train", iterations=iterations
         ):
-            for it in range(iterations):
+            if lhs_warmup and len(self.buffer) < warmup:
+                n = min(warmup - len(self.buffer), iterations)
+                # Same stream random_action() would have consumed.
+                vectors = env.space.latin_hypercube(self.agent._rng, n)
+                with t.span("offline.warmup-batch", candidates=n):
+                    outcomes = env.step_batch(vectors)
+                for it, outcome in enumerate(outcomes):
+                    with t.phase("offline.step"), t.span(
+                        "offline.step", iteration=it
+                    ):
+                        q_est = self._q_estimate(
+                            outcome.state, outcome.action
+                        )
+                        self._absorb(it, outcome, q_est, callback)
+                state = env.state
+                start = n
+            for it in range(start, iterations):
                 with t.phase("offline.step"), t.span(
                     "offline.step", iteration=it
                 ):
@@ -108,84 +212,12 @@ class OfflineTrainer:
                     else:
                         action = self.agent.act(state, explore=True)
 
-                    # Critic's view of this action before learning from it.
-                    if hasattr(self.agent, "min_q"):
-                        q_est = self.agent.min_q(state, action)
-                    else:
-                        q_est = self.agent.q_value(state, action)
+                    q_est = self._q_estimate(state, action)
 
                     with t.span("offline.evaluate"):
                         outcome = env.step(action)
-                    self.buffer.push(
-                        Transition(
-                            state=outcome.state,
-                            action=outcome.action,
-                            reward=outcome.reward,
-                            next_state=outcome.next_state,
-                        )
-                    )
                     state = outcome.next_state
-
-                    if self.buffer.can_sample(self.agent.hp.batch_size):
-                        with t.span("offline.update"):
-                            for _ in range(self.updates_per_step):
-                                batch = self.buffer.sample(
-                                    self.agent.hp.batch_size
-                                )
-                                diag = self.agent.update(batch)
-                                if isinstance(
-                                    self.buffer, PrioritizedReplayBuffer
-                                ):
-                                    self.buffer.update_priorities(
-                                        batch.indices, diag["td_errors"]
-                                    )
-                                self.log.critic_losses.append(
-                                    diag["critic_loss"]
-                                )
-
-                    self.log.rewards.append(outcome.reward)
-                    self.log.min_q.append(q_est)
-                    self.log.durations.append(outcome.duration_s)
-                    if (
-                        outcome.success
-                        and outcome.duration_s < self.log.best_duration_s
-                    ):
-                        self.log.best_duration_s = outcome.duration_s
-                        self.log.best_action = outcome.action.copy()
-                    t.count(
-                        "offline.steps_total",
-                        help="offline environment steps (evaluations)",
-                    )
-                    if not outcome.success:
-                        t.count(
-                            "offline.failed_steps_total",
-                            help="offline evaluations that failed",
-                        )
-                    t.observe(
-                        "offline.q_estimate",
-                        float(q_est),
-                        help="conservative critic Q of executed actions",
-                    )
-                    t.observe(
-                        "offline.evaluation_seconds",
-                        float(outcome.duration_s),
-                        help="per-evaluation simulated cost",
-                    )
-                    t.gauge_set(
-                        "replay.size",
-                        len(self.buffer),
-                        help="replay pool occupancy",
-                    )
-                    t.event(
-                        "offline-step",
-                        iteration=it,
-                        reward=float(outcome.reward),
-                        duration_s=float(outcome.duration_s),
-                        success=bool(outcome.success),
-                        best_s=float(self.log.best_duration_s),
-                    )
-                    if callback is not None:
-                        callback(it, self.log)
+                    self._absorb(it, outcome, q_est, callback)
         if t.manifest is not None:
             t.manifest.record_hyper_params(self.agent.hp)
             t.manifest.record_stage(

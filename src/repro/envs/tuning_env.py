@@ -179,3 +179,76 @@ class TuningEnv:
             result=result,
             faults=faults,
         )
+
+    def step_batch(self, actions: np.ndarray) -> list[StepOutcome]:
+        """Evaluate ``n`` actions through the vectorized simulator path.
+
+        Bit-identical to ``[self.step(a) for a in actions]``: the analytic
+        stage math is broadcast over the candidate axis, while every RNG
+        stream (measurement noise and straggler tails on the simulator
+        generator, fault perturbation and metric dropout on the fault
+        generator, load-average evolution on the state generator) is
+        drawn per-candidate in the exact scalar order.
+        """
+        mat = np.asarray(actions, dtype=np.float64)
+        if mat.ndim != 2 or mat.shape[1] != self.space.dim:
+            raise ValueError(
+                f"expected shape (n, {self.space.dim}), got {mat.shape}"
+            )
+        vecs = np.clip(mat, 0.0, 1.0)
+        configs = self.space.decode_batch(vecs)
+        sim = self.runner.simulator
+        # Fault perturbation is interleaved with metric dropout on the
+        # same generator, so it must happen per-step here rather than
+        # batched inside the simulator.
+        results = sim.evaluate_batch(vecs, self.space, apply_faults=False)
+        outcomes: list[StepOutcome] = []
+        for i, result in enumerate(results):
+            prev_state = self.state
+            if self._fault_injector.enabled:
+                result, injected = self._fault_injector.perturb_result(
+                    result
+                )
+                for kind in injected:
+                    sim.telemetry.count(
+                        "faults.injected_total",
+                        help="stochastic chaos injections by kind",
+                        kind=kind,
+                    )
+            self.runner.record(result)
+            reward = self.reward_fn(result.duration_s, success=result.success)
+            demand = (
+                result.cpu_demand_per_node
+                if result.cpu_demand_per_node.size
+                else np.full(self.cluster.n_nodes, 0.1)
+            )
+            self._state = self._tracker.observe(demand)
+            observation, n_dropped = self._fault_injector.corrupt_state(
+                self.state
+            )
+            self._last_observation = observation
+            faults = result.injected_faults
+            if n_dropped:
+                faults = (*faults, "metric-dropout")
+                sim.telemetry.count(
+                    "faults.injected_total",
+                    n_dropped,
+                    help="stochastic chaos injections by kind",
+                    kind="metric-dropout",
+                )
+            self.total_evaluation_seconds += result.duration_s
+            self.steps_taken += 1
+            outcomes.append(
+                StepOutcome(
+                    state=prev_state,
+                    action=vecs[i].copy(),
+                    reward=float(reward),
+                    next_state=observation,
+                    duration_s=result.duration_s,
+                    success=result.success,
+                    config=configs[i],
+                    result=result,
+                    faults=faults,
+                )
+            )
+        return outcomes

@@ -322,9 +322,12 @@ def _run_random_cdf(
 
     env = make_env(workload, dataset, seed=seed)
     rng = np.random.default_rng(seed + 77)
+    # One vectorized draw plus one batched evaluation — bit-identical to
+    # the per-step loop: uniform rows come off the same stream in the
+    # same order, and step_batch reproduces step's RNG schedule.
+    vectors = env.space.sample_vectors(rng, n_samples)
     durations, n_failed = [], 0
-    for _ in range(n_samples):
-        outcome = env.step(env.space.sample_vector(rng))
+    for outcome in env.step_batch(vectors):
         if outcome.success:
             durations.append(outcome.duration_s)
         else:

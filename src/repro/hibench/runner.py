@@ -51,6 +51,23 @@ class BenchmarkRunner:
         self.history.append(report)
         return report
 
+    def record(self, result) -> BenchReport:
+        """Append and return the report for an externally evaluated result.
+
+        Used by the batch fast path, where the simulator evaluates many
+        configurations in one vectorized call and the per-candidate
+        bookkeeping happens afterwards.
+        """
+        report = BenchReport.from_result(
+            workload=self.workload.code,
+            dataset=self.dataset.label,
+            input_mb=self.dataset.input_mb,
+            n_nodes=self.cluster.n_nodes,
+            result=result,
+        )
+        self.history.append(report)
+        return report
+
     def report_text(self) -> str:
         """The accumulated ``hibench.report`` content."""
         return "\n".join(r.report_line() for r in self.history)

@@ -69,13 +69,28 @@ class Adam:
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
+        # Two scratch tensors per distinct parameter shape, reused every
+        # step so the update allocates nothing.  Writing the same ops
+        # through ``out=`` keeps the result bit-identical to the
+        # allocating form.
+        self._scratch: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
+
+    def _workspaces(self, shape: tuple[int, ...]) -> tuple[np.ndarray, np.ndarray]:
+        ws = self._scratch.get(shape)
+        if ws is None:
+            ws = self._scratch[shape] = (np.empty(shape), np.empty(shape))
+        return ws
 
     def _clip_grads(self) -> None:
         if self.max_grad_norm is None:
             return
-        total = float(
-            np.sqrt(sum(float(np.sum(p.grad**2)) for p in self.params))
-        )
+        sq_sum = 0.0
+        for p in self.params:
+            a, _ = self._workspaces(p.data.shape)
+            np.multiply(p.grad, p.grad, out=a)
+            # np.sum's kernel minus the dispatch wrapper (bit-identical).
+            sq_sum += float(np.add.reduce(a, axis=None))
+        total = float(np.sqrt(sq_sum))
         if total > self.max_grad_norm and total > 0.0:
             scale = self.max_grad_norm / total
             for p in self.params:
@@ -87,11 +102,21 @@ class Adam:
         bc1 = 1.0 - self.b1**self._t
         bc2 = 1.0 - self.b2**self._t
         for p, m, v in zip(self.params, self._m, self._v):
+            a, b = self._workspaces(p.data.shape)
             m *= self.b1
-            m += (1.0 - self.b1) * p.grad
+            np.multiply(p.grad, 1.0 - self.b1, out=a)
+            m += a
             v *= self.b2
-            v += (1.0 - self.b2) * p.grad**2
-            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            np.multiply(p.grad, p.grad, out=a)
+            a *= 1.0 - self.b2
+            v += a
+            np.divide(m, bc1, out=a)
+            a *= self.lr
+            np.divide(v, bc2, out=b)
+            np.sqrt(b, out=b)
+            b += self.eps
+            a /= b
+            p.data -= a
 
     def zero_grad(self) -> None:
         for p in self.params:

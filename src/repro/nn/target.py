@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.nn.network import Sequential
 
 __all__ = ["soft_update", "hard_update"]
+
+# Pooled scratch per parameter shape: Polyak averaging runs every agent
+# update on every target parameter, so the τθ product writes into a
+# reusable buffer instead of a fresh allocation (bit-identical — scalar
+# multiplication is commutative at the element level).
+_scratch: dict[tuple[int, ...], np.ndarray] = {}
 
 
 def soft_update(target: Sequential, source: Sequential, tau: float) -> None:
@@ -15,8 +23,12 @@ def soft_update(target: Sequential, source: Sequential, tau: float) -> None:
     if len(t_params) != len(s_params):
         raise ValueError("target/source architectures differ")
     for tp, sp in zip(t_params, s_params):
+        buf = _scratch.get(sp.data.shape)
+        if buf is None:
+            buf = _scratch[sp.data.shape] = np.empty_like(sp.data)
         tp.data *= 1.0 - tau
-        tp.data += tau * sp.data
+        np.multiply(sp.data, tau, out=buf)
+        tp.data += buf
 
 
 def hard_update(target: Sequential, source: Sequential) -> None:

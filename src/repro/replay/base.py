@@ -89,11 +89,15 @@ class RingStorage:
         self._size = min(self._size + 1, self.capacity)
         return idx
 
+    def _check_indices(self, idx: np.ndarray) -> None:
+        # Single vectorized validity pass (one mask, no min/max re-scans).
+        if idx.size and np.any((idx < 0) | (idx >= self._size)):
+            raise IndexError("replay index out of range")
+
     def gather(self, indices: np.ndarray) -> ReplayBatch:
         """Vectorized fetch of the given slots."""
         idx = np.asarray(indices, dtype=np.intp)
-        if idx.size and (idx.min() < 0 or idx.max() >= self._size):
-            raise IndexError("replay index out of range")
+        self._check_indices(idx)
         return ReplayBatch(
             states=self._states[idx],
             actions=self._actions[idx],
@@ -101,6 +105,30 @@ class RingStorage:
             next_states=self._next_states[idx],
             indices=idx,
         )
+
+    def gather_into(self, indices: np.ndarray, batch: ReplayBatch, offset: int) -> None:
+        """Fetch the given slots into ``batch`` rows starting at ``offset``.
+
+        Allocation-free variant of :meth:`gather` for callers that own a
+        preallocated :class:`ReplayBatch` (see RDPER's batched sample).
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        self._check_indices(idx)
+        self.gather_into_trusted(idx, batch, offset)
+
+    def gather_into_trusted(
+        self, idx: np.ndarray, batch: ReplayBatch, offset: int
+    ) -> None:
+        """:meth:`gather_into` minus the occupancy check, for callers
+        whose indices are in-range by construction (RDPER draws them as
+        ``rng.integers(0, len(pool))``).  The ``ndarray.take`` method
+        skips numpy's dispatch wrapper and still hard-errors on indices
+        past the array's capacity (``mode='raise'``)."""
+        end = offset + idx.size
+        self._states.take(idx, axis=0, out=batch.states[offset:end])
+        self._actions.take(idx, axis=0, out=batch.actions[offset:end])
+        self._rewards.take(idx, axis=0, out=batch.rewards[offset:end])
+        self._next_states.take(idx, axis=0, out=batch.next_states[offset:end])
 
     def reward_at(self, index: int) -> float:
         if not 0 <= index < self._size:

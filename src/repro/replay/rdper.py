@@ -47,6 +47,11 @@ class RewardDrivenReplayBuffer:
         self._rng = rng
         self.reward_threshold = float(reward_threshold)
         self.beta = float(beta)
+        # Preallocated sample workspaces keyed by batch size: both pools
+        # gather straight into one ReplayBatch — no per-sample
+        # concatenate.  A batch stays valid until the next sample() of
+        # the same size (every in-repo caller consumes it immediately).
+        self._batches: dict[int, ReplayBatch] = {}
         from repro.telemetry.context import NULL_CONTEXT
 
         self._telemetry = NULL_CONTEXT
@@ -106,7 +111,20 @@ class RewardDrivenReplayBuffer:
         with self._telemetry.phase("replay.sample"):
             return self._sample(batch_size)
 
+    def _batch_workspace(self, batch_size: int) -> ReplayBatch:
+        batch = self._batches.get(batch_size)
+        if batch is None:
+            batch = self._batches[batch_size] = ReplayBatch(
+                states=np.empty((batch_size, self._high.state_dim)),
+                actions=np.empty((batch_size, self._high.action_dim)),
+                rewards=np.empty((batch_size, 1)),
+                next_states=np.empty((batch_size, self._high.state_dim)),
+            )
+        return batch
+
     def _sample(self, batch_size: int) -> ReplayBatch:
+        # All validation happens before any telemetry is emitted, so an
+        # impossible sample never records a realized-beta observation.
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if len(self) == 0:
@@ -123,25 +141,14 @@ class RewardDrivenReplayBuffer:
             help="actual high-reward fraction of each sampled batch",
         )
 
-        parts = []
+        batch = self._batch_workspace(batch_size)
         if n_high:
             idx = self._rng.integers(0, len(self._high), size=n_high)
-            parts.append(self._high.gather(idx))
+            self._high.gather_into_trusted(idx, batch, 0)
         if n_low:
             idx = self._rng.integers(0, len(self._low), size=n_low)
-            parts.append(self._low.gather(idx))
-        if len(parts) == 1:
-            b = parts[0]
-            return ReplayBatch(
-                states=b.states, actions=b.actions,
-                rewards=b.rewards, next_states=b.next_states,
-            )
-        return ReplayBatch(
-            states=np.concatenate([p.states for p in parts]),
-            actions=np.concatenate([p.actions for p in parts]),
-            rewards=np.concatenate([p.rewards for p in parts]),
-            next_states=np.concatenate([p.next_states for p in parts]),
-        )
+            self._low.gather_into_trusted(idx, batch, n_high)
+        return batch
 
     def can_sample(self, batch_size: int) -> bool:
         return len(self) >= batch_size

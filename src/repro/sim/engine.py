@@ -123,6 +123,18 @@ class SparkSimulator:
             span.set_attr("simulated_s", round(result.duration_s, 3))
         return result
 
+    def evaluate_batch(
+        self, vectors: np.ndarray, space, apply_faults: bool = True
+    ) -> list[ExecutionResult]:
+        """Evaluate ``n`` normalized vectors through the vectorized path.
+
+        Row ``i`` is bit-identical to ``evaluate(space.decode(vectors[i]))``
+        under the same generator state; see :mod:`repro.sim.batch`.
+        """
+        from repro.sim.batch import evaluate_batch
+
+        return evaluate_batch(self, vectors, space, apply_faults=apply_faults)
+
     def _evaluate(self, config: Mapping[str, Any]) -> ExecutionResult:
         t = self.telemetry
         self.evaluation_count += 1
