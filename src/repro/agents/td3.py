@@ -176,6 +176,11 @@ class TD3Agent:
             "agent.mean_q", diag["mean_q"],
             help="batch-mean conservative Q", agent="td3",
         )
+        t.diagnostics.observe_update(
+            critic_loss=critic_loss,
+            mean_q=diag["mean_q"],
+            actor_updated=diag["actor_updated"],
+        )
         return diag
 
     # ------------------------------------------------------------- critics

@@ -255,6 +255,33 @@ def _bench_cache_roundtrip():
     return run, cleanup
 
 
+@bench("telemetry.diagnostics", kind="micro", items=1000,
+       description="one full diagnostics observe cycle (step+update+rdper)")
+def _bench_diagnostics():
+    from repro.telemetry.diagnostics import DiagnosticsEngine
+
+    engine = DiagnosticsEngine()
+    rng = np.random.default_rng(_SEED)
+    rewards = rng.uniform(-1.0, 1.0, 1000)
+    losses = rng.uniform(0.0, 1.0, 1000)
+    betas = rng.uniform(0.4, 0.8, 1000)
+
+    def run() -> None:
+        for i in range(1000):
+            engine.observe_update(float(losses[i]), mean_q=0.5)
+            engine.observe_rdper(
+                realized_beta=float(betas[i]), beta=0.6,
+                staleness=i % 50, high_size=64, low_size=256,
+            )
+            engine.observe_step(
+                step=i, reward=float(rewards[i]), success=True,
+                q_pred=0.4, sigma=0.3,
+            )
+            engine.drain_alerts()
+
+    return run
+
+
 # ------------------------------------------------------------------ macro
 
 

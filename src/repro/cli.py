@@ -122,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="overwrite a small JSON progress document here every "
                  "step (readable live via 'repro telemetry watch')",
         )
+        p.add_argument(
+            "--diagnostics", action="store_true",
+            help="run the learning-health detectors (Q-overestimation, "
+                 "critic divergence, reward plateau, RDPER pool health, "
+                 "exploration collapse, intervention rate); alerts go to "
+                 "--events and the end-of-run summary. Pure observers: "
+                 "science outputs are bit-identical either way",
+        )
 
     p_train = sub.add_parser("train", help="offline-train a tuner")
     common(p_train)
@@ -197,15 +205,17 @@ def build_parser() -> argparse.ArgumentParser:
         "telemetry", help="inspect telemetry artifacts from a tuned run"
     )
     p_tel.add_argument(
-        "action", choices=("summary", "dump", "watch"),
+        "action", choices=("summary", "dump", "watch", "top"),
         help="summary: human-readable cost breakdown; dump: normalized "
-             "JSON of the artifact; watch: tail a live heartbeat file",
+             "JSON of the artifact; watch: tail a live heartbeat file; "
+             "top: fleet dashboard over many heartbeats (files or "
+             "directories)",
     )
     p_tel.add_argument(
-        "path",
+        "path", nargs="+",
         help="a trace .jsonl, a metrics .prom/.json dump, a run "
-             "manifest .json, an events .jsonl, or (watch) a heartbeat "
-             "file",
+             "manifest .json, an events .jsonl, or (watch/top) "
+             "heartbeat files — top also accepts directories to scan",
     )
     p_tel.add_argument(
         "--min-ms", type=float, default=0.0,
@@ -217,8 +227,45 @@ def build_parser() -> argparse.ArgumentParser:
              "print the current heartbeat once)",
     )
     p_tel.add_argument(
+        "--once", action="store_true",
+        help="top: render the dashboard once and exit (default: "
+             "refresh until interrupted)",
+    )
+    p_tel.add_argument(
         "--interval", type=float, default=2.0,
-        help="watch --follow: poll cadence in seconds",
+        help="watch --follow / top: poll cadence in seconds",
+    )
+    p_tel.add_argument(
+        "--stale-after", type=float, default=None, metavar="SECONDS",
+        help="watch/top: mark a session STALLED when its heartbeat file "
+             "is older than this (default: 3x the session's mean step "
+             "interval, floor 10s)",
+    )
+    p_tel.add_argument(
+        "--fail-on-stall", action="store_true",
+        help="watch/top: exit with status 3 when a session is STALLED",
+    )
+
+    p_doc = sub.add_parser(
+        "doctor", help="post-mortem diagnosis of a run's artifacts"
+    )
+    p_doc.add_argument(
+        "path",
+        help="a run directory (events/timeline + manifest + heartbeat) "
+             "or a single events .jsonl file",
+    )
+    p_doc.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable diagnosis document",
+    )
+    p_doc.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N highest-ranked findings",
+    )
+    p_doc.add_argument(
+        "--fail-on-findings", action="store_true",
+        help="exit with status 4 when any warning/critical finding "
+             "survives ranking (CI gate mode)",
     )
 
     p_bench = sub.add_parser(
@@ -330,10 +377,17 @@ def _telemetry_context(args, kind: str, total_steps: int | None = None):
 
     logger = _run_logger(args, total_steps)
     profiler = _run_profiler(args)
+    diagnostics = None
+    if getattr(args, "diagnostics", False):
+        from repro.telemetry import DiagnosticsEngine
+
+        diagnostics = DiagnosticsEngine()
     if not (args.trace or args.metrics_out or args.manifest):
-        if logger is None and profiler is None:
+        if logger is None and profiler is None and diagnostics is None:
             return NULL_CONTEXT
-        return RunContext(logger=logger, profiler=profiler)
+        return RunContext(
+            logger=logger, profiler=profiler, diagnostics=diagnostics
+        )
     ctx = RunContext.recording(
         trace=args.trace,
         metrics=args.metrics_out,
@@ -342,6 +396,7 @@ def _telemetry_context(args, kind: str, total_steps: int | None = None):
         seed=args.seed,
         kind=kind,
         profiler=profiler,
+        diagnostics=diagnostics,
     )
     ctx.manifest.workload = args.workload
     ctx.manifest.dataset = args.dataset
@@ -381,7 +436,26 @@ def _profiled(ctx, args):
             print(prof.hotspot_table(top_n=15))
 
 
+def _print_diagnostics(ctx) -> None:
+    """End-of-run learning-health summary (``--diagnostics`` runs only)."""
+    if not ctx.diagnostics.enabled:
+        return
+    summary = ctx.diagnostics.summary()
+    if not summary["alerts_total"]:
+        print("diagnostics: healthy (no alerts)")
+        return
+    print(f"diagnostics: {summary['alerts_total']} alert(s)")
+    for name, entry in sorted(summary["by_name"].items()):
+        print(
+            f"  [{entry['severity']}] {name} x{entry['count']} "
+            f"(last step {entry['last_step']})"
+        )
+    print("diagnostics: run 'repro doctor' on the run artifacts for "
+          "ranked remediation hints")
+
+
 def _finish_telemetry(ctx) -> None:
+    _print_diagnostics(ctx)
     written = ctx.save()
     for path in written:
         print(f"telemetry: wrote {path}")
@@ -583,6 +657,7 @@ def _cmd_bench_report(args) -> int:
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         telemetry=ctx,
+        bus_dir=args.bus_dir,
     )
     with _sigterm_as_interrupt():
         try:
@@ -687,6 +762,13 @@ def _read_events_lenient(path: str) -> tuple[list[dict], bool]:
 def _cmd_telemetry(args) -> int:
     if args.action == "watch":
         return _cmd_telemetry_watch(args)
+    if args.action == "top":
+        return _cmd_telemetry_top(args)
+    if len(args.path) > 1:
+        print("telemetry: summary/dump take exactly one path",
+              file=sys.stderr)
+        return 2
+    args.path = args.path[0]
     if not os.path.isfile(args.path):
         print(f"{args.path}: no such file", file=sys.stderr)
         return 1
@@ -795,29 +877,183 @@ def _render_artifact(args) -> int:
     return 0
 
 
+def _watch_render(path: str, stale_after: float | None) -> tuple[str, str]:
+    """(rendered line, status) for one heartbeat file.
+
+    Staleness keys off the file's mtime (the writer touches it on every
+    step), not the wall-clock stamp inside the document.
+    """
+    import time as _time
+
+    from repro.telemetry import (
+        heartbeat_status,
+        read_heartbeat,
+        render_heartbeat,
+    )
+
+    doc = read_heartbeat(path)
+    age = max(0.0, _time.time() - os.path.getmtime(path))
+    status = heartbeat_status(doc, age, stale_after)
+    line = render_heartbeat(doc)
+    if status == "stalled":
+        line += f"  STALLED (no heartbeat for {age:.0f}s)"
+    return line, status
+
+
 def _cmd_telemetry_watch(args) -> int:
     import time as _time
 
-    from repro.telemetry import read_heartbeat, render_heartbeat
+    path = args.path[0]
 
-    try:
-        print(render_heartbeat(read_heartbeat(args.path)), flush=True)
-    except ValueError as exc:
-        print(f"watch: {exc}", file=sys.stderr)
-        return 1
+    def render_once() -> tuple[int | None, str]:
+        try:
+            line, status = _watch_render(path, args.stale_after)
+        except ValueError as exc:
+            print(f"watch: {exc}", file=sys.stderr)
+            return 1, "error"
+        print(line, flush=True)
+        if status == "stalled" and args.fail_on_stall:
+            return 3, status
+        return None, status
+
+    rc, _status = render_once()
+    if rc is not None:
+        return rc
     if not args.follow:
         return 0
     try:
         while True:
             _time.sleep(max(args.interval, 0.1))
-            try:
-                print(render_heartbeat(read_heartbeat(args.path)),
-                      flush=True)
-            except ValueError as exc:
-                print(f"watch: {exc}", file=sys.stderr)
-                return 1
+            rc, _status = render_once()
+            if rc is not None:
+                return rc
     except KeyboardInterrupt:
         return 0
+
+
+def _collect_heartbeats(paths: list[str]) -> list[tuple[str, str]]:
+    """Expand files/directories into (display name, heartbeat path).
+
+    Directories are scanned (recursively) for ``*.json`` files that
+    parse as heartbeat documents; unreadable candidates are skipped.
+    """
+    from pathlib import Path as _Path
+
+    from repro.telemetry import read_heartbeat
+
+    found: list[tuple[str, str]] = []
+    for raw in paths:
+        p = _Path(raw)
+        if p.is_dir():
+            for candidate in sorted(p.rglob("*.json")):
+                if "manifest" in candidate.name:
+                    continue
+                try:
+                    read_heartbeat(candidate)
+                except ValueError:
+                    continue
+                rel = candidate.relative_to(p)
+                name = str(rel.parent) if rel.parent != _Path(".") else (
+                    candidate.stem
+                )
+                found.append((name, str(candidate)))
+        else:
+            found.append((p.stem, str(p)))
+    return found
+
+
+def _render_top(args) -> tuple[str, int]:
+    """(dashboard text, count of stalled sessions)."""
+    import time as _time
+
+    from repro.telemetry import heartbeat_status, read_heartbeat
+
+    entries = _collect_heartbeats(args.path)
+    header = (
+        f"{'SESSION':<18} {'STATE':<8} {'PHASE':<14} {'STEP':<9} "
+        f"{'BEST':>8} {'RTY':>4} {'ABT':>4} {'FBK':>4} {'ALRT':>5} "
+        f"{'AGE':>6}  LAST ALERT"
+    )
+    lines = [header]
+    stalled = 0
+    for name, path in entries:
+        try:
+            doc = read_heartbeat(path)
+        except ValueError:
+            lines.append(f"{name:<18} {'?':<8} (unreadable heartbeat)")
+            continue
+        age = max(0.0, _time.time() - os.path.getmtime(path))
+        status = heartbeat_status(doc, age, args.stale_after)
+        if status == "stalled":
+            stalled += 1
+        total = doc.get("total_steps")
+        step = f"{doc.get('step', '?')}/{total}" if total else (
+            str(doc.get("step", "?"))
+        )
+        best = doc.get("best_duration_s")
+        resilience = doc.get("resilience") or {}
+        alerts = doc.get("alerts") or {}
+        active = alerts.get("active") or []
+        last_alert = ""
+        if active:
+            last = active[-1]
+            last_alert = f"{last.get('severity', '?')}:{last.get('name', '?')}"
+        lines.append(
+            f"{name:<18.18} {status.upper():<8} "
+            f"{doc.get('phase', '?'):<14} {step:<9} "
+            f"{(f'{best:.1f}s' if best is not None else '-'):>8} "
+            f"{resilience.get('retries', 0):>4} "
+            f"{resilience.get('watchdog_aborts', 0):>4} "
+            f"{resilience.get('fallbacks', 0):>4} "
+            f"{alerts.get('total', 0):>5} "
+            f"{age:>5.0f}s  {last_alert}"
+        )
+    if not entries:
+        lines.append("(no heartbeat files found)")
+    summary = (
+        f"{len(entries)} session(s), {stalled} stalled"
+    )
+    return "\n".join(lines) + f"\n{summary}", stalled
+
+
+def _cmd_telemetry_top(args) -> int:
+    import time as _time
+
+    text, stalled = _render_top(args)
+    print(text, flush=True)
+    if args.once:
+        return 3 if (stalled and args.fail_on_stall) else 0
+    if stalled and args.fail_on_stall:
+        return 3
+    try:
+        while True:
+            _time.sleep(max(args.interval, 0.1))
+            text, stalled = _render_top(args)
+            # Clear and repaint so the table stays in place like top(1).
+            print("\x1b[2J\x1b[H" + text, flush=True)
+            if stalled and args.fail_on_stall:
+                return 3
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_doctor(args) -> int:
+    import json as _json
+
+    from repro.telemetry.doctor import diagnose_run, render_diagnosis
+
+    if not os.path.exists(args.path):
+        print(f"doctor: {args.path}: no such file or directory",
+              file=sys.stderr)
+        return 1
+    report = diagnose_run(args.path)
+    if args.as_json:
+        print(_json.dumps(report, indent=2, default=str))
+    else:
+        print(render_diagnosis(report, top=args.top), end="")
+    if args.fail_on_findings and not report["healthy"]:
+        return 4
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -909,6 +1145,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_bench_report,
         "corpus": _cmd_corpus,
         "telemetry": _cmd_telemetry,
+        "doctor": _cmd_doctor,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

@@ -140,6 +140,19 @@ class OfflineTrainer:
             len(self.buffer),
             help="replay pool occupancy",
         )
+        # Learning-health detectors (pure observers; q_est is already
+        # computed for the offline log, so this adds no model work).
+        if t.diagnostics.enabled:
+            t.diagnostics.observe_step(
+                step=it,
+                reward=float(outcome.reward),
+                success=bool(outcome.success),
+                q_pred=float(q_est),
+            )
+            # Drain before the step event so heartbeats written on
+            # "offline-step" reflect this iteration's alerts.
+            for alert in t.diagnostics.drain_alerts():
+                t.event("alert", **alert.as_event_fields())
         t.event(
             "offline-step",
             iteration=it,

@@ -63,6 +63,15 @@ class OnlineTuner:
         """The event logger (backward-compatible accessor)."""
         return self.telemetry.logger
 
+    def _note_intervention(self, kind: str, step: int | None = None) -> None:
+        """Record one resilience intervention: an ``intervention`` event
+        on the stream (heartbeats count these) plus the diagnostics
+        rate detector."""
+        t = self.telemetry
+        t.diagnostics.observe_intervention(kind)
+        t.event("intervention", intervention=kind, tuner=self.name,
+                step=step)
+
     def _recommend(
         self, state: np.ndarray, sigma: float | None = None
     ) -> tuple[np.ndarray, dict]:
@@ -97,7 +106,11 @@ class OnlineTuner:
         return action, diag
 
     def _evaluate_resilient(
-        self, env: TuningEnv, action: np.ndarray, resilience: ResiliencePolicy
+        self,
+        env: TuningEnv,
+        action: np.ndarray,
+        resilience: ResiliencePolicy,
+        step: int | None = None,
     ):
         """Evaluate ``action`` under the resilience policy.
 
@@ -140,6 +153,7 @@ class OnlineTuner:
                         help="evaluations aborted by the watchdog",
                         tuner=self.name,
                     )
+                    self._note_intervention("watchdog-abort", step)
             if outcome.success or attempt == max_attempts - 1:
                 return outcome, attempt + 1, extra_cost
             extra_cost += outcome.duration_s + schedule[attempt]
@@ -148,6 +162,7 @@ class OnlineTuner:
                 help="failed evaluations retried with backoff",
                 tuner=self.name,
             )
+            self._note_intervention("retry", step)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def tune(
@@ -216,6 +231,7 @@ class OnlineTuner:
                         "online.step", step=step
                     ):
                         fallback = False
+                        sigma: float | None = None
                         t0 = time.perf_counter()
                         if guard is not None and guard.should_fallback:
                             # A bad streak: stop exploring, revert to the
@@ -229,6 +245,7 @@ class OnlineTuner:
                                 "best-known-good configuration",
                                 tuner=self.name,
                             )
+                            self._note_intervention("fallback", step)
                         else:
                             sigma = (
                                 guard.effective_sigma(self.exploration_sigma)
@@ -245,7 +262,7 @@ class OnlineTuner:
                             if resilience is not None:
                                 outcome, attempts, extra_cost = (
                                     self._evaluate_resilient(
-                                        env, action, resilience
+                                        env, action, resilience, step
                                     )
                                 )
                             else:
@@ -261,6 +278,7 @@ class OnlineTuner:
                                     help="NaN observation entries repaired",
                                     tuner=self.name,
                                 )
+                                self._note_intervention("state-repair", step)
                         state = next_state
                         if guard is not None:
                             guard.record(
@@ -336,6 +354,30 @@ class OnlineTuner:
                             help="per-step reward",
                             tuner=self.name,
                         )
+                        # Learning-health detectors: pure observers.  The
+                        # extra critic forward pass for q_pred consumes no
+                        # RNG and is skipped entirely when diagnostics are
+                        # off, so science stays bit-identical either way.
+                        if t.diagnostics.enabled:
+                            q_pred = diag.get("final_q")
+                            if q_pred is None and hasattr(self.agent, "min_q"):
+                                q_pred = float(
+                                    self.agent.min_q(
+                                        outcome.state, outcome.action
+                                    )
+                                )
+                            t.diagnostics.observe_step(
+                                step=step,
+                                reward=float(outcome.reward),
+                                success=bool(outcome.success),
+                                q_pred=q_pred,
+                                sigma=sigma,
+                            )
+                            # Drain before the step event so the heartbeat
+                            # written on "online-step" reflects this step's
+                            # alerts.
+                            for alert in t.diagnostics.drain_alerts():
+                                t.event("alert", **alert.as_event_fields())
                         t.event(
                             "online-step",
                             tuner=self.name,

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import inspect
 import json
 import os
 import pickle
@@ -200,6 +201,7 @@ def _run_online_session(
     tuner_attrs: dict[str, Any] | None = None,
     fault_profile: str = "none",
     resilience: bool = False,
+    telemetry=None,
 ):
     """Train one tuner and serve one online request — one grid cell.
 
@@ -212,6 +214,11 @@ def _run_online_session(
     evaluations only (offline training stays clean — the model is a
     shared artifact); ``resilience`` enables the default
     retry/watchdog/guard policy during tuning (fault-sweep cells).
+
+    ``telemetry`` is a per-worker :class:`RunContext` injected by the
+    engine's bus mode (never part of ``params``, so cache keys are
+    unaffected); it observes the *online* stage only — offline training
+    is a shared, cacheable artifact and stays clean.
     """
     sc = _budget_scale(
         seed, offline_iterations=offline_iterations,
@@ -241,6 +248,11 @@ def _run_online_session(
     env = online_env(workload, dataset, seed, cluster=_CLUSTERS[cluster],
                      fault_profile=fault_profile)
     tune_kwargs: dict[str, Any] = {}
+    if telemetry is not None:
+        # Baselines like OtterTune predate the telemetry kwarg; only
+        # inject it where the tuner's tune_online accepts it.
+        if "telemetry" in inspect.signature(t.tune_online).parameters:
+            tune_kwargs["telemetry"] = telemetry
     if resilience:
         if tuner != "DeepCAT":
             raise ValueError("resilience cells are DeepCAT-only")
@@ -550,6 +562,76 @@ def _execute_task(task: TaskSpec) -> tuple[Any, float]:
     return result, time.perf_counter() - t0
 
 
+_ACCEPTS_TELEMETRY: dict[str, bool] = {}
+
+
+def _accepts_telemetry(kind: str) -> bool:
+    """Whether a task kind takes the engine-injected ``telemetry`` kwarg
+    (cached per kind — signature inspection is not free)."""
+    cached = _ACCEPTS_TELEMETRY.get(kind)
+    if cached is None:
+        fn = _TASK_KINDS[kind]
+        try:
+            params = inspect.signature(fn).parameters
+        except (TypeError, ValueError):  # pragma: no cover - builtins only
+            params = {}
+        cached = _ACCEPTS_TELEMETRY[kind] = "telemetry" in params
+    return cached
+
+
+def _execute_task_bus(
+    task: TaskSpec, bus_dir: str, source: str
+) -> tuple[Any, float, dict[str, Any]]:
+    """Bus-mode worker entry point.
+
+    Wraps :func:`_execute_task` with a per-worker telemetry context whose
+    events land on this worker's bus stream: a ``worker-heartbeat`` pair
+    bracketing the task, live diagnostics ``alert`` events, and a final
+    ``metrics-snapshot`` carrying the picklable registry ``state()`` —
+    which is also returned so the parent can ``merge()`` it without
+    re-reading the stream.
+    """
+    from repro.telemetry.bus import BusWriter
+    from repro.telemetry.diagnostics import DiagnosticsEngine
+    from repro.telemetry.metrics import MetricsRegistry
+
+    fn = _TASK_KINDS.get(task.kind)
+    if fn is None:
+        raise KeyError(
+            f"unknown task kind {task.kind!r}; have {sorted(_TASK_KINDS)}"
+        )
+    writer = BusWriter(bus_dir, source)
+    ctx = RunContext(
+        logger=writer,
+        metrics=MetricsRegistry(),
+        diagnostics=DiagnosticsEngine(),
+    )
+    try:
+        writer.event(
+            "worker-heartbeat", status="start", task_kind=task.kind,
+            pid=os.getpid(),
+        )
+        kwargs = dict(task.params)
+        if _accepts_telemetry(task.kind):
+            kwargs["telemetry"] = ctx
+        t0 = time.perf_counter()
+        result = fn(**kwargs)
+        seconds = time.perf_counter() - t0
+        # Anything raised but not yet drained by the instrumented loops.
+        for alert in ctx.diagnostics.drain_alerts():
+            writer.event("alert", **alert.as_event_fields())
+        state = ctx.metrics.state()
+        writer.event("metrics-snapshot", metrics=state)
+        writer.event(
+            "worker-heartbeat", status="end", task_kind=task.kind,
+            pid=os.getpid(), seconds=round(seconds, 6),
+            alerts=len(ctx.diagnostics.alerts),
+        )
+        return result, seconds, state
+    finally:
+        writer.close()
+
+
 class ExperimentEngine:
     """Runs :class:`TaskSpec` grids, optionally in parallel and cached.
 
@@ -569,6 +651,14 @@ class ExperimentEngine:
     root_seed:
         Root of the ``SeedSequence.spawn`` plan filling in ``seed=None``
         tasks (see :func:`derive_task_seeds`).
+    bus_dir:
+        Event-bus directory.  When set, every executed task runs with a
+        per-worker telemetry context whose events (worker heartbeats,
+        diagnostics alerts, metrics snapshots) stream to
+        ``<bus_dir>/task-NNNN.jsonl``; after each :meth:`run` the streams
+        are merged into one ordered ``timeline.jsonl`` and the workers'
+        metrics registries are folded into this engine's ``telemetry``
+        registry via ``merge()``.
     """
 
     def __init__(
@@ -577,6 +667,7 @@ class ExperimentEngine:
         cache: ResultCache | None = None,
         telemetry: RunContext = NULL_CONTEXT,
         root_seed: int = 0,
+        bus_dir: str | Path | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -584,6 +675,7 @@ class ExperimentEngine:
         self.cache = cache
         self.telemetry = telemetry
         self.root_seed = root_seed
+        self.bus_dir = Path(bus_dir) if bus_dir is not None else None
         self.stats = EngineStats()
 
     # ------------------------------------------------------------- helpers
@@ -647,16 +739,31 @@ class ExperimentEngine:
                     pending.append(i)
             if self.jobs == 1 or len(pending) <= 1:
                 for i in pending:
-                    result, seconds = _execute_task(tasks[i])
+                    if self.bus_dir is not None:
+                        result, seconds, state = _execute_task_bus(
+                            tasks[i], str(self.bus_dir), f"task-{i:04d}"
+                        )
+                        self._merge_worker_state(state)
+                    else:
+                        result, seconds = _execute_task(tasks[i])
                     compute_s += seconds
                     self._finish(tasks[i], i, result, seconds, results)
             else:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        pool.submit(_execute_task, tasks[i]): i
-                        for i in pending
-                    }
+                    if self.bus_dir is not None:
+                        futures = {
+                            pool.submit(
+                                _execute_task_bus, tasks[i],
+                                str(self.bus_dir), f"task-{i:04d}",
+                            ): i
+                            for i in pending
+                        }
+                    else:
+                        futures = {
+                            pool.submit(_execute_task, tasks[i]): i
+                            for i in pending
+                        }
                     outstanding = set(futures)
                     while outstanding:
                         done, outstanding = wait(
@@ -664,10 +771,18 @@ class ExperimentEngine:
                         )
                         for fut in done:
                             i = futures[fut]
-                            result, seconds = fut.result()
+                            if self.bus_dir is not None:
+                                result, seconds, state = fut.result()
+                                self._merge_worker_state(state)
+                            else:
+                                result, seconds = fut.result()
                             compute_s += seconds
                             self._finish(tasks[i], i, result, seconds,
                                          results)
+            if self.bus_dir is not None and pending:
+                from repro.telemetry.bus import merge_timeline
+
+                merge_timeline(self.bus_dir)
         wall = time.perf_counter() - t_run0
         effective = min(self.jobs, max(1, len(pending)))
         self.stats.tasks += n
@@ -682,6 +797,13 @@ class ExperimentEngine:
             help="run() wall-clock not covered by parallel-adjusted compute",
         )
         return results
+
+    def _merge_worker_state(self, state: dict[str, Any]) -> None:
+        """Fold a worker's metrics-registry snapshot into the engine's
+        registry (counters add, gauges take incoming, histograms pool)."""
+        metrics = self.telemetry.metrics
+        if hasattr(metrics, "merge"):
+            metrics.merge(state)
 
     def _finish(self, task: TaskSpec, index: int, result: Any,
                 seconds: float, results: list[Any]) -> None:

@@ -50,6 +50,7 @@ def make_engine(
     jobs: int = 1,
     cache_dir: str | None = None,
     telemetry=None,
+    bus_dir: str | None = None,
 ) -> ExperimentEngine:
     """The engine a report run shares across all figure modules."""
     from repro.telemetry import NULL_CONTEXT
@@ -58,6 +59,7 @@ def make_engine(
         jobs=jobs,
         cache=ResultCache(cache_dir) if cache_dir else None,
         telemetry=telemetry if telemetry is not None else NULL_CONTEXT,
+        bus_dir=bus_dir,
     )
 
 
@@ -294,6 +296,12 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the on-disk cache (always recompute)",
     )
+    parser.add_argument(
+        "--bus-dir", default=None, metavar="DIR",
+        help="event-bus directory: stream per-worker heartbeats, "
+             "diagnostics alerts, and metrics snapshots to "
+             "DIR/task-NNNN.jsonl and merge them into DIR/timeline.jsonl",
+    )
 
 
 def main() -> None:
@@ -306,6 +314,7 @@ def main() -> None:
     engine = make_engine(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
+        bus_dir=args.bus_dir,
     )
     report = build_report(args.scale, engine=engine)
     with open(args.output, "w") as fh:

@@ -52,6 +52,9 @@ class RewardDrivenReplayBuffer:
         # concatenate.  A batch stays valid until the next sample() of
         # the same size (every in-repo caller consumes it immediately).
         self._batches: dict[int, ReplayBatch] = {}
+        # Pushes since P_high last accepted a transition — the
+        # staleness signal the diagnostics pillar watches.
+        self._pushes_since_high = 0
         from repro.telemetry.context import NULL_CONTEXT
 
         self._telemetry = NULL_CONTEXT
@@ -90,8 +93,10 @@ class RewardDrivenReplayBuffer:
     def _push(self, transition: Transition) -> None:
         if transition.reward >= self.reward_threshold:
             self._high.push(transition)
+            self._pushes_since_high = 0
         else:
             self._low.push(transition)
+            self._pushes_since_high += 1
         t = self._telemetry
         t.gauge_set(
             "replay.rdper_high_size", len(self._high),
@@ -139,6 +144,13 @@ class RewardDrivenReplayBuffer:
             "replay.rdper_realized_beta",
             n_high / batch_size,
             help="actual high-reward fraction of each sampled batch",
+        )
+        self._telemetry.diagnostics.observe_rdper(
+            realized_beta=n_high / batch_size,
+            beta=self.beta,
+            staleness=self._pushes_since_high,
+            high_size=len(self._high),
+            low_size=len(self._low),
         )
 
         batch = self._batch_workspace(batch_size)

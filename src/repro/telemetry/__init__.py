@@ -8,15 +8,36 @@ Three pillars, one carrier object:
   exportable as JSONL and Chrome ``trace_event``;
 * :mod:`repro.telemetry.manifest` — run provenance (seed, git SHA,
   hyper-parameters, cluster spec, wall-clock breakdown);
+* :mod:`repro.telemetry.diagnostics` — streaming learning-health
+  detectors emitting severity-graded ``alert`` events;
+* :mod:`repro.telemetry.bus` — per-worker JSONL event streams merged
+  into one ordered timeline across ``--jobs N`` processes;
+* :mod:`repro.telemetry.doctor` — post-mortem diagnosis over a run
+  directory (events + manifest + heartbeat);
 * :mod:`repro.telemetry.context` — :class:`RunContext` bundling all of
   the above plus the event logger, with a zero-overhead null default.
 
 See ``docs/observability.md`` for the metric/span/event catalog.
 """
 
+from repro.telemetry.bus import (
+    BusWriter,
+    iter_jsonl_lenient,
+    merge_timeline,
+    read_jsonl_lenient,
+)
 from repro.telemetry.context import NULL_CONTEXT, RunContext, ensure_context
+from repro.telemetry.diagnostics import (
+    NULL_DIAGNOSTICS,
+    Alert,
+    DiagnosticsConfig,
+    DiagnosticsEngine,
+    NullDiagnostics,
+)
 from repro.telemetry.heartbeat import (
     HeartbeatWriter,
+    default_stale_after,
+    heartbeat_status,
     read_heartbeat,
     render_heartbeat,
 )
@@ -59,4 +80,15 @@ __all__ = [
     "HeartbeatWriter",
     "read_heartbeat",
     "render_heartbeat",
+    "heartbeat_status",
+    "default_stale_after",
+    "Alert",
+    "DiagnosticsConfig",
+    "DiagnosticsEngine",
+    "NullDiagnostics",
+    "NULL_DIAGNOSTICS",
+    "BusWriter",
+    "iter_jsonl_lenient",
+    "read_jsonl_lenient",
+    "merge_timeline",
 ]

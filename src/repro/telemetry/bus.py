@@ -1,0 +1,145 @@
+"""Cross-process event bus: per-worker JSONL streams + merged timeline.
+
+``--jobs N`` engine runs execute sessions in separate processes; each
+worker's events (steps, heartbeat summaries, diagnostics alerts,
+metrics-registry snapshots) would otherwise vanish with the process.
+The bus gives every worker its *own* append-only JSONL file under a
+shared directory — no cross-process locking, no interleaved torn lines
+— and :func:`merge_timeline` folds them into one ordered
+``timeline.jsonl`` per run once the fleet drains.
+
+Record envelope (written by :class:`BusWriter` around the usual event
+fields)::
+
+    {"kind": ..., "ts": <unix time>, "source": "task-0003", "seq": 17, ...}
+
+``(ts, source, seq)`` is the merge sort key: global wall-clock order
+first, with the per-source monotone ``seq`` breaking ties so each
+source's records never reorder relative to themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..utils.logging import TuningLogger
+
+__all__ = [
+    "BusWriter",
+    "iter_jsonl_lenient",
+    "read_jsonl_lenient",
+    "merge_timeline",
+    "TIMELINE_NAME",
+]
+
+#: filename of the merged per-run timeline inside a bus directory
+TIMELINE_NAME = "timeline.jsonl"
+
+
+def iter_jsonl_lenient(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield JSON objects from a JSONL file, tolerating a truncated
+    final line (a writer killed mid-append must not poison readers)."""
+    path = Path(path)
+    if not path.is_file():
+        return
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail or partial flush
+            if isinstance(rec, dict):
+                yield rec
+
+
+def read_jsonl_lenient(path: str | Path) -> list[dict[str, Any]]:
+    """Materialized :func:`iter_jsonl_lenient`."""
+    return list(iter_jsonl_lenient(path))
+
+
+class BusWriter(TuningLogger):
+    """A :class:`TuningLogger` that appends enveloped events to this
+    source's stream file (``<root>/<source>.jsonl``).
+
+    One writer per process/source; records carry a monotone ``seq`` so
+    the merged timeline can prove losslessness (``seq`` values per
+    source form a gap-free range).
+    """
+
+    def __init__(self, root: str | Path, source: str):
+        self.root = Path(root)
+        self.source = str(source)
+        self.path = self.root / f"{self.source}.jsonl"
+        self._seq = 0
+        self._fh = None
+
+    def _ensure_open(self):
+        if self._fh is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        return self._fh
+
+    def event(self, kind: str, **fields: Any) -> None:
+        record = {
+            "kind": kind,
+            "ts": time.time(),
+            "source": self.source,
+            "seq": self._seq,
+        }
+        self._seq += 1
+        for key, value in fields.items():
+            if key not in record:
+                record[key] = value
+        fh = self._ensure_open()
+        fh.write(json.dumps(record, default=str) + "\n")
+        fh.flush()
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def merge_timeline(
+    root: str | Path, out: str | Path | None = None
+) -> Path:
+    """Merge every ``*.jsonl`` source stream under ``root`` into one
+    ordered timeline file and return its path.
+
+    Ordering is ``(ts, source, seq)``: wall-clock first, then source
+    name, then the per-source sequence number — deterministic, and
+    per-source order is always preserved.  Re-running overwrites the
+    previous timeline (it is derived data).
+    """
+    root = Path(root)
+    out_path = Path(out) if out is not None else root / TIMELINE_NAME
+    records: list[dict[str, Any]] = []
+    for path in sorted(root.glob("*.jsonl")):
+        if path == out_path:
+            continue
+        for rec in iter_jsonl_lenient(path):
+            records.append(rec)
+    records.sort(
+        key=lambda r: (
+            float(r.get("ts", 0.0)),
+            str(r.get("source", "")),
+            int(r.get("seq", 0)),
+        )
+    )
+    tmp = out_path.with_name(out_path.name + ".tmp")
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with tmp.open("w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, default=str) + "\n")
+    tmp.replace(out_path)
+    return out_path

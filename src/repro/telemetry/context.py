@@ -24,6 +24,11 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
+from repro.telemetry.diagnostics import (
+    NULL_DIAGNOSTICS,
+    DiagnosticsEngine,
+    NullDiagnostics,
+)
 from repro.telemetry.manifest import RunManifest
 from repro.telemetry.metrics import (
     NULL_REGISTRY,
@@ -56,6 +61,10 @@ class RunContext:
     profiler:
         A :class:`~repro.telemetry.profiling.Profiler` aggregating phase
         timings/allocations; default null profiler (no-op phases).
+    diagnostics:
+        A :class:`~repro.telemetry.diagnostics.DiagnosticsEngine`
+        running learning-health detectors; default null engine (all
+        hooks are no-ops, ``enabled`` is False).
     trace_path, metrics_path, manifest_path:
         Where :meth:`save` persists each pillar (unset => not written).
     """
@@ -67,6 +76,7 @@ class RunContext:
         metrics: MetricsRegistry | NullRegistry | None = None,
         manifest: RunManifest | None = None,
         profiler: Profiler | NullProfiler | None = None,
+        diagnostics: DiagnosticsEngine | NullDiagnostics | None = None,
         trace_path: str | Path | None = None,
         metrics_path: str | Path | None = None,
         manifest_path: str | Path | None = None,
@@ -83,6 +93,9 @@ class RunContext:
         self.metrics = metrics
         self.manifest = manifest
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.diagnostics = (
+            diagnostics if diagnostics is not None else NULL_DIAGNOSTICS
+        )
         self.trace_path = Path(trace_path) if trace_path else None
         self.metrics_path = Path(metrics_path) if metrics_path else None
         self.manifest_path = Path(manifest_path) if manifest_path else None
@@ -99,13 +112,14 @@ class RunContext:
         seed: int | None = None,
         kind: str = "run",
         profiler: Profiler | None = None,
+        diagnostics: DiagnosticsEngine | None = None,
     ) -> "RunContext":
         """A context that records everything, persisting what has a path.
 
         Unlike the raw constructor, tracer and registry are always live
         here — callers can inspect them in-process even without output
-        files.  The profiler stays null unless one is passed explicitly
-        (profiling is opt-in even on a recording context).
+        files.  The profiler and diagnostics engine stay null unless
+        passed explicitly (both are opt-in even on a recording context).
         """
         return cls(
             logger=logger,
@@ -113,6 +127,7 @@ class RunContext:
             metrics=MetricsRegistry(),
             manifest=RunManifest(kind=kind, seed=seed),
             profiler=profiler,
+            diagnostics=diagnostics,
             trace_path=trace,
             metrics_path=metrics,
             manifest_path=manifest,
@@ -127,6 +142,7 @@ class RunContext:
             and isinstance(self.metrics, NullRegistry)
             and isinstance(self.logger, NullLogger)
             and isinstance(self.profiler, NullProfiler)
+            and isinstance(self.diagnostics, NullDiagnostics)
             and self.manifest is None
         )
 
@@ -255,6 +271,7 @@ def ensure_context(
             metrics=telemetry.metrics,
             manifest=telemetry.manifest,
             profiler=telemetry.profiler,
+            diagnostics=telemetry.diagnostics,
             trace_path=telemetry.trace_path,
             metrics_path=telemetry.metrics_path,
             manifest_path=telemetry.manifest_path,

@@ -1,0 +1,559 @@
+"""Learning-health diagnostics: streaming detectors over the tuning loop.
+
+The telemetry pillars so far answer "what happened" (events), "how
+much" (metrics), "where did the time go" (traces/profiles) — none of
+them answer *whether the learning is healthy*.  A diverging critic, a
+Q-overestimation spiral the Twin-Q mechanism was supposed to cap, a
+stale RDPER high-reward pool, or exploration noise collapsed by repeated
+SafetyGuard fallbacks all burn evaluation budget silently until the
+final report.
+
+:class:`DiagnosticsEngine` is the sixth :class:`RunContext` pillar: a
+set of streaming, allocation-light detectors fed from the existing
+step/update hooks (TD3 updates, RDPER samples, online/offline steps,
+resilience interventions).  Each detector keeps O(1) state — EWMAs,
+small ring buffers, counters — and grades its finding into a severity
+(``info`` < ``warning`` < ``critical``) with a machine-readable cause
+name.  Alerts are emitted as ``alert`` events on the run's event stream
+(and kept in-process on :attr:`DiagnosticsEngine.alerts`), so they flow
+to JSONL event files, heartbeats, and the cross-process event bus
+without any new plumbing.
+
+Detectors are **pure observers**: they draw no random numbers, never
+touch the environment or the agent, and never feed back into the tuning
+loop — a session with diagnostics enabled is bit-identical (science
+outputs) to one without, which the ``-m determinism`` suite enforces.
+
+Detector catalog (cause names are stable API):
+
+==================== ===================================================
+``q-overestimation``  EWMA gap between the critic's predicted Q for the
+                      executed action and the realized Eq.(1) reward.
+``critic-divergence`` critic-loss EWMA rising and a large multiple of
+                      its historical floor (slope + level test).
+``reward-plateau``    best reward not improved for N consecutive steps.
+``rdper-stale-pool``  pushes since the high-reward pool last accepted a
+                      transition (R_th too high / rewards degraded).
+``rdper-beta-drift``  realized high-reward batch fraction drifted from
+                      the configured β (a starved or flooded pool).
+``exploration-collapse`` effective exploration σ collapsed relative to
+                      the first σ observed (e.g. SafetyGuard decay).
+``intervention-rate`` resilience interventions (retries, watchdog
+                      aborts, fallbacks, state repairs) per step over a
+                      sliding window.
+==================== ===================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Alert",
+    "DiagnosticsConfig",
+    "DiagnosticsEngine",
+    "NullDiagnostics",
+    "NULL_DIAGNOSTICS",
+    "SEVERITY_RANK",
+    "replay_events",
+]
+
+#: ordering used to grade and rank alerts
+SEVERITY_RANK: dict[str, int] = {"info": 0, "warning": 1, "critical": 2}
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One graded finding from a detector.
+
+    ``name`` is the machine-readable cause (stable across releases);
+    ``data`` carries the detector's evidence (plain scalars only, so the
+    alert serializes losslessly into JSONL events).
+    """
+
+    name: str
+    severity: str
+    step: int | None
+    message: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def as_event_fields(self) -> dict[str, Any]:
+        """The keyword fields for ``logger.event("alert", **fields)``."""
+        return {
+            "name": self.name,
+            "severity": self.severity,
+            "step": self.step,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+
+@dataclass(frozen=True)
+class DiagnosticsConfig:
+    """Thresholds for every detector (defaults tuned for Eq.(1)'s
+    reward scale, where rewards live in roughly [-1, 1])."""
+
+    #: EWMA smoothing for all exponential averages
+    ewma_alpha: float = 0.3
+
+    # --- q-overestimation: EWMA(q_pred) - EWMA(reward) ---
+    q_gap_warning: float = 0.5
+    q_gap_critical: float = 1.0
+    q_min_samples: int = 3
+
+    # --- critic divergence: loss EWMA vs floor, with positive slope ---
+    loss_factor_warning: float = 3.0
+    loss_factor_critical: float = 10.0
+    loss_min_updates: int = 10
+    loss_window: int = 8
+
+    # --- reward plateau ---
+    plateau_steps: int = 25
+
+    # --- RDPER pool health ---
+    stale_pushes_warning: int = 200
+    stale_pushes_critical: int = 800
+    beta_tolerance: float = 0.15
+    beta_min_samples: int = 8
+
+    # --- exploration collapse: sigma relative to first sigma seen ---
+    sigma_collapse_warning: float = 0.25
+    sigma_collapse_critical: float = 0.10
+
+    # --- resilience intervention rate per step, sliding window ---
+    intervention_window: int = 8
+    intervention_min_steps: int = 4
+    intervention_rate_warning: float = 0.5
+    intervention_rate_critical: float = 1.0
+
+
+def _severity_at_least(severity: str, floor: str) -> bool:
+    return SEVERITY_RANK[severity] >= SEVERITY_RANK[floor]
+
+
+class _Ewma:
+    """Exponentially weighted moving average (first sample seeds it)."""
+
+    __slots__ = ("alpha", "value", "count")
+
+    def __init__(self, alpha: float):
+        self.alpha = alpha
+        self.value: float | None = None
+        self.count = 0
+
+    def update(self, x: float) -> float:
+        self.count += 1
+        if self.value is None:
+            self.value = float(x)
+        else:
+            self.value += self.alpha * (float(x) - self.value)
+        return self.value
+
+
+class _Latch:
+    """Escalation gate: a detector re-alerts only when its severity
+    *rises*; once the condition clears, the latch re-arms.  Keeps a
+    persistent pathology from flooding the event stream."""
+
+    __slots__ = ("level",)
+
+    def __init__(self):
+        self.level = -1  # below "info"
+
+    def fire(self, severity: str | None) -> str | None:
+        """Pass the current graded severity (or None when healthy);
+        returns the severity to emit, or None to stay quiet."""
+        if severity is None:
+            self.level = -1
+            return None
+        rank = SEVERITY_RANK[severity]
+        if rank > self.level:
+            self.level = rank
+            return severity
+        return None
+
+
+class DiagnosticsEngine:
+    """Streaming learning-health detectors with severity-graded alerts.
+
+    Feed it through the ``observe_*`` hooks (the instrumented code does
+    this automatically once the engine rides on a
+    :class:`~repro.telemetry.context.RunContext`); collect findings via
+    :meth:`drain_alerts` (pending, once each) or :attr:`alerts` (full
+    history).  All detector state is plain Python scalars, so the engine
+    pickles cleanly and adds no per-observation allocation beyond the
+    alerts themselves.
+    """
+
+    #: real engines report True; the :class:`NullDiagnostics` stand-in
+    #: reports False so hot paths can skip building observation kwargs
+    enabled = True
+
+    def __init__(self, config: DiagnosticsConfig | None = None):
+        self.config = config if config is not None else DiagnosticsConfig()
+        c = self.config
+        #: every alert ever raised, in order
+        self.alerts: list[Alert] = []
+        self._pending: list[Alert] = []
+        self._step: int | None = None
+
+        # q-overestimation
+        self._q_ewma = _Ewma(c.ewma_alpha)
+        self._reward_ewma = _Ewma(c.ewma_alpha)
+        self._q_latch = _Latch()
+
+        # critic divergence
+        self._loss_ewma = _Ewma(c.ewma_alpha)
+        self._loss_floor: float | None = None
+        self._loss_ring: list[float] = []
+        self._loss_latch = _Latch()
+
+        # reward plateau
+        self._best_reward: float | None = None
+        self._best_step = 0
+        self._steps_seen = 0
+        self._plateau_latch = _Latch()
+
+        # RDPER
+        self._beta_ewma = _Ewma(c.ewma_alpha)
+        self._stale_latch = _Latch()
+        self._beta_latch = _Latch()
+
+        # exploration collapse
+        self._sigma_baseline: float | None = None
+        self._sigma_latch = _Latch()
+
+        # interventions
+        self._interventions: dict[str, int] = {}
+        self._pending_interventions = 0
+        self._rate_ring: list[int] = []
+        self._rate_latch = _Latch()
+
+    # ------------------------------------------------------------- raising
+
+    def _raise_alert(
+        self,
+        latch: _Latch,
+        name: str,
+        severity: str | None,
+        message: str,
+        **data: Any,
+    ) -> None:
+        emit = latch.fire(severity)
+        if emit is None:
+            return
+        alert = Alert(
+            name=name,
+            severity=emit,
+            step=self._step,
+            message=message,
+            data={
+                k: (round(v, 6) if isinstance(v, float) else v)
+                for k, v in data.items()
+            },
+        )
+        self.alerts.append(alert)
+        self._pending.append(alert)
+
+    def drain_alerts(self) -> list[Alert]:
+        """Alerts raised since the last drain (each returned once)."""
+        if not self._pending:
+            return []
+        out = self._pending
+        self._pending = []
+        return out
+
+    # --------------------------------------------------------------- hooks
+
+    def observe_update(
+        self, critic_loss: float, mean_q: float | None = None,
+        actor_updated: bool = False,
+    ) -> None:
+        """One agent gradient update (TD3's ``update`` hook)."""
+        c = self.config
+        ewma = self._loss_ewma.update(critic_loss)
+        if self._loss_floor is None or ewma < self._loss_floor:
+            self._loss_floor = ewma
+        ring = self._loss_ring
+        ring.append(ewma)
+        if len(ring) > c.loss_window:
+            del ring[0]
+        severity = None
+        if (
+            self._loss_ewma.count >= c.loss_min_updates
+            and self._loss_floor is not None
+            and self._loss_floor > 0.0
+            and len(ring) == c.loss_window
+            and ewma > ring[0]  # rising over the window, not a spike
+        ):
+            factor = ewma / self._loss_floor
+            if factor >= c.loss_factor_critical:
+                severity = "critical"
+            elif factor >= c.loss_factor_warning:
+                severity = "warning"
+        self._raise_alert(
+            self._loss_latch,
+            "critic-divergence",
+            severity,
+            "critic loss EWMA is rising far above its historical floor",
+            ewma=float(ewma),
+            floor=float(self._loss_floor or 0.0),
+            updates=self._loss_ewma.count,
+        )
+
+    def observe_step(
+        self,
+        step: int,
+        reward: float,
+        success: bool,
+        q_pred: float | None = None,
+        sigma: float | None = None,
+    ) -> None:
+        """One completed tuning/training step.
+
+        ``q_pred`` is the critic's conservative prediction for the
+        executed action (min twin-Q); ``sigma`` the effective
+        exploration noise this step (``None`` for fallback steps, which
+        explore nothing by design).
+        """
+        c = self.config
+        self._step = step
+        self._steps_seen += 1
+
+        # -- q-overestimation: prediction vs realized Eq.(1) reward
+        self._reward_ewma.update(reward)
+        if q_pred is not None:
+            self._q_ewma.update(q_pred)
+        if (
+            self._q_ewma.count >= c.q_min_samples
+            and self._reward_ewma.count >= c.q_min_samples
+        ):
+            gap = (self._q_ewma.value or 0.0) - (self._reward_ewma.value or 0.0)
+            severity = None
+            if gap >= c.q_gap_critical:
+                severity = "critical"
+            elif gap >= c.q_gap_warning:
+                severity = "warning"
+            self._raise_alert(
+                self._q_latch,
+                "q-overestimation",
+                severity,
+                "critic predictions run far above realized rewards",
+                gap=float(gap),
+                q_ewma=float(self._q_ewma.value or 0.0),
+                reward_ewma=float(self._reward_ewma.value or 0.0),
+            )
+
+        # -- reward plateau
+        if self._best_reward is None or reward > self._best_reward:
+            self._best_reward = float(reward)
+            self._best_step = self._steps_seen
+        stagnant = self._steps_seen - self._best_step
+        severity = None
+        if stagnant >= 2 * c.plateau_steps:
+            severity = "critical"
+        elif stagnant >= c.plateau_steps:
+            severity = "warning"
+        self._raise_alert(
+            self._plateau_latch,
+            "reward-plateau",
+            severity,
+            "best reward has not improved for many steps",
+            stagnant_steps=stagnant,
+            best_reward=float(self._best_reward),
+        )
+
+        # -- exploration collapse
+        if sigma is not None and sigma > 0.0:
+            if self._sigma_baseline is None:
+                self._sigma_baseline = float(sigma)
+            ratio = sigma / self._sigma_baseline
+            severity = None
+            if ratio <= c.sigma_collapse_critical:
+                severity = "critical"
+            elif ratio <= c.sigma_collapse_warning:
+                severity = "warning"
+            self._raise_alert(
+                self._sigma_latch,
+                "exploration-collapse",
+                severity,
+                "exploration noise collapsed relative to its baseline",
+                sigma=float(sigma),
+                baseline=float(self._sigma_baseline),
+            )
+
+        # -- intervention rate over a sliding window of steps
+        ring = self._rate_ring
+        ring.append(self._pending_interventions)
+        self._pending_interventions = 0
+        if len(ring) > c.intervention_window:
+            del ring[0]
+        severity = None
+        if len(ring) >= c.intervention_min_steps:
+            rate = sum(ring) / len(ring)
+            if rate >= c.intervention_rate_critical:
+                severity = "critical"
+            elif rate >= c.intervention_rate_warning:
+                severity = "warning"
+            self._raise_alert(
+                self._rate_latch,
+                "intervention-rate",
+                severity,
+                "resilience interventions are firing on most steps",
+                rate=float(rate),
+                window=len(ring),
+                total=sum(self._interventions.values()),
+            )
+
+    def observe_rdper(
+        self,
+        realized_beta: float,
+        beta: float,
+        staleness: int,
+        high_size: int,
+        low_size: int,
+    ) -> None:
+        """One RDPER batch sample (pool occupancy + realized β)."""
+        c = self.config
+        severity = None
+        if staleness >= c.stale_pushes_critical:
+            severity = "critical"
+        elif staleness >= c.stale_pushes_warning:
+            severity = "warning"
+        self._raise_alert(
+            self._stale_latch,
+            "rdper-stale-pool",
+            severity,
+            "the high-reward pool has not accepted a transition recently",
+            staleness=staleness,
+            high_size=high_size,
+            low_size=low_size,
+        )
+
+        ewma = self._beta_ewma.update(realized_beta)
+        severity = None
+        if self._beta_ewma.count >= c.beta_min_samples:
+            drift = abs(ewma - beta)
+            if drift > 2 * c.beta_tolerance:
+                severity = "critical"
+            elif drift > c.beta_tolerance:
+                severity = "warning"
+        self._raise_alert(
+            self._beta_latch,
+            "rdper-beta-drift",
+            severity,
+            "realized high-reward batch fraction drifted from beta",
+            realized_beta=float(ewma),
+            beta=float(beta),
+        )
+
+    def observe_intervention(self, kind: str) -> None:
+        """One resilience intervention (retry, watchdog-abort,
+        fallback, state-repair) — folded into the rate window at the
+        next :meth:`observe_step`."""
+        self._interventions[kind] = self._interventions.get(kind, 0) + 1
+        self._pending_interventions += 1
+
+    # ------------------------------------------------------------- summary
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate view: alert counts per cause, worst severity."""
+        by_name: dict[str, dict[str, Any]] = {}
+        for alert in self.alerts:
+            entry = by_name.setdefault(
+                alert.name,
+                {"count": 0, "severity": "info", "last_step": None},
+            )
+            entry["count"] += 1
+            entry["last_step"] = alert.step
+            if _severity_at_least(alert.severity, entry["severity"]):
+                entry["severity"] = alert.severity
+        return {
+            "alerts_total": len(self.alerts),
+            "steps_seen": self._steps_seen,
+            "interventions": dict(self._interventions),
+            "by_name": by_name,
+        }
+
+
+class NullDiagnostics:
+    """No-op stand-in backing the disabled default.
+
+    Every hook is a pass; ``enabled`` is False so instrumented code can
+    skip computing observation inputs (e.g. the extra critic forward
+    pass for ``q_pred``) when diagnostics are off.
+    """
+
+    enabled = False
+    alerts: list[Alert] = []
+
+    def observe_update(self, critic_loss, mean_q=None,
+                       actor_updated=False) -> None:
+        pass
+
+    def observe_step(self, step, reward, success, q_pred=None,
+                     sigma=None) -> None:
+        pass
+
+    def observe_rdper(self, realized_beta, beta, staleness, high_size,
+                      low_size) -> None:
+        pass
+
+    def observe_intervention(self, kind) -> None:
+        pass
+
+    def drain_alerts(self) -> list[Alert]:
+        return []
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "alerts_total": 0,
+            "steps_seen": 0,
+            "interventions": {},
+            "by_name": {},
+        }
+
+
+#: the shared disabled instance (stateless, safe to share)
+NULL_DIAGNOSTICS = NullDiagnostics()
+
+
+def replay_events(
+    records: Iterable[Mapping[str, Any]],
+    config: DiagnosticsConfig | None = None,
+) -> DiagnosticsEngine:
+    """Re-run the detectors over a recorded event stream.
+
+    Lets ``repro doctor`` synthesize health findings for runs that never
+    enabled live diagnostics.  Only the signals present in the standard
+    ``offline-step``/``online-step``/``intervention`` events are
+    available offline (no critic losses, no RDPER pool stats), so the
+    replay covers the reward-plateau and intervention-rate detectors;
+    live ``alert`` events in the same stream should be preferred when
+    present.
+    """
+    engine = DiagnosticsEngine(config)
+    step_index = 0
+    for rec in records:
+        kind = rec.get("kind")
+        if kind == "intervention":
+            engine.observe_intervention(str(rec.get("intervention", "?")))
+        elif kind in ("online-step", "offline-step"):
+            # online-step events carry resilience evidence inline
+            attempts = rec.get("attempts")
+            if isinstance(attempts, int) and attempts > 1:
+                for _ in range(attempts - 1):
+                    engine.observe_intervention("retry")
+            if rec.get("fallback"):
+                engine.observe_intervention("fallback")
+            faults = rec.get("faults") or ()
+            if "watchdog-abort" in faults:
+                engine.observe_intervention("watchdog-abort")
+            engine.observe_step(
+                step=int(rec.get("step", rec.get("iteration", step_index))),
+                reward=float(rec.get("reward", 0.0)),
+                success=bool(rec.get("success", True)),
+            )
+            step_index += 1
+    return engine

@@ -1,0 +1,286 @@
+"""Post-mortem diagnosis: rank a run's learning-health findings.
+
+``repro doctor <run-dir>`` reads whatever artifacts a run left behind —
+JSONL events (or a merged bus timeline), the run manifest, the final
+heartbeat — and prints a ranked diagnosis with remediation hints.
+
+Two evidence sources, in order of preference:
+
+1. **Live alerts** — ``alert`` events recorded by a session that ran
+   with ``--diagnostics``; these carry full detector evidence (critic
+   losses, RDPER pool stats) that cannot be reconstructed offline.
+2. **Replayed detectors** — for runs without live diagnostics, the
+   step/intervention events are re-fed through
+   :func:`~repro.telemetry.diagnostics.replay_events`; only the
+   detectors whose inputs survive in the event stream (reward plateau,
+   intervention rate) can fire, and their findings are marked
+   ``inferred``.
+
+Ranking is ``(severity, count, recency)`` — the most severe, most
+frequently escalated, most recent cause first.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .bus import TIMELINE_NAME, read_jsonl_lenient
+from .diagnostics import SEVERITY_RANK, replay_events
+from .heartbeat import read_heartbeat
+
+__all__ = ["diagnose_run", "render_diagnosis", "REMEDIATIONS"]
+
+#: remediation hints keyed by detector cause name (stable API)
+REMEDIATIONS: dict[str, str] = {
+    "q-overestimation": (
+        "critic predictions outrun realized rewards — raise the Twin-Q "
+        "screening threshold (Q_th), increase policy_noise, or slow the "
+        "actor (higher policy_delay)"
+    ),
+    "critic-divergence": (
+        "critic loss is running away — lower the learning rate, shrink "
+        "fine_tune_updates, or reset from the last good checkpoint "
+        "(repro tune --resume)"
+    ),
+    "reward-plateau": (
+        "no best-reward improvement — widen exploration_sigma, lower "
+        "RDPER R_th so fresher transitions reach the high pool, or stop "
+        "early to save evaluation budget"
+    ),
+    "rdper-stale-pool": (
+        "the high-reward pool stopped accepting transitions — lower the "
+        "reward threshold (R_th) or check whether the workload regressed"
+    ),
+    "rdper-beta-drift": (
+        "realized high/low batch mix drifted from beta — the high pool "
+        "is starved or flooded; retune beta or R_th"
+    ),
+    "exploration-collapse": (
+        "exploration noise collapsed (SafetyGuard decay) — investigate "
+        "the failures that triggered fallbacks, then raise sigma_min or "
+        "relax the guard's max_consecutive_failures"
+    ),
+    "intervention-rate": (
+        "retries/watchdog aborts/fallbacks fire on most steps — the "
+        "environment is unstable; use --fault-profile retries, raise "
+        "the watchdog multiple, or fix the cluster before tuning"
+    ),
+}
+
+
+def _find_events_file(run_dir: Path) -> Path | None:
+    """Pick the richest event stream available under a run directory."""
+    timeline = run_dir / TIMELINE_NAME
+    if timeline.is_file():
+        return timeline
+    candidates = sorted(run_dir.glob("*.jsonl"))
+    best: tuple[int, Path] | None = None
+    for path in candidates:
+        records = read_jsonl_lenient(path)
+        score = sum(
+            1 for r in records
+            if r.get("kind") in ("online-step", "offline-step", "alert")
+        )
+        if score and (best is None or score > best[0]):
+            best = (score, path)
+    return best[1] if best else None
+
+
+def _load_manifest(run_dir: Path) -> dict[str, Any] | None:
+    for name in ("manifest.json", "run.manifest.json"):
+        path = run_dir / name
+        if path.is_file():
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(doc, dict):
+                return doc
+    for path in sorted(run_dir.glob("*manifest*.json")):
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(doc, dict):
+            return doc
+    return None
+
+
+def _load_heartbeat(run_dir: Path) -> dict[str, Any] | None:
+    for path in sorted(run_dir.glob("*.json")):
+        if "manifest" in path.name or path.name.endswith(".chrome.json"):
+            continue
+        try:
+            return read_heartbeat(path)
+        except ValueError:
+            continue
+    return None
+
+
+def _rank_findings(
+    alerts: list[dict[str, Any]], inferred: bool
+) -> list[dict[str, Any]]:
+    """Fold raw alert records into one finding per cause, ranked."""
+    by_name: dict[str, dict[str, Any]] = {}
+    for idx, alert in enumerate(alerts):
+        name = str(alert.get("name", "?"))
+        severity = str(alert.get("severity", "info"))
+        entry = by_name.setdefault(name, {
+            "name": name,
+            "severity": "info",
+            "count": 0,
+            "first_step": alert.get("step"),
+            "last_step": alert.get("step"),
+            "message": alert.get("message", ""),
+            "data": alert.get("data", {}),
+            "inferred": inferred,
+            "_order": idx,
+        })
+        entry["count"] += 1
+        entry["last_step"] = alert.get("step")
+        entry["_order"] = idx
+        if SEVERITY_RANK.get(severity, 0) >= SEVERITY_RANK.get(
+            entry["severity"], 0
+        ):
+            entry["severity"] = severity
+            entry["message"] = alert.get("message", entry["message"])
+            entry["data"] = alert.get("data", entry["data"])
+    findings = list(by_name.values())
+    findings.sort(
+        key=lambda f: (
+            -SEVERITY_RANK.get(f["severity"], 0),
+            -f["count"],
+            -f.pop("_order"),
+        )
+    )
+    for finding in findings:
+        finding["remediation"] = REMEDIATIONS.get(
+            finding["name"], "no remediation hint recorded for this cause"
+        )
+    return findings
+
+
+def diagnose_run(target: str | Path) -> dict[str, Any]:
+    """Diagnose a run directory (or a single events file).
+
+    Returns a JSON-ready document::
+
+        {"run": {...context...},
+         "findings": [{name, severity, count, last_step, message,
+                       data, inferred, remediation}, ...],
+         "healthy": bool}
+    """
+    target = Path(target)
+    if target.is_dir():
+        run_dir = target
+        events_path = _find_events_file(run_dir)
+    else:
+        run_dir = target.parent
+        events_path = target
+
+    records = (
+        read_jsonl_lenient(events_path) if events_path is not None else []
+    )
+    live_alerts = [r for r in records if r.get("kind") == "alert"]
+    if live_alerts:
+        findings = _rank_findings(live_alerts, inferred=False)
+    else:
+        engine = replay_events(records)
+        findings = _rank_findings(
+            [a.as_event_fields() for a in engine.alerts], inferred=True
+        )
+
+    steps = [
+        r for r in records
+        if r.get("kind") in ("online-step", "offline-step")
+    ]
+    manifest = _load_manifest(run_dir)
+    heartbeat = _load_heartbeat(run_dir)
+
+    run_info: dict[str, Any] = {
+        "path": str(target),
+        "events_file": str(events_path) if events_path else None,
+        "events": len(records),
+        "steps": len(steps),
+        "alerts_live": len(live_alerts),
+    }
+    if manifest is not None:
+        for key in ("kind", "seed", "git_sha", "elapsed_s"):
+            if key in manifest:
+                run_info[key] = manifest[key]
+    if heartbeat is not None:
+        run_info["heartbeat"] = {
+            "phase": heartbeat.get("phase"),
+            "step": heartbeat.get("step"),
+            "total_steps": heartbeat.get("total_steps"),
+            "resilience": heartbeat.get("resilience"),
+            "alerts": (heartbeat.get("alerts") or {}).get("total"),
+        }
+
+    graded = [
+        f for f in findings
+        if SEVERITY_RANK.get(f["severity"], 0) >= SEVERITY_RANK["warning"]
+    ]
+    return {
+        "run": run_info,
+        "findings": findings,
+        "healthy": not graded,
+    }
+
+
+_SEVERITY_TAG = {"critical": "CRIT", "warning": "WARN", "info": "info"}
+
+
+def render_diagnosis(report: dict[str, Any], top: int | None = None) -> str:
+    """Human-readable ranked diagnosis."""
+    run = report.get("run", {})
+    lines = [f"doctor: {run.get('path', '?')}"]
+    meta = []
+    if run.get("kind"):
+        meta.append(f"kind {run['kind']}")
+    if run.get("seed") is not None:
+        meta.append(f"seed {run['seed']}")
+    meta.append(f"{run.get('steps', 0)} steps")
+    meta.append(f"{run.get('events', 0)} events")
+    lines.append("  " + " · ".join(meta))
+    hb = run.get("heartbeat")
+    if hb:
+        resilience = hb.get("resilience") or {}
+        fired = ", ".join(
+            f"{k.replace('_', ' ')} {v}" for k, v in resilience.items() if v
+        )
+        lines.append(
+            f"  last heartbeat: {hb.get('phase', '?')} step "
+            f"{hb.get('step', '?')}/{hb.get('total_steps') or '?'}"
+            + (f"  [{fired}]" if fired else "")
+        )
+    lines.append("")
+
+    findings = report.get("findings", [])
+    if top is not None:
+        findings = findings[:top]
+    if not findings:
+        lines.append("no findings — the event stream looks healthy")
+        return "\n".join(lines) + "\n"
+
+    for rank, f in enumerate(findings, start=1):
+        tag = _SEVERITY_TAG.get(f["severity"], f["severity"])
+        origin = " (inferred from replay)" if f.get("inferred") else ""
+        step = f.get("last_step")
+        at = f" @ step {step}" if step is not None else ""
+        lines.append(
+            f"{rank}. [{tag}] {f['name']} ×{f['count']}{at}{origin}"
+        )
+        if f.get("message"):
+            lines.append(f"     {f['message']}")
+        data = f.get("data") or {}
+        if data:
+            kv = ", ".join(f"{k}={v}" for k, v in data.items())
+            lines.append(f"     evidence: {kv}")
+        lines.append(f"     fix: {f['remediation']}")
+    if report.get("healthy"):
+        lines.append("")
+        lines.append("verdict: healthy (info-level findings only)")
+    return "\n".join(lines) + "\n"

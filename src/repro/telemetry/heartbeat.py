@@ -25,13 +25,30 @@ from typing import Any
 
 from repro.utils.logging import TuningLogger
 
-__all__ = ["HeartbeatWriter", "read_heartbeat", "render_heartbeat"]
+__all__ = [
+    "HeartbeatWriter",
+    "read_heartbeat",
+    "render_heartbeat",
+    "heartbeat_status",
+    "default_stale_after",
+]
 
 #: event kinds that advance the heartbeat, mapped to the phase they imply
 STEP_KINDS: dict[str, str] = {
     "offline-step": "offline-train",
     "online-step": "online-tune",
 }
+
+#: resilience intervention kinds surfaced in the heartbeat document
+_RESILIENCE_KEYS: dict[str, str] = {
+    "retry": "retries",
+    "watchdog-abort": "watchdog_aborts",
+    "fallback": "fallbacks",
+    "state-repair": "state_repairs",
+}
+
+#: how many recent alerts the heartbeat document carries
+_ACTIVE_ALERTS = 5
 
 
 class HeartbeatWriter(TuningLogger):
@@ -60,11 +77,46 @@ class HeartbeatWriter(TuningLogger):
         self._kinds = dict(STEP_KINDS if step_kinds is None else step_kinds)
         self._steps_done = 0
         self._start_perf = time.perf_counter()
+        self._resilience = {key: 0 for key in _RESILIENCE_KEYS.values()}
+        self._alerts_total = 0
+        self._alerts_active: list[dict[str, Any]] = []
+        self._best_reward: float | None = None
+        self._best_duration_s: float | None = None
 
     def event(self, kind: str, **fields: Any) -> None:
+        # Non-step events never touch the file — they only accumulate
+        # state that the next step's document will carry.
+        if kind == "intervention":
+            key = _RESILIENCE_KEYS.get(str(fields.get("intervention", "")))
+            if key is not None:
+                self._resilience[key] += 1
+            return
+        if kind == "alert":
+            self._alerts_total += 1
+            self._alerts_active.append({
+                "name": fields.get("name"),
+                "severity": fields.get("severity"),
+                "step": fields.get("step"),
+            })
+            if len(self._alerts_active) > _ACTIVE_ALERTS:
+                del self._alerts_active[0]
+            return
         phase = self._kinds.get(kind)
         if phase is None:
             return
+        reward = fields.get("reward")
+        if isinstance(reward, (int, float)) and (
+            self._best_reward is None or reward > self._best_reward
+        ):
+            self._best_reward = float(reward)
+        duration = fields.get("duration_s", fields.get("best_s"))
+        if (
+            fields.get("success", True)
+            and isinstance(duration, (int, float))
+            and (self._best_duration_s is None
+                 or duration < self._best_duration_s)
+        ):
+            self._best_duration_s = float(duration)
         self._steps_done += 1
         elapsed = time.perf_counter() - self._start_perf
         eta: float | None = None
@@ -79,6 +131,13 @@ class HeartbeatWriter(TuningLogger):
             "eta_s": round(eta, 6) if eta is not None else None,
             "updated_at": time.time(),
             "pid": os.getpid(),
+            "resilience": dict(self._resilience),
+            "alerts": {
+                "total": self._alerts_total,
+                "active": list(self._alerts_active),
+            },
+            "best_reward": self._best_reward,
+            "best_duration_s": self._best_duration_s,
             "last_event": {
                 k: v
                 for k, v in fields.items()
@@ -104,6 +163,40 @@ def read_heartbeat(path: str | Path) -> dict[str, Any]:
     return doc
 
 
+def default_stale_after(doc: dict[str, Any]) -> float:
+    """Staleness horizon for a heartbeat: 3× the observed mean step
+    interval, floored at 10 s so fast sessions aren't flagged by
+    scheduler jitter."""
+    step = doc.get("step") or 0
+    elapsed = doc.get("elapsed_s") or 0.0
+    if step > 0 and elapsed > 0.0:
+        return max(3.0 * elapsed / step, 10.0)
+    return 10.0
+
+
+def heartbeat_status(
+    doc: dict[str, Any],
+    age_s: float,
+    stale_after: float | None = None,
+) -> str:
+    """Classify a heartbeat: ``done``, ``stalled``, or ``running``.
+
+    ``age_s`` is how long ago the file was last written (use its mtime:
+    the ``updated_at`` wall-clock inside the document is not monotonic
+    across hosts).  ``stale_after`` overrides the 3×-step-interval
+    default.
+    """
+    total = doc.get("total_steps")
+    if total and doc.get("step", 0) >= total:
+        return "done"
+    horizon = (
+        stale_after if stale_after is not None else default_stale_after(doc)
+    )
+    if age_s > horizon:
+        return "stalled"
+    return "running"
+
+
 def _fmt_duration(seconds: float | None) -> str:
     if seconds is None:
         return "?"
@@ -122,9 +215,25 @@ def render_heartbeat(doc: dict[str, Any]) -> str:
     )
     age = time.time() - doc.get("updated_at", time.time())
     stale = "  (stale)" if age > 60 else ""
+    extras = ""
+    resilience = doc.get("resilience") or {}
+    if any(resilience.values()):
+        parts = [
+            f"{name.replace('_', ' ')} {count}"
+            for name, count in resilience.items()
+            if count
+        ]
+        extras += f"  [{', '.join(parts)}]"
+    alerts = doc.get("alerts") or {}
+    if alerts.get("total"):
+        worst = alerts.get("active") or [{}]
+        extras += (
+            f"  alerts {alerts['total']}"
+            f" (last: {worst[-1].get('name', '?')})"
+        )
     return (
         f"{doc.get('phase', '?'):<14} step {progress:<12} "
         f"elapsed {_fmt_duration(doc.get('elapsed_s')):>8}  "
         f"eta {_fmt_duration(doc.get('eta_s')):>8}  "
-        f"pid {doc.get('pid', '?')}{stale}"
+        f"pid {doc.get('pid', '?')}{stale}{extras}"
     )

@@ -1,0 +1,174 @@
+"""Post-mortem doctor: ranking, rendering, CLI exit codes."""
+
+import json
+
+from repro.cli import main
+from repro.telemetry.doctor import (
+    REMEDIATIONS,
+    diagnose_run,
+    render_diagnosis,
+)
+
+
+def _write_events(path, records):
+    path.write_text(
+        "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+    )
+
+
+def _alert(name, severity, step, message="", **data):
+    return {
+        "kind": "alert", "ts": float(step), "name": name,
+        "severity": severity, "step": step, "message": message,
+        "data": data,
+    }
+
+
+def _planted_run(tmp_path):
+    """A run whose root cause is critic divergence: 3 critical
+    critic-divergence alerts against 1 warning reward-plateau."""
+    run = tmp_path / "run"
+    run.mkdir()
+    records = [
+        {"kind": "online-step", "ts": float(i), "step": i,
+         "reward": 0.1, "success": True}
+        for i in range(6)
+    ]
+    records += [
+        _alert("reward-plateau", "warning", 2, "no improvement"),
+        _alert("critic-divergence", "critical", 3, "loss 12x floor",
+               loss=12.0, floor=1.0),
+        _alert("critic-divergence", "critical", 4, "loss 20x floor",
+               loss=20.0, floor=1.0),
+        _alert("critic-divergence", "critical", 5, "loss 31x floor",
+               loss=31.0, floor=1.0),
+    ]
+    _write_events(run / "events.jsonl", records)
+    return run
+
+
+class TestDiagnoseRun:
+    def test_planted_root_cause_ranked_first(self, tmp_path):
+        report = diagnose_run(_planted_run(tmp_path))
+        assert not report["healthy"]
+        names = [f["name"] for f in report["findings"]]
+        assert names[0] == "critic-divergence"
+        first = report["findings"][0]
+        assert first["severity"] == "critical"
+        assert first["count"] == 3
+        assert first["last_step"] == 5
+        assert first["inferred"] is False
+        assert first["remediation"] == REMEDIATIONS["critic-divergence"]
+        assert first["data"] == {"loss": 31.0, "floor": 1.0}
+
+    def test_every_cause_has_a_remediation_hint(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        _write_events(
+            run / "events.jsonl",
+            [_alert(name, "warning", 1) for name in REMEDIATIONS],
+        )
+        report = diagnose_run(run)
+        assert len(report["findings"]) == len(REMEDIATIONS)
+        for finding in report["findings"]:
+            assert finding["remediation"] == REMEDIATIONS[finding["name"]]
+
+    def test_healthy_run(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        _write_events(
+            run / "events.jsonl",
+            [{"kind": "online-step", "ts": float(i), "step": i,
+              "reward": 0.1 * i, "success": True} for i in range(4)],
+        )
+        report = diagnose_run(run)
+        assert report["healthy"]
+        assert report["findings"] == []
+        assert report["run"]["steps"] == 4
+
+    def test_inferred_from_replay_without_live_alerts(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        # 40 plateaued steps, no alert events: replay must infer plateau.
+        _write_events(
+            run / "events.jsonl",
+            [{"kind": "online-step", "ts": float(i), "step": i,
+              "reward": 0.5, "success": True} for i in range(40)],
+        )
+        report = diagnose_run(run)
+        names = {f["name"] for f in report["findings"]}
+        assert "reward-plateau" in names
+        assert all(f["inferred"] for f in report["findings"])
+
+    def test_accepts_events_file_directly(self, tmp_path):
+        run = _planted_run(tmp_path)
+        report = diagnose_run(run / "events.jsonl")
+        assert report["findings"][0]["name"] == "critic-divergence"
+
+    def test_missing_events_is_healthy_empty(self, tmp_path):
+        run = tmp_path / "empty"
+        run.mkdir()
+        report = diagnose_run(run)
+        assert report["healthy"]
+        assert report["run"]["events_file"] is None
+
+
+class TestRender:
+    def test_render_orders_and_hints(self, tmp_path):
+        report = diagnose_run(_planted_run(tmp_path))
+        text = render_diagnosis(report)
+        assert text.index("critic-divergence") < text.index("reward-plateau")
+        assert "1. [CRIT] critic-divergence ×3 @ step 5" in text
+        assert "fix:" in text
+        assert "loss=31.0" in text
+
+    def test_render_top_truncates(self, tmp_path):
+        report = diagnose_run(_planted_run(tmp_path))
+        text = render_diagnosis(report, top=1)
+        assert "critic-divergence" in text
+        assert "reward-plateau" not in text
+
+    def test_render_inferred_tag(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        _write_events(
+            run / "events.jsonl",
+            [{"kind": "online-step", "ts": float(i), "step": i,
+              "reward": 0.5, "success": True} for i in range(40)],
+        )
+        text = render_diagnosis(diagnose_run(run))
+        assert "(inferred from replay)" in text
+
+
+class TestDoctorCLI:
+    def test_exit_zero_and_report(self, tmp_path, capsys):
+        run = _planted_run(tmp_path)
+        assert main(["doctor", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "critic-divergence" in out
+
+    def test_fail_on_findings(self, tmp_path):
+        assert main(
+            ["doctor", str(_planted_run(tmp_path)), "--fail-on-findings"]
+        ) == 4
+
+    def test_fail_on_findings_healthy_run_exits_zero(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        _write_events(
+            run / "events.jsonl",
+            [{"kind": "online-step", "ts": 0.0, "step": 0,
+              "reward": 0.1, "success": True}],
+        )
+        assert main(["doctor", str(run), "--fail-on-findings"]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        run = _planted_run(tmp_path)
+        assert main(["doctor", str(run), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"][0]["name"] == "critic-divergence"
+        assert doc["healthy"] is False
+
+    def test_missing_path_errors(self, tmp_path, capsys):
+        assert main(["doctor", str(tmp_path / "nope")]) == 1
+        assert "doctor:" in capsys.readouterr().err

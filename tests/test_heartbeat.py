@@ -1,6 +1,7 @@
 """Heartbeat writer/reader, the watch CLI, and monotonic manifest time."""
 
 import json
+import os
 import time
 
 import pytest
@@ -8,6 +9,8 @@ import pytest
 from repro.cli import main
 from repro.telemetry import (
     HeartbeatWriter,
+    default_stale_after,
+    heartbeat_status,
     read_heartbeat,
     render_heartbeat,
 )
@@ -56,6 +59,101 @@ class TestHeartbeatWriter:
         hb = tmp_path / "deep" / "nested" / "hb.json"
         HeartbeatWriter(hb).event("offline-step")
         assert hb.is_file()
+
+
+class TestHeartbeatEnrichment:
+    def test_intervention_and_alert_events_do_not_write(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        w = HeartbeatWriter(hb, total_steps=4)
+        w.event("intervention", intervention="retry", step=0)
+        w.event("alert", name="reward-plateau", severity="warning", step=0)
+        assert not hb.exists()  # counters mutate in memory only
+
+    def test_step_event_flushes_resilience_and_alerts(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        w = HeartbeatWriter(hb, total_steps=4)
+        w.event("intervention", intervention="retry")
+        w.event("intervention", intervention="retry")
+        w.event("intervention", intervention="watchdog-abort")
+        w.event("intervention", intervention="fallback")
+        w.event("intervention", intervention="state-repair")
+        w.event("alert", name="critic-divergence", severity="critical",
+                step=1)
+        w.event("online-step", step=1, reward=0.4, success=True,
+                duration_s=55.0)
+        doc = read_heartbeat(hb)
+        assert doc["resilience"] == {
+            "retries": 2, "watchdog_aborts": 1,
+            "fallbacks": 1, "state_repairs": 1,
+        }
+        assert doc["alerts"]["total"] == 1
+        assert doc["alerts"]["active"][-1]["name"] == "critic-divergence"
+        assert doc["best_reward"] == 0.4
+        assert doc["best_duration_s"] == 55.0
+
+    def test_best_fields_track_extremes(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        w = HeartbeatWriter(hb)
+        w.event("online-step", step=1, reward=0.2, success=True,
+                duration_s=60.0)
+        w.event("online-step", step=2, reward=0.5, success=True,
+                duration_s=48.0)
+        w.event("online-step", step=3, reward=0.1, success=False,
+                duration_s=10.0)  # failed step must not win best duration
+        doc = read_heartbeat(hb)
+        assert doc["best_reward"] == 0.5
+        assert doc["best_duration_s"] == 48.0
+
+    def test_alert_ring_is_bounded(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        w = HeartbeatWriter(hb)
+        for i in range(9):
+            w.event("alert", name=f"a{i}", severity="info", step=i)
+        w.event("online-step", step=1)
+        doc = read_heartbeat(hb)
+        assert doc["alerts"]["total"] == 9
+        assert len(doc["alerts"]["active"]) == 5
+        assert doc["alerts"]["active"][0]["name"] == "a4"
+
+    def test_render_shows_resilience_and_alert_extras(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        w = HeartbeatWriter(hb, total_steps=3)
+        w.event("intervention", intervention="retry")
+        w.event("alert", name="rdper-beta-drift", severity="warning",
+                step=1)
+        w.event("online-step", step=1, reward=0.1, success=True)
+        line = render_heartbeat(read_heartbeat(hb))
+        assert "retries 1" in line
+        assert "alerts 1" in line
+        assert "rdper-beta-drift" in line
+
+
+class TestHeartbeatStatus:
+    def _doc(self, **over):
+        doc = {
+            "phase": "online-tune", "step": 3, "total_steps": 10,
+            "elapsed_s": 30.0, "eta_s": 70.0,
+            "updated_at": time.time(), "pid": 1,
+        }
+        doc.update(over)
+        return doc
+
+    def test_default_stale_after_is_three_step_intervals(self):
+        assert default_stale_after(self._doc()) == 30.0  # 3 * (30/3)
+        # Floor of 10s for fast steps / step zero.
+        assert default_stale_after(self._doc(step=0)) == 10.0
+        assert default_stale_after(
+            self._doc(step=30, elapsed_s=3.0)
+        ) == 10.0
+
+    def test_status_transitions(self):
+        doc = self._doc()
+        assert heartbeat_status(doc, age_s=1.0) == "running"
+        assert heartbeat_status(doc, age_s=31.0) == "stalled"
+        assert heartbeat_status(doc, age_s=5.0, stale_after=2.0) == "stalled"
+        assert heartbeat_status(
+            self._doc(step=10), age_s=9999.0
+        ) == "done"  # finished runs never stall
 
 
 class TestHeartbeatReader:
@@ -129,6 +227,53 @@ class TestWatchCLI:
         rc = main(["telemetry", "watch", str(tmp_path / "none.json")])
         assert rc == 1
         assert "watch:" in capsys.readouterr().err
+
+    def test_watch_flags_stalled_heartbeat(self, tmp_path, capsys):
+        hb = tmp_path / "hb.json"
+        HeartbeatWriter(hb, total_steps=10).event("online-step", step=1)
+        stale = time.time() - 120.0
+        os.utime(hb, (stale, stale))
+        rc = main([
+            "telemetry", "watch", str(hb),
+            "--stale-after", "60", "--fail-on-stall",
+        ])
+        assert rc == 3
+        assert "STALLED" in capsys.readouterr().out
+
+    def test_watch_fresh_heartbeat_passes_stall_gate(self, tmp_path, capsys):
+        hb = tmp_path / "hb.json"
+        HeartbeatWriter(hb, total_steps=10).event("online-step", step=1)
+        rc = main([
+            "telemetry", "watch", str(hb),
+            "--stale-after", "3600", "--fail-on-stall",
+        ])
+        assert rc == 0
+        assert "STALLED" not in capsys.readouterr().out
+
+    def test_top_renders_fleet_table(self, tmp_path, capsys):
+        for name in ("alpha", "beta"):
+            hb = tmp_path / name / "hb.json"
+            w = HeartbeatWriter(hb, total_steps=5)
+            w.event("intervention", intervention="retry")
+            w.event("online-step", step=2, reward=0.3, success=True,
+                    duration_s=50.0)
+        rc = main(["telemetry", "top", str(tmp_path), "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SESSION" in out
+        assert "alpha" in out and "beta" in out
+
+    def test_top_fail_on_stall(self, tmp_path, capsys):
+        hb = tmp_path / "run" / "hb.json"
+        HeartbeatWriter(hb, total_steps=10).event("online-step", step=1)
+        stale = time.time() - 120.0
+        os.utime(hb, (stale, stale))
+        rc = main([
+            "telemetry", "top", str(tmp_path), "--once",
+            "--stale-after", "60", "--fail-on-stall",
+        ])
+        assert rc == 3
+        assert "STALLED" in capsys.readouterr().out
 
     def test_heartbeat_flag_during_train(self, tmp_path, capsys):
         hb = tmp_path / "hb.json"
