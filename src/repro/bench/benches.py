@@ -310,3 +310,79 @@ def _bench_online_tune():
         copy.deepcopy(tuner).tune_online(env, steps=5)
 
     return run
+
+
+# ------------------------------------------------------- population
+
+_POP_N = 64
+_POP_STEPS = 5
+
+
+def _population_tuner_proto():
+    """One trained DeepCAT to deep-copy per population member.
+
+    A small replay buffer keeps the per-member deepcopy cheap so the
+    timed region is dominated by stepping, not construction.
+    """
+    from repro.core.deepcat import DeepCAT
+
+    env = _make_env()
+    tuner = DeepCAT.from_env(env, seed=_SEED, buffer_capacity=512)
+    tuner.train_offline(env, 120)
+    return tuner
+
+
+def _population_members():
+    import copy
+
+    proto = _population_tuner_proto()
+    tuners = [copy.deepcopy(proto) for _ in range(_POP_N)]
+    envs = [_make_env(seed=_SEED + 7 + i) for i in range(_POP_N)]
+    return tuners, envs
+
+
+@bench("population.step", kind="micro", items=_POP_N * _POP_STEPS,
+       description="vectorized lockstep of 64 environments x 5 steps")
+def _bench_population_step():
+    from repro.envs.population import VectorTuningEnv
+
+    envs = [_make_env(seed=_SEED + 7 + i) for i in range(_POP_N)]
+    venv = VectorTuningEnv(envs)
+    rng = np.random.default_rng(_SEED)
+    action_mats = [
+        np.stack([env.space.sample_vector(rng) for env in envs])
+        for _ in range(_POP_STEPS)
+    ]
+
+    def run() -> None:
+        for actions in action_mats:
+            venv.step(actions)
+
+    return run
+
+
+@bench("pipeline.population", kind="macro", items=_POP_N * _POP_STEPS,
+       description="64 tuning sessions x 5 steps as one lockstep population")
+def _bench_pipeline_population():
+    from repro.core.population import PopulationTuner
+
+    def run() -> None:
+        tuners, envs = _population_members()
+        population = PopulationTuner.from_deepcat(
+            tuners, envs, fine_tune_updates=0
+        )
+        population.tune(steps=_POP_STEPS)
+
+    return run
+
+
+@bench("pipeline.population_sequential", kind="macro",
+       items=_POP_N * _POP_STEPS,
+       description="the same 64 sessions x 5 steps as a sequential loop")
+def _bench_pipeline_population_sequential():
+    def run() -> None:
+        tuners, envs = _population_members()
+        for tuner, env in zip(tuners, envs):
+            tuner.tune_online(env, steps=_POP_STEPS, fine_tune_updates=0)
+
+    return run

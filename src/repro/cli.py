@@ -171,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a killed session from its checkpoint; --steps is "
              "the TOTAL step count (already-completed steps are kept)",
     )
+    p_tune.add_argument(
+        "--population", type=int, default=None, metavar="N",
+        help="serve N independent sessions in one lockstep population "
+             "(member i uses the i-th seed derived from --seed); "
+             "bit-identical to N sequential runs, much faster",
+    )
 
     p_eval = sub.add_parser(
         "evaluate", help="run one configuration on the simulator"
@@ -532,6 +538,94 @@ def _print_session(session) -> None:
         )
 
 
+def _checkpoint_is_population(path) -> bool:
+    """Sniff whether a checkpoint file holds a population snapshot."""
+    import pickle
+
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    return "population_checkpoint_version" in payload
+
+
+def _tune_population(args) -> int:
+    from repro.core.persistence import (
+        PopulationCheckpointManager,
+        load_population_checkpoint,
+    )
+    from repro.core.population import PopulationTuner, population_seed_plan
+    from repro.core.resilience import ResiliencePolicy
+
+    if args.resume is not None:
+        ck = load_population_checkpoint(args.resume)
+        tuners, envs, sessions = ck.tuners, ck.envs, ck.sessions
+        start_steps, resiliences = ck.next_steps, ck.resiliences
+        ckpt_path = args.checkpoint if args.checkpoint else args.resume
+        if min(start_steps) >= args.steps:
+            print(f"nothing to do: {args.resume} already has "
+                  f"{min(start_steps)} step(s) in every session")
+            for i, session in enumerate(sessions):
+                print(f"--- session {i + 1}/{len(sessions)} ---")
+                _print_session(session)
+            return 0
+        print(
+            f"resuming population of {len(tuners)} from {args.resume} "
+            f"at step {min(start_steps) + 1}/{args.steps}"
+        )
+    else:
+        if args.population < 1:
+            print("tune: --population must be >= 1", file=sys.stderr)
+            return 2
+        seeds = population_seed_plan(args.seed, args.population)
+        tuners = [load_tuner(args.model, seed=s) for s in seeds]
+        envs = [
+            make_env(args.workload, args.dataset,
+                     cluster=_CLUSTERS[args.cluster], seed=1000 + s,
+                     fault_profile=args.fault_profile)
+            for s in seeds
+        ]
+        resiliences = [
+            ResiliencePolicy.default(seed=s)
+            if args.fault_profile != "none" and not args.no_resilience
+            else None
+            for s in seeds
+        ]
+        sessions = [None] * len(seeds)
+        start_steps = [0] * len(seeds)
+        ckpt_path = args.checkpoint
+    checkpoint = (
+        PopulationCheckpointManager(
+            ckpt_path, tuners, envs, resiliences=resiliences,
+            every=args.checkpoint_every,
+        )
+        if ckpt_path
+        else None
+    )
+    ctx = _telemetry_context(args, kind="online-tune", total_steps=args.steps)
+    with _sigterm_as_interrupt(), _profiled(ctx, args):
+        try:
+            population = PopulationTuner.from_deepcat(
+                tuners, envs, telemetry=ctx, resiliences=resiliences,
+                sessions=sessions, start_steps=start_steps,
+            )
+            results = population.tune(
+                steps=args.steps, time_budget_s=args.time_budget,
+                checkpoint=checkpoint,
+            )
+        except KeyboardInterrupt:
+            print("\ninterrupted", end="")
+            if checkpoint is not None:
+                print(f": population checkpointed to {checkpoint.path}; "
+                      f"resume with --resume {checkpoint.path}", end="")
+            print()
+            _finish_interrupted(ctx, "online-tune")
+            return _INTERRUPTED_RC
+    for i, session in enumerate(results):
+        print(f"--- session {i + 1}/{len(results)} ---")
+        _print_session(session)
+    _finish_telemetry(ctx)
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from repro.core.persistence import CheckpointManager, load_checkpoint
     from repro.core.resilience import ResiliencePolicy
@@ -540,6 +634,10 @@ def _cmd_tune(args) -> int:
         print("tune: either --model or --resume is required",
               file=sys.stderr)
         return 2
+    if args.resume is not None and _checkpoint_is_population(args.resume):
+        return _tune_population(args)
+    if args.resume is None and args.population is not None:
+        return _tune_population(args)
     if args.resume is not None:
         ckpt = load_checkpoint(args.resume)
         tuner, env = ckpt.tuner, ckpt.env

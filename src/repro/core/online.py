@@ -399,9 +399,13 @@ class OnlineTuner:
                             break
         except KeyboardInterrupt:
             # Killed mid-session: persist everything completed so far so
-            # --resume can continue bit-identically, then propagate.
+            # --resume can continue bit-identically, then propagate.  The
+            # save is skipped when the cadence already snapshotted this
+            # progress at a clean step boundary — the interrupt lands
+            # mid-step with RNG streams advanced for the in-flight
+            # recommendation, and those must not overwrite clean state.
             if checkpoint is not None:
-                checkpoint.save(session, len(session.steps))
+                checkpoint.save_if_stale(session, len(session.steps))
             raise
         successes = [s for s in session.steps if s.success]
         if t.manifest is not None:

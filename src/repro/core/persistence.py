@@ -42,10 +42,15 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "CheckpointManager",
+    "PopulationCheckpoint",
+    "save_population_checkpoint",
+    "load_population_checkpoint",
+    "PopulationCheckpointManager",
 ]
 
 _FORMAT_VERSION = 1
 _CHECKPOINT_VERSION = 1
+_POPULATION_CHECKPOINT_VERSION = 1
 
 _TD3_NETS = (
     "actor", "actor_target",
@@ -274,6 +279,158 @@ def load_checkpoint(path: str | Path) -> SessionCheckpoint:
     )
 
 
+@dataclass
+class PopulationCheckpoint:
+    """A frozen in-flight *population* of online tuning sessions.
+
+    Parallel per-member lists; ``next_steps[i]`` is the first step member
+    ``i`` has not yet executed (``len(sessions[i].steps)``).  Resuming
+    means rebuilding the population via
+    ``PopulationTuner.from_deepcat(tuners, envs, sessions=sessions,
+    start_steps=next_steps, resiliences=resiliences)`` and calling
+    ``tune`` with the original total step count.
+    """
+
+    tuners: list
+    envs: list
+    sessions: list
+    next_steps: list[int]
+    resiliences: list
+
+
+def save_population_checkpoint(
+    path: str | Path,
+    *,
+    tuners,
+    envs,
+    sessions,
+    next_steps,
+    resiliences=None,
+) -> Path:
+    """Atomically snapshot an in-flight population to one file.
+
+    Same guarantees as :func:`save_checkpoint` (tmp + ``os.replace``,
+    telemetry detached from every member's object graph); each member's
+    tuner/env/session is pickled exactly as its scalar checkpoint would
+    be, so a restored member resumes bit-identically whether it rejoins
+    a population or continues alone.
+    """
+    path = Path(path)
+    tuners = list(tuners)
+    envs = list(envs)
+    sessions = list(sessions)
+    next_steps = [int(s) for s in next_steps]
+    resiliences = (
+        list(resiliences) if resiliences is not None else [None] * len(tuners)
+    )
+    if not (
+        len(tuners) == len(envs) == len(sessions)
+        == len(next_steps) == len(resiliences)
+    ):
+        raise ValueError("per-member checkpoint lists must match in length")
+    payload = {
+        "population_checkpoint_version": _POPULATION_CHECKPOINT_VERSION,
+        "members": [
+            {
+                "tuner": tuner,
+                "env": env,
+                "session": session,
+                "next_step": next_step,
+                "resilience": resilience,
+            }
+            for tuner, env, session, next_step, resilience in zip(
+                tuners, envs, sessions, next_steps, resiliences
+            )
+        ],
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with contextlib.ExitStack() as stack:
+        for tuner, env in zip(tuners, envs):
+            stack.enter_context(_telemetry_detached(tuner, env))
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return path
+
+
+def load_population_checkpoint(path: str | Path) -> PopulationCheckpoint:
+    """Restore a population snapshot written by
+    :func:`save_population_checkpoint`."""
+    with open(Path(path), "rb") as fh:
+        payload = pickle.load(fh)
+    version = payload.get("population_checkpoint_version")
+    if version != _POPULATION_CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported population checkpoint version {version}"
+        )
+    members = payload["members"]
+    return PopulationCheckpoint(
+        tuners=[m["tuner"] for m in members],
+        envs=[m["env"] for m in members],
+        sessions=[m["session"] for m in members],
+        next_steps=[m["next_step"] for m in members],
+        resiliences=[m["resilience"] for m in members],
+    )
+
+
+class PopulationCheckpointManager:
+    """Periodic population checkpointer handed to ``PopulationTuner.tune``.
+
+    ``every`` is the snapshot cadence in *lockstep* iterations.
+    ``on_step`` receives the per-member sessions and the lockstep index
+    just completed; ``save`` writes unconditionally (final snapshot on
+    interrupt).
+    """
+
+    def __init__(self, path: str | Path, tuners, envs, resiliences=None,
+                 every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.path = Path(path)
+        self.tuners = list(tuners)
+        self.envs = list(envs)
+        self.resiliences = (
+            list(resiliences)
+            if resiliences is not None
+            else [None] * len(self.tuners)
+        )
+        self.every = every
+        self.saves = 0
+        #: progress of the newest on-disk snapshot (None = nothing saved)
+        self.saved_next_steps: list[int] | None = None
+
+    def save(self, sessions, next_steps) -> Path:
+        self.saves += 1
+        path = save_population_checkpoint(
+            self.path,
+            tuners=self.tuners,
+            envs=self.envs,
+            sessions=sessions,
+            next_steps=next_steps,
+            resiliences=self.resiliences,
+        )
+        self.saved_next_steps = list(next_steps)
+        return path
+
+    def save_if_stale(self, sessions, next_steps) -> Path | None:
+        """Final snapshot on interrupt — but only when it would add
+        progress.  An interrupt lands mid-lockstep, *after* the members'
+        RNG streams advanced for the in-flight step; overwriting a clean
+        boundary snapshot of the same progress with those dirty streams
+        would break resume bit-identity.
+        """
+        if self.saved_next_steps == list(next_steps):
+            return None
+        return self.save(sessions, next_steps)
+
+    def on_step(self, sessions, next_step: int) -> Path | None:
+        if next_step % self.every == 0:
+            return self.save(
+                sessions, [len(s.steps) for s in sessions]
+            )
+        return None
+
+
 class CheckpointManager:
     """Periodic checkpointer handed to ``OnlineTuner.tune``.
 
@@ -293,10 +450,12 @@ class CheckpointManager:
         self.resilience = resilience
         self.every = every
         self.saves = 0
+        #: progress of the newest on-disk snapshot (None = nothing saved)
+        self.saved_next_step: int | None = None
 
     def save(self, session, next_step: int) -> Path:
         self.saves += 1
-        return save_checkpoint(
+        path = save_checkpoint(
             self.path,
             tuner=self.tuner,
             env=self.env,
@@ -304,6 +463,19 @@ class CheckpointManager:
             next_step=next_step,
             resilience=self.resilience,
         )
+        self.saved_next_step = next_step
+        return path
+
+    def save_if_stale(self, session, next_step: int) -> Path | None:
+        """Final snapshot on interrupt — skipped when the cadence already
+        persisted this progress.  The interrupt lands mid-step, after the
+        tuner's RNG advanced for the in-flight recommendation, so
+        rewriting an existing clean-boundary snapshot would trade a
+        resumable bit-identical state for a dirty one.
+        """
+        if self.saved_next_step == next_step:
+            return None
+        return self.save(session, next_step)
 
     def on_step(self, session, next_step: int) -> Path | None:
         if next_step % self.every == 0:

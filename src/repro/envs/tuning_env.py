@@ -204,51 +204,67 @@ class TuningEnv:
         results = sim.evaluate_batch(vecs, self.space, apply_faults=False)
         outcomes: list[StepOutcome] = []
         for i, result in enumerate(results):
-            prev_state = self.state
-            if self._fault_injector.enabled:
-                result, injected = self._fault_injector.perturb_result(
-                    result
-                )
-                for kind in injected:
-                    sim.telemetry.count(
-                        "faults.injected_total",
-                        help="stochastic chaos injections by kind",
-                        kind=kind,
-                    )
-            self.runner.record(result)
-            reward = self.reward_fn(result.duration_s, success=result.success)
-            demand = (
-                result.cpu_demand_per_node
-                if result.cpu_demand_per_node.size
-                else np.full(self.cluster.n_nodes, 0.1)
-            )
-            self._state = self._tracker.observe(demand)
-            observation, n_dropped = self._fault_injector.corrupt_state(
-                self.state
-            )
-            self._last_observation = observation
-            faults = result.injected_faults
-            if n_dropped:
-                faults = (*faults, "metric-dropout")
-                sim.telemetry.count(
-                    "faults.injected_total",
-                    n_dropped,
-                    help="stochastic chaos injections by kind",
-                    kind="metric-dropout",
-                )
-            self.total_evaluation_seconds += result.duration_s
-            self.steps_taken += 1
             outcomes.append(
-                StepOutcome(
-                    state=prev_state,
-                    action=vecs[i].copy(),
-                    reward=float(reward),
-                    next_state=observation,
-                    duration_s=result.duration_s,
-                    success=result.success,
-                    config=configs[i],
-                    result=result,
-                    faults=faults,
-                )
+                self._absorb_result(result, vecs[i].copy(), configs[i])
             )
         return outcomes
+
+    def _absorb_result(
+        self,
+        result: ExecutionResult,
+        vec: np.ndarray,
+        config: dict[str, Any],
+    ) -> StepOutcome:
+        """Fold one *clean* (fault-free, unrecorded) simulator result into
+        the environment, bit-identically to the tail of :meth:`step`.
+
+        Shared by :meth:`step_batch` and the population environment
+        (:class:`~repro.envs.population.VectorTuningEnv`): both evaluate
+        through the vectorized simulator with ``apply_faults=False`` and
+        then interleave fault perturbation with metric dropout per step,
+        in the exact scalar RNG order.
+        """
+        sim = self.runner.simulator
+        prev_state = self.state
+        if self._fault_injector.enabled:
+            result, injected = self._fault_injector.perturb_result(result)
+            for kind in injected:
+                sim.telemetry.count(
+                    "faults.injected_total",
+                    help="stochastic chaos injections by kind",
+                    kind=kind,
+                )
+        self.runner.record(result)
+        reward = self.reward_fn(result.duration_s, success=result.success)
+        demand = (
+            result.cpu_demand_per_node
+            if result.cpu_demand_per_node.size
+            else np.full(self.cluster.n_nodes, 0.1)
+        )
+        self._state = self._tracker.observe(demand)
+        observation, n_dropped = self._fault_injector.corrupt_state(
+            self.state
+        )
+        self._last_observation = observation
+        faults = result.injected_faults
+        if n_dropped:
+            faults = (*faults, "metric-dropout")
+            sim.telemetry.count(
+                "faults.injected_total",
+                n_dropped,
+                help="stochastic chaos injections by kind",
+                kind="metric-dropout",
+            )
+        self.total_evaluation_seconds += result.duration_s
+        self.steps_taken += 1
+        return StepOutcome(
+            state=prev_state,
+            action=vec,
+            reward=float(reward),
+            next_state=observation,
+            duration_s=result.duration_s,
+            success=result.success,
+            config=config,
+            result=result,
+            faults=faults,
+        )

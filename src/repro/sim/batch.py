@@ -46,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.config.space import ConfigurationSpace
     from repro.sim.engine import SparkSimulator
 
-__all__ = ["evaluate_batch"]
+__all__ = ["evaluate_batch", "evaluate_population"]
 
 # log2(512/16): normalization constant of the disk buffer-quality curve.
 _BUFFER_QUALITY_DENOM = float(np.log2(512.0 / 16.0))
@@ -214,6 +214,102 @@ def evaluate_batch(
                             kind=kind,
                         )
                 results[j] = perturbed
+    return results
+
+
+def evaluate_population(
+    sims: "list[SparkSimulator]",
+    vectors: np.ndarray,
+    space: "ConfigurationSpace",
+) -> list[ExecutionResult]:
+    """Evaluate one vector per simulator through a single analytic pass.
+
+    ``sims[j]`` evaluates ``vectors[j]``.  All simulators must share the
+    same workload, dataset, and cluster, so the deterministic pass-1
+    stage math (:func:`_stage_plan` never touches per-sim state) is
+    computed once for the whole population; pass 2 walks rows in order
+    drawing each simulator's *own* RNG stream and counting against its
+    own telemetry, exactly as a scalar ``sims[j].evaluate`` would.
+    Faults are never applied here — each caller interleaves its
+    environment's fault stream per session (see
+    ``VectorTuningEnv.step``).
+
+    Row ``j`` is bit-identical to ``sims[j].evaluate(space.decode(
+    vectors[j]))`` under the same per-sim generator states.
+    """
+    from repro.sim.engine import (
+        CACHE_REPARSE_CPU_PER_MB,
+        JOB_SETUP_SECONDS,
+        OVERLAP_RESIDUE,
+        SPILL_CPU_PER_MB,
+        STAGE_SETUP_SECONDS,
+        TASK_DISPATCH_SECONDS,
+        WAVE_LAUNCH_SECONDS,
+    )
+
+    mat = np.asarray(vectors, dtype=np.float64)
+    if mat.ndim != 2 or mat.shape[1] != space.dim:
+        raise ValueError(
+            f"expected shape (n, {space.dim}), got {mat.shape}"
+        )
+    n = mat.shape[0]
+    if len(sims) != n:
+        raise ValueError(
+            f"got {len(sims)} simulators for {n} vectors"
+        )
+    if n == 0:
+        return []
+    lead = sims[0]
+    for sim in sims[1:]:
+        if (
+            sim.workload.code != lead.workload.code
+            or sim.dataset.label != lead.dataset.label
+            or sim.cluster != lead.cluster
+        ):
+            raise ValueError(
+                "population simulators must share workload/dataset/cluster"
+            )
+
+    cluster = lead.cluster
+    node = cluster.node
+    stages = lead._stages
+    t0 = lead.telemetry
+
+    with t0.phase("sim.evaluate_population"), t0.span(
+        "sim.evaluate_population", workload=lead.workload.code, n=n
+    ):
+        cols = space.decode_columns(mat)
+        placement = plan_executors_batch(cols, cluster)
+        fi = np.flatnonzero(placement.feasible)
+        k = fi.size
+
+        plan = _stage_plan(
+            lead, cols, placement, fi, cluster, node, stages,
+            CACHE_REPARSE_CPU_PER_MB, SPILL_CPU_PER_MB, OVERLAP_RESIDUE,
+            STAGE_SETUP_SECONDS, TASK_DISPATCH_SECONDS, WAVE_LAUNCH_SECONDS,
+        ) if k else None
+
+        pos = np.full(n, -1, dtype=np.int64)
+        pos[fi] = np.arange(k)
+
+        results: list[ExecutionResult] = []
+        for j in range(n):
+            sim = sims[j]
+            t = sim.telemetry
+            sim.evaluation_count += 1
+            t.count(
+                "sim.evaluations_total", help="simulated configuration runs"
+            )
+            pl = placement.row(j)
+            if not pl.feasible:
+                results.append(_infeasible_result(sim, pl, t))
+                continue
+            results.append(
+                _assemble_feasible(
+                    sim, pl, plan, int(pos[j]), stages, t,
+                    JOB_SETUP_SECONDS,
+                )
+            )
     return results
 
 

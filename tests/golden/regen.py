@@ -1,15 +1,23 @@
-"""Regenerate the simulator golden file.
+"""Regenerate the golden files.
 
 Usage::
 
     PYTHONPATH=src python tests/golden/regen.py
 
-Pins the *noise-free* default-configuration execution time of every
-paper workload at dataset D1 on both clusters.  These are pure functions
-of the simulator's physics; any edit that moves them must (a) be
-intentional, (b) regenerate this file, and (c) bump
-``repro.experiments.engine.CACHE_VERSION`` so stale on-disk task results
-are invalidated alongside.
+Two golden artifacts live here:
+
+* ``sim_defaults.json`` — the *noise-free* default-configuration
+  execution time of every paper workload at dataset D1 on both
+  clusters.  Pure functions of the simulator's physics.
+* ``population_trace.json`` — a seeded 3-member population tuning
+  trace (``PopulationTuner``, 3 lockstep steps).  Pins the combined
+  actor/critic math, Twin-Q screening, RNG stream plan, and simulator
+  stack end to end; because the population is bit-identical to
+  sequential serving, the same trace also pins ``OnlineTuner.tune``.
+
+Any edit that moves either file must (a) be intentional, (b) regenerate
+this file, and (c) bump ``repro.experiments.engine.CACHE_VERSION`` so
+stale on-disk task results are invalidated alongside.
 """
 
 from __future__ import annotations
@@ -18,10 +26,15 @@ import json
 from pathlib import Path
 
 GOLDEN_PATH = Path(__file__).parent / "sim_defaults.json"
+POPULATION_TRACE_PATH = Path(__file__).parent / "population_trace.json"
 
 WORKLOADS = ("WC", "TS", "PR", "KM")
 CLUSTERS = ("cluster-a", "cluster-b")
 DATASET = "D1"
+
+TRACE_BASE_SEED = 7
+TRACE_MEMBERS = 3
+TRACE_STEPS = 3
 
 
 def compute() -> dict[str, float]:
@@ -38,6 +51,42 @@ def compute() -> dict[str, float]:
     return out
 
 
+def compute_population_trace() -> list[list[dict]]:
+    """One seeded population run, serialized step by step.
+
+    ``json`` round-trips Python floats exactly (repr-precision), so the
+    comparison in ``tests/test_population_golden.py`` is bitwise.
+    """
+    from repro.core.deepcat import DeepCAT
+    from repro.core.population import PopulationTuner, population_seed_plan
+    from repro.factory import make_env
+
+    seeds = population_seed_plan(TRACE_BASE_SEED, TRACE_MEMBERS)
+    envs = [make_env("WC", DATASET, seed=1000 + s) for s in seeds]
+    tuners = [
+        DeepCAT.from_env(env, seed=s, buffer_capacity=256)
+        for s, env in zip(seeds, envs)
+    ]
+    sessions = PopulationTuner.from_deepcat(tuners, envs).tune(
+        steps=TRACE_STEPS
+    )
+    return [
+        [
+            {
+                "step": s.step,
+                "duration_s": s.duration_s,
+                "reward": s.reward,
+                "success": s.success,
+                "action_sum": float(s.action.sum()),
+                "twinq_iterations": s.twinq_iterations,
+                "twinq_accepted": s.twinq_accepted,
+            }
+            for s in session.steps
+        ]
+        for session in sessions
+    ]
+
+
 def main() -> None:
     values = compute()
     GOLDEN_PATH.write_text(json.dumps(values, indent=2, sort_keys=True)
@@ -46,6 +95,18 @@ def main() -> None:
     for key, value in sorted(values.items()):
         print(f"  {key:<18} {value:10.4f}s")
 
+    trace = compute_population_trace()
+    POPULATION_TRACE_PATH.write_text(
+        json.dumps(trace, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {POPULATION_TRACE_PATH}:")
+    for i, steps in enumerate(trace):
+        line = ", ".join(f"{s['duration_s']:.1f}s" for s in steps)
+        print(f"  member {i}: {line}")
+
 
 if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
     main()

@@ -1,0 +1,377 @@
+"""Population equivalence suite: lockstep == sequential, bit for bit.
+
+The population stack has three layers, each pinned here against its
+scalar counterpart:
+
+* :class:`repro.nn.population.StackedSequential` /
+  :class:`repro.agents.population.PopulationTD3View` — the batched
+  tensor math must match the per-agent forward passes exactly;
+* :class:`repro.envs.population.VectorTuningEnv` — the shared
+  simulator pass must consume every environment's RNG streams in the
+  scalar order (hypothesis sweep over N, actions, and fault presets);
+* :class:`repro.core.population.PopulationTuner` — full sessions
+  (Twin-Q screening, resilience, fine-tune updates, checkpoints) must
+  satisfy :func:`repro.core.result.sessions_equal` against N sequential
+  :meth:`OnlineTuner.tune` runs.
+
+A population that is fast but not bit-identical is a different
+algorithm; these tests gate the feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.agents.population import PopulationTD3View
+from repro.agents.td3 import TD3Agent
+from repro.core.deepcat import DeepCAT
+from repro.core.population import (
+    PopulationTuner,
+    population_seed_plan,
+)
+from repro.core.resilience import ResiliencePolicy
+from repro.core.result import sessions_equal
+from repro.envs.population import VectorTuningEnv
+from repro.factory import make_env
+from repro.nn.population import StackedSequential
+from repro.replay.base import Transition
+
+FAULT_PRESETS = (None, "flaky", "degraded", "hostile")
+
+
+# ----------------------------------------------------------- helpers
+
+
+def _member_envs(n, *, workload="TS", dataset="D2", fault_profile=None):
+    return [
+        make_env(
+            workload, dataset, seed=1000 + s, fault_profile=fault_profile
+        )
+        for s in range(n)
+    ]
+
+
+def _prefill(tuner, env, n=20, seed=0):
+    """Push ``n`` synthetic transitions so fine-tune updates engage."""
+    rng = np.random.default_rng(seed ^ 0xABCDEF)
+    dim, act = env.state.shape[0], env.space.dim
+    for _ in range(n):
+        tuner.buffer.push(
+            Transition(
+                state=rng.uniform(size=dim),
+                action=rng.uniform(size=act),
+                reward=float(rng.uniform(-1.0, 1.0)),
+                next_state=rng.uniform(size=dim),
+            )
+        )
+
+
+def _deepcats(n, envs, *, prefill=0, **kwargs):
+    kwargs.setdefault("buffer_capacity", 512)
+    tuners = []
+    for s, env in enumerate(envs):
+        tuner = DeepCAT.from_env(env, seed=s, **kwargs)
+        if prefill:
+            _prefill(tuner, env, n=prefill, seed=s)
+        tuners.append(tuner)
+    return tuners
+
+
+def _assert_outcomes_equal(a, b):
+    np.testing.assert_array_equal(a.state, b.state)
+    np.testing.assert_array_equal(a.action, b.action)
+    assert a.reward == b.reward
+    np.testing.assert_array_equal(a.next_state, b.next_state)
+    assert a.duration_s == b.duration_s
+    assert a.success == b.success
+    assert a.config == b.config
+    assert a.faults == b.faults
+
+
+# ------------------------------------------------- nn / agent layers
+
+
+@pytest.mark.determinism
+def test_stacked_sequential_matches_per_net_forward():
+    rng = np.random.default_rng(0)
+    agents = [TD3Agent(9, 32, np.random.default_rng(100 + i))
+              for i in range(6)]
+    stacked = StackedSequential([a.actor for a in agents])
+    x = rng.uniform(-1.0, 1.0, (6, 17, 9))
+    out = stacked.forward(x)
+    for i, agent in enumerate(agents):
+        np.testing.assert_array_equal(out[i], agent.actor.forward(x[i]))
+
+
+@pytest.mark.determinism
+def test_stacked_views_track_scalar_updates():
+    """Per-agent fine-tune updates must write through to the stacked
+    storage — a batched forward after a scalar update sees new weights."""
+    agents = [TD3Agent(9, 32, np.random.default_rng(i)) for i in range(3)]
+    stacked = StackedSequential([a.actor for a in agents])
+    x = np.random.default_rng(1).uniform(size=(3, 4, 9))
+    before = stacked.forward(x).copy()
+    # Mutate agent 1's first layer in place, as Adam does.
+    agents[1].actor.layers[0].weight.data -= 0.05
+    after = stacked.forward(x)
+    np.testing.assert_array_equal(after[0], before[0])
+    np.testing.assert_array_equal(after[2], before[2])
+    assert not np.array_equal(after[1], before[1])
+    np.testing.assert_array_equal(after[1], agents[1].actor.forward(x[1]))
+
+
+@pytest.mark.determinism
+def test_population_view_matches_scalar_queries():
+    n = 5
+    agents = [TD3Agent(9, 32, np.random.default_rng(10 + i))
+              for i in range(n)]
+    view = PopulationTD3View(agents)
+    rng = np.random.default_rng(2)
+    states = rng.uniform(size=(n, 9))
+    actions = rng.uniform(size=(n, 32))
+    cands = rng.uniform(size=(n, 64, 32))
+
+    acts = view.act(states)
+    minqs = view.min_q(states, actions)
+    rows = view.twin_q_rows(states, cands).copy()
+    for i, agent in enumerate(agents):
+        np.testing.assert_array_equal(
+            acts[i], agent.act(states[i], explore=False)
+        )
+        assert minqs[i] == agent.min_q(states[i], actions[i])
+        np.testing.assert_array_equal(
+            rows[i], agent.twin_q_batch(states[i], cands[i])
+        )
+
+
+def test_population_view_rejects_shared_or_mismatched_agents():
+    a = TD3Agent(9, 32, np.random.default_rng(0))
+    with pytest.raises(ValueError, match="distinct"):
+        PopulationTD3View([a, a])
+    b = TD3Agent(7, 32, np.random.default_rng(1))
+    with pytest.raises(ValueError, match="dimensions"):
+        PopulationTD3View([a, b])
+    with pytest.raises(ValueError, match="at least one"):
+        PopulationTD3View([])
+
+
+# ------------------------------------------------- environment layer
+
+
+@pytest.mark.determinism
+@given(
+    n=st.integers(min_value=1, max_value=16),
+    profile=st.sampled_from(FAULT_PRESETS),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_vector_env_step_matches_sequential(n, profile, seed):
+    """One shared population pass == N scalar env.step calls, field for
+    field, across every fault preset and random knob configurations."""
+    envs_a = _member_envs(n, fault_profile=profile)
+    envs_b = _member_envs(n, fault_profile=profile)
+    venv = VectorTuningEnv(envs_a)
+    rng = np.random.default_rng(seed)
+    for _ in range(2):
+        actions = np.stack(
+            [env.space.sample_vector(rng) for env in envs_b]
+        )
+        batch = venv.step(actions)
+        scalar = [env.step(actions[i]) for i, env in enumerate(envs_b)]
+        for a, b in zip(batch, scalar):
+            _assert_outcomes_equal(a, b)
+    for ea, eb in zip(envs_a, envs_b):
+        assert ea.total_evaluation_seconds == eb.total_evaluation_seconds
+        np.testing.assert_array_equal(ea.observation, eb.observation)
+
+
+@pytest.mark.determinism
+def test_vector_env_partial_indices_step_only_selected_members():
+    envs_a = _member_envs(4)
+    envs_b = _member_envs(4)
+    venv = VectorTuningEnv(envs_a)
+    rng = np.random.default_rng(3)
+    actions = np.stack([env.space.sample_vector(rng) for env in envs_a])
+    idle_evals = envs_a[2].runner.simulator.evaluation_count
+    out = venv.step(actions[[1, 3]], indices=[1, 3])
+    assert len(out) == 2
+    _assert_outcomes_equal(out[0], envs_b[1].step(actions[1]))
+    _assert_outcomes_equal(out[1], envs_b[3].step(actions[3]))
+    # Unselected members' streams must be untouched.
+    np.testing.assert_array_equal(envs_a[0].observation,
+                                  envs_b[0].observation)
+    assert envs_a[2].runner.simulator.evaluation_count == idle_evals
+
+
+def test_vector_env_rejects_duplicate_envs():
+    env = make_env("WC", "D1", seed=1)
+    with pytest.raises(ValueError, match="distinct"):
+        VectorTuningEnv([env, env])
+
+
+# -------------------------------------------------- seed plan
+
+
+def test_population_seed_plan_is_spawn_derived_and_stable():
+    plan = population_seed_plan(42, 8)
+    assert len(plan) == 8
+    assert len(set(plan)) == 8
+    assert plan == population_seed_plan(42, 8)
+    # Prefix stability: growing the population keeps existing members.
+    assert population_seed_plan(42, 4) == plan[:4]
+    expected = [
+        int(c.generate_state(1, dtype=np.uint32)[0])
+        for c in np.random.SeedSequence(42).spawn(8)
+    ]
+    assert plan == expected
+    with pytest.raises(ValueError):
+        population_seed_plan(42, 0)
+
+
+# -------------------------------------------------- full tuner layer
+
+
+def _sequential_sessions(n, *, fault_profile=None, resilience=False,
+                         prefill=0, steps=4, fine_tune_updates=0,
+                         **deepcat_kwargs):
+    envs = _member_envs(n, fault_profile=fault_profile)
+    tuners = _deepcats(n, envs, prefill=prefill, **deepcat_kwargs)
+    sessions = []
+    for s, (tuner, env) in enumerate(zip(tuners, envs)):
+        res = (
+            ResiliencePolicy.default(seed=s) if resilience else None
+        )
+        sessions.append(
+            tuner.tune_online(
+                env, steps=steps, fine_tune_updates=fine_tune_updates,
+                resilience=res,
+            )
+        )
+    return sessions
+
+
+def _population_sessions(n, *, fault_profile=None, resilience=False,
+                         prefill=0, steps=4, fine_tune_updates=0,
+                         **deepcat_kwargs):
+    envs = _member_envs(n, fault_profile=fault_profile)
+    tuners = _deepcats(n, envs, prefill=prefill, **deepcat_kwargs)
+    resiliences = (
+        [ResiliencePolicy.default(seed=s) for s in range(n)]
+        if resilience
+        else None
+    )
+    population = PopulationTuner.from_deepcat(
+        tuners, envs, fine_tune_updates=fine_tune_updates,
+        resiliences=resiliences,
+    )
+    return population.tune(steps=steps)
+
+
+@pytest.mark.determinism
+@pytest.mark.parametrize("profile", FAULT_PRESETS,
+                         ids=lambda p: p or "clean")
+def test_population_tune_matches_sequential(profile):
+    """The tentpole contract: a population of 3 == 3 sequential
+    ``tune_online`` runs under every fault preset.
+
+    Faulted presets run with the default resilience policy, as every
+    production entry point does (NaN observations must be sanitized
+    before they reach the actor).
+    """
+    resilience = profile is not None
+    seq = _sequential_sessions(3, fault_profile=profile,
+                               resilience=resilience)
+    pop = _population_sessions(3, fault_profile=profile,
+                               resilience=resilience)
+    for a, b in zip(pop, seq):
+        assert sessions_equal(a, b)
+
+
+@pytest.mark.determinism
+def test_population_tune_matches_sequential_with_resilience():
+    """Retries, watchdog aborts, state repairs, and guard fallbacks must
+    interleave RNG identically under the hostile preset."""
+    seq = _sequential_sessions(3, fault_profile="hostile",
+                               resilience=True, steps=5)
+    pop = _population_sessions(3, fault_profile="hostile",
+                               resilience=True, steps=5)
+    for a, b in zip(pop, seq):
+        assert sessions_equal(a, b)
+    assert any(s.attempts > 1 or s.aborted
+               for session in seq for s in session.steps), (
+        "hostile preset produced no resilience interventions; the test "
+        "no longer exercises the retry path"
+    )
+
+
+@pytest.mark.determinism
+def test_population_tune_matches_sequential_with_fine_tune():
+    """Warm buffers engage per-member agent updates between steps; the
+    updated weights must flow through the stacked views."""
+    from repro.agents.base import AgentHyperParams
+
+    kwargs = dict(hp=AgentHyperParams(batch_size=16), prefill=20,
+                  fine_tune_updates=2)
+    seq = _sequential_sessions(3, **kwargs)
+    pop = _population_sessions(3, **kwargs)
+    for a, b in zip(pop, seq):
+        assert sessions_equal(a, b)
+
+
+@pytest.mark.determinism
+def test_population_tune_matches_sequential_no_twinq():
+    seq = _sequential_sessions(2, use_twin_q=False)
+    pop = _population_sessions(2, use_twin_q=False)
+    for a, b in zip(pop, seq):
+        assert sessions_equal(a, b)
+
+
+@pytest.mark.determinism
+@given(n=st.integers(min_value=1, max_value=6))
+@settings(max_examples=6, deadline=None)
+def test_population_size_sweep_matches_sequential(n):
+    """Bit-identity cannot depend on population size."""
+    seq = _sequential_sessions(n, steps=2)
+    pop = _population_sessions(n, steps=2)
+    for a, b in zip(pop, seq):
+        assert sessions_equal(a, b)
+
+
+@pytest.mark.determinism
+def test_population_member_i_equals_solo_run():
+    """Member i's session must not depend on who else is in the
+    population — the independence half of the contract."""
+    envs = _member_envs(3)
+    tuners = _deepcats(3, envs)
+    pop = PopulationTuner.from_deepcat(tuners, envs).tune(steps=3)
+
+    env_solo = _member_envs(3)[1]
+    tuner_solo = _deepcats(3, _member_envs(3))[1]
+    solo = tuner_solo.tune_online(env_solo, steps=3,
+                                  fine_tune_updates=2)
+    # from_deepcat defaults mirror tune_online's defaults.
+    assert sessions_equal(pop[1], solo)
+
+
+def test_population_tuner_validates_members():
+    envs = _member_envs(2)
+    tuners = _deepcats(2, envs)
+    with pytest.raises(ValueError, match="one environment per tuner"):
+        PopulationTuner.from_deepcat(tuners, envs[:1])
+    with pytest.raises(ValueError, match="at least one"):
+        PopulationTuner([])
+    population = PopulationTuner.from_deepcat(tuners, envs)
+    with pytest.raises(ValueError, match="steps must be positive"):
+        population.tune(steps=0)
+
+
+def test_population_twinq_diagnostics_recorded():
+    sessions = _population_sessions(2, steps=3)
+    for session in sessions:
+        for s in session.steps:
+            assert s.twinq_iterations is not None
+            assert s.twinq_accepted is not None
+            assert s.original_q is not None
+            assert s.final_q is not None

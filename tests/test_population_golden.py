@@ -1,0 +1,46 @@
+"""Golden-file test pinning a seeded population tuning trace.
+
+``tests/golden/population_trace.json`` freezes a 3-member, 3-step
+``PopulationTuner`` run end to end: actor/critic forward math, Twin-Q
+screening decisions, the ``SeedSequence``-derived member seed plan, and
+the simulator stack.  Any drift — a reordered RNG draw, a changed
+default, a "harmless" numeric refactor — fails loudly here until the
+trace is regenerated (``tests/golden/regen.py``) and
+``CACHE_VERSION`` reviewed.  Because the population is bit-identical to
+sequential serving (``tests/test_population_equivalence.py``), this
+one trace pins both serving paths.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.golden.regen import (
+    POPULATION_TRACE_PATH,
+    TRACE_MEMBERS,
+    TRACE_STEPS,
+    compute_population_trace,
+)
+
+pytestmark = pytest.mark.golden
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "population_trace.json"
+
+
+def test_golden_trace_shape():
+    trace = json.loads(GOLDEN_PATH.read_text())
+    assert len(trace) == TRACE_MEMBERS
+    for steps in trace:
+        assert [s["step"] for s in steps] == list(range(TRACE_STEPS))
+
+
+def test_population_trace_matches_golden():
+    assert GOLDEN_PATH == POPULATION_TRACE_PATH
+    golden = json.loads(GOLDEN_PATH.read_text())
+    live = json.loads(json.dumps(compute_population_trace()))
+    assert live == golden, (
+        "population tuning trace drifted; if intentional, regenerate "
+        "tests/golden/population_trace.json via tests/golden/regen.py "
+        "and review repro.experiments.engine.CACHE_VERSION"
+    )
