@@ -65,6 +65,15 @@ class PopulationTD3View:
         # candidate count — mirrors the scalar layers' workspace policy.
         self._x: dict[int, np.ndarray] = {}
 
+    def members_finite(self) -> np.ndarray:
+        """``True`` per member iff its actor and both critics hold only
+        finite parameters — the health probe behind member quarantine."""
+        return (
+            self.actor.members_finite()
+            & self.critic1.members_finite()
+            & self.critic2.members_finite()
+        )
+
     def _x_buffer(self, rows: int) -> np.ndarray:
         buf = self._x.get(rows)
         if buf is None:

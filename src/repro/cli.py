@@ -249,7 +249,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tel.add_argument(
         "--fail-on-stall", action="store_true",
-        help="watch/top: exit with status 3 when a session is STALLED",
+        help="watch/top: exit with status 3 when a session is STALLED "
+             "or CRASHED",
     )
 
     p_doc = sub.add_parser(
@@ -467,6 +468,17 @@ def _finish_telemetry(ctx) -> None:
         print(f"telemetry: wrote {path}")
 
 
+def _finalize_heartbeat(args, status: str) -> None:
+    """Stamp the heartbeat's terminal marker so `telemetry top/watch`
+    can tell this deliberate exit from a crash (pid gone, no marker)."""
+    path = getattr(args, "heartbeat", None)
+    if not path:
+        return
+    from repro.telemetry import finalize_heartbeat
+
+    finalize_heartbeat(path, status)
+
+
 def _finish_interrupted(ctx, stage: str) -> None:
     """Seal telemetry for a command cut short by SIGINT/SIGTERM.
 
@@ -498,6 +510,7 @@ def _cmd_train(args) -> int:
             save_tuner(tuner, args.model)
             print(f"\ninterrupted: saved partially-trained {args.model}")
             _finish_interrupted(ctx, "offline-train")
+            _finalize_heartbeat(args, "interrupted")
             return _INTERRUPTED_RC
     save_tuner(tuner, args.model)
     print(
@@ -505,6 +518,7 @@ def _cmd_train(args) -> int:
         f"{log.best_duration_s:.1f}s (default {env.default_duration:.1f}s)"
     )
     _finish_telemetry(ctx)
+    _finalize_heartbeat(args, "completed")
     return 0
 
 
@@ -618,11 +632,13 @@ def _tune_population(args) -> int:
                       f"resume with --resume {checkpoint.path}", end="")
             print()
             _finish_interrupted(ctx, "online-tune")
+            _finalize_heartbeat(args, "interrupted")
             return _INTERRUPTED_RC
     for i, session in enumerate(results):
         print(f"--- session {i + 1}/{len(results)} ---")
         _print_session(session)
     _finish_telemetry(ctx)
+    _finalize_heartbeat(args, "completed")
     return 0
 
 
@@ -691,9 +707,11 @@ def _cmd_tune(args) -> int:
                       f"resume with --resume {checkpoint.path}", end="")
             print()
             _finish_interrupted(ctx, "online-tune")
+            _finalize_heartbeat(args, "interrupted")
             return _INTERRUPTED_RC
     _print_session(session)
     _finish_telemetry(ctx)
+    _finalize_heartbeat(args, "completed")
     return 0
 
 
@@ -748,15 +766,18 @@ def _report_telemetry_context(args):
 
 
 def _cmd_bench_report(args) -> int:
-    from repro.experiments.report import build_report, make_engine
+    from repro.experiments.engine import (
+        EngineTaskError,
+        render_failure_report,
+    )
+    from repro.experiments.report import (
+        build_report,
+        engine_from_args,
+        write_failure_report,
+    )
 
     ctx = _report_telemetry_context(args)
-    engine = make_engine(
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        telemetry=ctx,
-        bus_dir=args.bus_dir,
-    )
+    engine = engine_from_args(args, telemetry=ctx)
     with _sigterm_as_interrupt():
         try:
             report = build_report(args.scale, engine=engine)
@@ -765,10 +786,21 @@ def _cmd_bench_report(args) -> int:
                   "(completed sessions stay in the result cache)")
             _finish_interrupted(ctx, "bench-report")
             return _INTERRUPTED_RC
+        except EngineTaskError as exc:
+            # The grid ran to completion first; everything that
+            # succeeded is cached, so a re-run is incremental.
+            print(render_failure_report(exc.report), file=sys.stderr)
+            print("report: tasks failed permanently; report not written "
+                  "(rerun with --lenient to accept partial results)",
+                  file=sys.stderr)
+            write_failure_report(engine, args.failure_report)
+            _finish_telemetry(ctx)
+            return 1
     with open(args.output, "w") as fh:
         fh.write(report)
     print(f"wrote {args.output} at scale {args.scale!r}")
     print(f"engine: {engine.stats.summary()}")
+    write_failure_report(engine, args.failure_report)
     _finish_telemetry(ctx)
     return 0
 
@@ -985,16 +1017,23 @@ def _watch_render(path: str, stale_after: float | None) -> tuple[str, str]:
 
     from repro.telemetry import (
         heartbeat_status,
+        pid_alive,
         read_heartbeat,
         render_heartbeat,
     )
 
     doc = read_heartbeat(path)
     age = max(0.0, _time.time() - os.path.getmtime(path))
-    status = heartbeat_status(doc, age, stale_after)
+    status = heartbeat_status(doc, age, stale_after,
+                              alive=pid_alive(doc.get("pid")))
     line = render_heartbeat(doc)
     if status == "stalled":
         line += f"  STALLED (no heartbeat for {age:.0f}s)"
+    elif status == "crashed":
+        line += (
+            f"  CRASHED (pid {doc.get('pid')} is gone, "
+            "no terminal marker)"
+        )
     return line, status
 
 
@@ -1010,7 +1049,7 @@ def _cmd_telemetry_watch(args) -> int:
             print(f"watch: {exc}", file=sys.stderr)
             return 1, "error"
         print(line, flush=True)
-        if status == "stalled" and args.fail_on_stall:
+        if status in ("stalled", "crashed") and args.fail_on_stall:
             return 3, status
         return None, status
 
@@ -1061,10 +1100,10 @@ def _collect_heartbeats(paths: list[str]) -> list[tuple[str, str]]:
 
 
 def _render_top(args) -> tuple[str, int]:
-    """(dashboard text, count of stalled sessions)."""
+    """(dashboard text, count of stalled + crashed sessions)."""
     import time as _time
 
-    from repro.telemetry import heartbeat_status, read_heartbeat
+    from repro.telemetry import heartbeat_status, pid_alive, read_heartbeat
 
     entries = _collect_heartbeats(args.path)
     header = (
@@ -1074,6 +1113,7 @@ def _render_top(args) -> tuple[str, int]:
     )
     lines = [header]
     stalled = 0
+    crashed = 0
     for name, path in entries:
         try:
             doc = read_heartbeat(path)
@@ -1081,9 +1121,12 @@ def _render_top(args) -> tuple[str, int]:
             lines.append(f"{name:<18} {'?':<8} (unreadable heartbeat)")
             continue
         age = max(0.0, _time.time() - os.path.getmtime(path))
-        status = heartbeat_status(doc, age, args.stale_after)
+        status = heartbeat_status(doc, age, args.stale_after,
+                                  alive=pid_alive(doc.get("pid")))
         if status == "stalled":
             stalled += 1
+        elif status == "crashed":
+            crashed += 1
         total = doc.get("total_steps")
         step = f"{doc.get('step', '?')}/{total}" if total else (
             str(doc.get("step", "?"))
@@ -1109,9 +1152,9 @@ def _render_top(args) -> tuple[str, int]:
     if not entries:
         lines.append("(no heartbeat files found)")
     summary = (
-        f"{len(entries)} session(s), {stalled} stalled"
+        f"{len(entries)} session(s), {stalled} stalled, {crashed} crashed"
     )
-    return "\n".join(lines) + f"\n{summary}", stalled
+    return "\n".join(lines) + f"\n{summary}", stalled + crashed
 
 
 def _cmd_telemetry_top(args) -> int:

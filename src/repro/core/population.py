@@ -95,6 +95,9 @@ class PopulationMember:
     # -- runtime state owned by the lockstep loop -----------------------
     state: np.ndarray = field(default=None, repr=False)  # type: ignore
     done: bool = field(default=False, repr=False)
+    #: isolated from the lockstep after non-finite parameters; finished
+    #: sequentially so one diverged member can't poison the stacked math
+    quarantined: bool = field(default=False, repr=False)
 
 
 class PopulationTuner:
@@ -443,15 +446,20 @@ class PopulationTuner:
                     active = [
                         i
                         for i, m in enumerate(members)
-                        if not m.done and step >= m.start_step
+                        if not m.done
+                        and not m.quarantined
+                        and step >= m.start_step
                     ]
+                    if active:
+                        active = self._screen_nonfinite(active, step)
                     if not active:
-                        if all(m.done for m in members):
+                        if all(m.done or m.quarantined for m in members):
                             break
                         continue
                     self._lockstep(step, active, time_budget_s)
                     if checkpoint is not None:
                         checkpoint.on_step(self.sessions, step + 1)
+                self._finish_quarantined(steps, time_budget_s)
         except KeyboardInterrupt:
             if checkpoint is not None:
                 checkpoint.save_if_stale(
@@ -475,6 +483,69 @@ class PopulationTuner:
                     total_tuning_seconds=m.session.total_tuning_seconds,
                 )
         return self.sessions
+
+    def _screen_nonfinite(self, active: list[int], step: int) -> list[int]:
+        """Drop members whose nets went non-finite from the lockstep.
+
+        A diverged member's NaN parameters would flow through the shared
+        stacked forwards; instead it is flagged ``quarantined`` and
+        finished sequentially by :meth:`_finish_quarantined`.  Pure
+        observation on the healthy path — no RNG draws, no writes — so
+        an all-finite population is bit-identical with or without the
+        screen.
+        """
+        finite = self.view.members_finite()
+        if all(finite[i] for i in active):
+            return active
+        kept = []
+        for i in active:
+            if finite[i]:
+                kept.append(i)
+                continue
+            m = self.members[i]
+            m.quarantined = True
+            t = m.tuner.telemetry
+            t.count(
+                "population.quarantined_total",
+                help="members isolated from the lockstep after "
+                     "non-finite parameters",
+                tuner=m.tuner.name,
+            )
+            t.event("member-quarantined", member=i, step=step,
+                    tuner=m.tuner.name)
+        return kept
+
+    def _finish_quarantined(
+        self, steps: int, time_budget_s: float | None
+    ) -> None:
+        """Run each quarantined member's remaining steps alone via the
+        scalar :meth:`OnlineTuner.tune` path.  Its nets are already
+        damaged, so even the sequential finish may fail — that failure
+        is contained to the member and recorded, never propagated."""
+        for i, m in enumerate(self.members):
+            if not m.quarantined or m.done:
+                continue
+            start = len(m.session.steps) if m.session is not None else 0
+            if start >= steps:
+                continue
+            t = m.tuner.telemetry
+            try:
+                m.tuner.tune(
+                    m.env, steps=steps, time_budget_s=time_budget_s,
+                    session=m.session, start_step=start,
+                    resilience=m.resilience,
+                )
+            except Exception as exc:
+                t.count(
+                    "population.quarantine_failures_total",
+                    help="quarantined members whose sequential finish "
+                         "also failed",
+                    tuner=m.tuner.name,
+                )
+                t.event(
+                    "member-quarantine-failed", member=i,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
 
     def _lockstep(
         self, step: int, active: list[int], time_budget_s: float | None

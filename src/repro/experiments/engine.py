@@ -28,6 +28,19 @@ that purity three ways:
 Telemetry (PR 1) is integrated throughout: a span per task, cache
 hit/miss counters, and a scheduler-overhead breakdown
 (:class:`EngineStats`).
+
+Worker failure is treated as routine, not fatal (**supervision**):
+workers catch exceptions and return a structured :class:`TaskFailure`
+instead of raising; the parent survives ``BrokenProcessPool`` by
+rebuilding the pool and re-dispatching only the incomplete tasks; failed
+tasks get bounded retries (bit-identical by construction — a task's
+result is a pure function of its seeded parameters); tasks that exhaust
+their retry budget are quarantined and the grid completes with partial
+results plus a ranked failure report (``strict`` mode raises
+:class:`EngineTaskError` afterwards, ``lenient`` returns ``None`` in the
+failed slots).  Hung workers are reaped against a per-kind EWMA deadline
+(or an explicit ``task_timeout``).  The deterministic worker-kill
+harness exercising all of this lives in :class:`repro.faults.WorkerChaos`.
 """
 
 from __future__ import annotations
@@ -38,8 +51,18 @@ import inspect
 import json
 import os
 import pickle
+import shutil
+import sys
+import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback as traceback_module
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
@@ -69,6 +92,9 @@ __all__ = [
     "derive_task_seeds",
     "ResultCache",
     "EngineStats",
+    "TaskFailure",
+    "EngineTaskError",
+    "render_failure_report",
     "ExperimentEngine",
 ]
 
@@ -539,6 +565,26 @@ def derive_task_seeds(
 #: sentinel distinguishing "cache miss" from a cached ``None``
 _MISS = object()
 
+#: container-format magic for checksummed entries; followed by the hex
+#: SHA-256 of the pickle body, a newline, then the body itself.  Entries
+#: without the magic are legacy plain pickles and stay readable.
+_CACHE_MAGIC = b"repro-cache-c1\n"
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a power cut;
+    best-effort — some filesystems refuse directory fds."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
 
 class ResultCache:
     """Content-addressed on-disk store for task results.
@@ -547,13 +593,26 @@ class ResultCache:
     of the task's :meth:`~TaskSpec.cache_payload` plus ``salt``.  Each
     entry stores the payload alongside the pickled result; a payload
     mismatch on load (hash collision, salt bug) is treated as a miss.
-    Writes are atomic (temp file + :func:`os.replace`), so a crashed run
-    never leaves a truncated entry behind.
+
+    Integrity: entries are written as a checksummed container (magic +
+    SHA-256 of the body), atomically (temp file + fsync +
+    :func:`os.replace` + directory fsync), so a crash or power cut never
+    leaves a torn entry behind.  An entry that fails its checksum or
+    won't unpickle is moved to ``<root>/.quarantine/`` and counted in
+    :attr:`corrupt_entries` — never silently re-read, never crash-looped
+    on, and never deleted (operators can inspect the bytes).  Entries in
+    the legacy un-checksummed format still load.
     """
 
     def __init__(self, root: str | Path, salt: str = CACHE_VERSION):
         self.root = Path(root)
         self.salt = salt
+        #: entries that failed integrity checks and were quarantined
+        self.corrupt_entries = 0
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / ".quarantine"
 
     def key_for(self, task: TaskSpec) -> str:
         payload = f"{self.salt}\n{task.cache_payload()}"
@@ -562,16 +621,52 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def _quarantine(self, path: Path) -> None:
+        self.corrupt_entries += 1
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:  # pragma: no cover - cross-device/permission edge
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _decode(self, data: bytes, path: Path) -> dict[str, Any] | None:
+        """Unpickle an entry, verifying the checksum when present;
+        quarantines and returns ``None`` on any integrity failure."""
+        if data.startswith(_CACHE_MAGIC):
+            head = data[len(_CACHE_MAGIC):]
+            digest, sep, body = head.partition(b"\n")
+            if (
+                not sep
+                or hashlib.sha256(body).hexdigest().encode("ascii")
+                != digest
+            ):
+                self._quarantine(path)
+                return None
+        else:
+            body = data  # legacy pre-checksum entry
+        try:
+            entry = pickle.loads(body)
+        except Exception:
+            self._quarantine(path)
+            return None
+        if not isinstance(entry, dict):
+            self._quarantine(path)
+            return None
+        return entry
+
     def load(self, task: TaskSpec):
         """Return the cached result, or the module-private miss sentinel."""
         path = self._path(self.key_for(task))
-        if not path.is_file():
-            return _MISS
         try:
-            with open(path, "rb") as fh:
-                entry = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return _MISS  # corrupt/foreign entry: recompute and overwrite
+            data = path.read_bytes()
+        except OSError:
+            return _MISS
+        entry = self._decode(data, path)
+        if entry is None:
+            return _MISS  # quarantined: recompute and rewrite
         if entry.get("payload") != task.cache_payload():
             return _MISS
         return entry["result"]
@@ -580,24 +675,28 @@ class ResultCache:
         key = self.key_for(task)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        body = pickle.dumps(
+            {
+                "salt": self.salt,
+                "kind": task.kind,
+                "payload": task.cache_payload(),
+                "result": result,
+            }
+        )
+        digest = hashlib.sha256(body).hexdigest().encode("ascii")
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "wb") as fh:
-            pickle.dump(
-                {
-                    "salt": self.salt,
-                    "kind": task.kind,
-                    "payload": task.cache_payload(),
-                    "result": result,
-                },
-                fh,
-            )
+            fh.write(_CACHE_MAGIC + digest + b"\n" + body)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        _fsync_dir(path.parent)
         return path
 
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+        return sum(1 for _ in self.root.glob("[0-9a-f][0-9a-f]/*.pkl"))
 
     @staticmethod
     def is_miss(value: Any) -> bool:
@@ -615,6 +714,18 @@ class EngineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     executed: int = 0
+    #: task attempts that ended in a failure (any disposition)
+    task_failures: int = 0
+    #: failed attempts that were re-dispatched
+    task_retries: int = 0
+    #: failures caused by the per-task deadline reaping a hung worker
+    task_timeouts: int = 0
+    #: worker pools rebuilt after a crash or deadline reap
+    pool_rebuilds: int = 0
+    #: tasks that exhausted their retry budget and were quarantined
+    quarantined_tasks: int = 0
+    #: cache entries that failed integrity checks and were quarantined
+    cache_corrupt: int = 0
     #: worker-measured seconds actually spent computing tasks
     compute_seconds: float = 0.0
     #: wall-clock of the ``run()`` calls themselves
@@ -624,12 +735,126 @@ class EngineStats:
     overhead_seconds: float = 0.0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.tasks} task(s): {self.cache_hits} cache hit(s), "
             f"{self.executed} executed in {self.compute_seconds:.1f}s "
             f"compute / {self.wall_seconds:.1f}s wall "
             f"(scheduler overhead {self.overhead_seconds:.2f}s)"
         )
+        if self.task_failures or self.pool_rebuilds or self.cache_corrupt:
+            text += (
+                f"; {self.task_failures} failure(s), "
+                f"{self.task_retries} retried, "
+                f"{self.quarantined_tasks} quarantined, "
+                f"{self.pool_rebuilds} pool rebuild(s), "
+                f"{self.cache_corrupt} corrupt cache entr(ies)"
+            )
+        return text
+
+
+@dataclass
+class TaskFailure:
+    """Structured record of one failed task attempt.
+
+    Workers return this instead of raising, so the parent always gets
+    the remote exception type and its formatted traceback — never a bare
+    ``BrokenProcessPool`` with zero context.  Synthesized at the parent
+    for failures the worker cannot report itself (the process died, or
+    the deadline reaped it).
+    """
+
+    kind: str
+    index: int
+    key: str
+    exc_type: str
+    message: str
+    traceback: str
+    attempts: int
+    pid: int | None = None
+    #: the worker process died (SIGKILL/OOM) rather than raising
+    worker_crash: bool = False
+    #: the per-task deadline expired and the supervisor reaped the worker
+    timed_out: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def summary(self) -> str:
+        cause = (
+            "deadline expired" if self.timed_out
+            else "worker died" if self.worker_crash
+            else f"{self.exc_type}: {self.message}"
+        )
+        return (
+            f"task {self.index} ({self.kind}) after "
+            f"{self.attempts} attempt(s): {cause}"
+        )
+
+
+class EngineTaskError(RuntimeError):
+    """Raised by a strict-mode engine after tasks exhausted their retries.
+
+    The grid still ran to completion first — every successful cell was
+    cached — so fixing the cause and re-running is incremental.
+    :attr:`failures` holds the quarantined :class:`TaskFailure` records
+    and :attr:`report` the full ranked failure report.
+    """
+
+    def __init__(self, failures: Sequence[TaskFailure],
+                 report: dict[str, Any]):
+        self.failures = list(failures)
+        self.report = report
+        super().__init__(
+            f"{len(self.failures)} task(s) failed permanently; "
+            "completed results are cached — see .report or "
+            "engine.failure_report()"
+        )
+
+
+def render_failure_report(report: dict[str, Any]) -> str:
+    """Human-readable form of :meth:`ExperimentEngine.failure_report`."""
+    counters = report.get("counters", {})
+    lines = [
+        "engine failure report: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+    ]
+    quarantined = report.get("quarantined", [])
+    if not quarantined:
+        lines.append("no quarantined tasks")
+    for rec in quarantined:
+        cause = (
+            "deadline expired" if rec.get("timed_out")
+            else "worker died" if rec.get("worker_crash")
+            else f"{rec.get('exc_type')}: {rec.get('message')}"
+        )
+        lines.append(
+            f"  [{rec.get('attempts')} attempt(s)] task {rec.get('index')}"
+            f" ({rec.get('kind')}): {cause}"
+        )
+    return "\n".join(lines)
+
+
+#: exception types treated as deterministic: the task's result is a pure
+#: function of its parameters, so re-running a task that raised one of
+#: these cannot succeed — quarantine immediately instead of burning the
+#: retry budget.  Crashes and timeouts are always retryable (the
+#: *environment* failed, not the task).
+_NON_TRANSIENT = frozenset({
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "AttributeError",
+    "AssertionError",
+    "NotImplementedError",
+})
+
+
+def _retryable(failure: TaskFailure) -> bool:
+    return (
+        failure.worker_crash
+        or failure.timed_out
+        or failure.exc_type not in _NON_TRANSIENT
+    )
 
 
 def _execute_task(task: TaskSpec) -> tuple[Any, float]:
@@ -642,6 +867,57 @@ def _execute_task(task: TaskSpec) -> tuple[Any, float]:
     t0 = time.perf_counter()
     result = fn(**task.params)
     return result, time.perf_counter() - t0
+
+
+def _supervised_task(
+    task: TaskSpec,
+    index: int,
+    attempt: int,
+    chaos=None,
+    spool: str | None = None,
+    bus_dir: str | None = None,
+    source: str | None = None,
+) -> tuple[Any, float, dict[str, Any] | None]:
+    """Supervised worker entry point: never raises.
+
+    Returns ``(result, seconds, metrics_state)`` on success or
+    ``(TaskFailure, 0.0, None)`` on any exception.  Before any work it
+    touches an attempt marker in ``spool`` so the parent can tell a task
+    whose worker died mid-attempt (charge the attempt) from one that was
+    still queued when a *sibling* broke the pool (free re-dispatch) —
+    ``Future.running()`` alone races the crash.  The chaos harness, when
+    armed, SIGKILLs doomed attempts right after the marker: the parent
+    sees exactly what a real mid-task OOM-kill produces.
+    """
+    if spool is not None:
+        try:
+            open(os.path.join(spool, f"{index}.{attempt}"), "wb").close()
+        except OSError:  # pragma: no cover - spool on a broken disk
+            pass
+    if chaos is not None and chaos.should_kill(task.canonical_key(), attempt):
+        chaos.kill_now()
+    try:
+        if bus_dir is not None:
+            return _execute_task_bus(task, bus_dir, source)
+        result, seconds = _execute_task(task)
+        return result, seconds, None
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover - passthrough
+        raise
+    except BaseException as exc:
+        return (
+            TaskFailure(
+                kind=task.kind,
+                index=index,
+                key=task.canonical_key(),
+                exc_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback_module.format_exc(),
+                attempts=attempt,
+                pid=os.getpid(),
+            ),
+            0.0,
+            None,
+        )
 
 
 _ACCEPTS_TELEMETRY: dict[str, bool] = {}
@@ -740,7 +1016,30 @@ class ExperimentEngine:
         ``<bus_dir>/task-NNNN.jsonl``; after each :meth:`run` the streams
         are merged into one ordered ``timeline.jsonl`` and the workers'
         metrics registries are folded into this engine's ``telemetry``
-        registry via ``merge()``.
+        registry via ``merge()``.  The supervisor writes its own
+        ``task-failed``/``task-retried``/``pool-rebuilt`` events to an
+        ``engine`` stream.
+    task_retries:
+        How many times a failed/crashed/timed-out task is re-dispatched
+        before quarantine (total attempts = ``task_retries + 1``).
+        Retries are bit-identical science: every task's result is a pure
+        function of its seeded parameters.
+    task_timeout:
+        Hard per-task deadline in seconds; a worker running longer is
+        SIGKILLed and the task charged a timed-out attempt.  ``None``
+        (default) derives the deadline from ``timeout_multiple`` × the
+        EWMA of per-kind durations (floor 30s) once a kind has completed
+        at least once — before that, tasks may run unbounded.
+    timeout_multiple:
+        EWMA multiplier for the derived deadline.
+    failure_mode:
+        ``"strict"`` (default) completes the grid, then raises
+        :class:`EngineTaskError` if any task was quarantined;
+        ``"lenient"`` returns ``None`` in the failed slots instead.
+    chaos:
+        A :class:`repro.faults.WorkerChaos` worker-kill schedule (tests
+        and CI soak only).  Requires ``jobs >= 2`` — an inline worker
+        killing itself would take the parent with it.
     """
 
     def __init__(
@@ -750,15 +1049,45 @@ class ExperimentEngine:
         telemetry: RunContext = NULL_CONTEXT,
         root_seed: int = 0,
         bus_dir: str | Path | None = None,
+        task_retries: int = 2,
+        task_timeout: float | None = None,
+        timeout_multiple: float = 8.0,
+        failure_mode: str = "strict",
+        chaos=None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if task_retries < 0:
+            raise ValueError(f"task_retries must be >= 0, got {task_retries}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if failure_mode not in ("strict", "lenient"):
+            raise ValueError(
+                f"failure_mode must be 'strict' or 'lenient',"
+                f" got {failure_mode!r}"
+            )
+        if chaos is not None and jobs < 2:
+            raise ValueError(
+                "chaos requires jobs >= 2: an inline worker SIGKILLing "
+                "itself would kill the parent process"
+            )
         self.jobs = jobs
         self.cache = cache
         self.telemetry = telemetry
         self.root_seed = root_seed
         self.bus_dir = Path(bus_dir) if bus_dir is not None else None
+        self.task_retries = task_retries
+        self.task_timeout = task_timeout
+        self.timeout_multiple = timeout_multiple
+        self.failure_mode = failure_mode
+        self.chaos = chaos
         self.stats = EngineStats()
+        #: quarantined :class:`TaskFailure` records across run() calls
+        self.failures: list[TaskFailure] = []
+        self._kind_ewma: dict[str, float] = {}
+        self._bus = None
+        self._run_failures: list[TaskFailure] = []
+        self._traced_indices: set[int] = set()
 
     # ------------------------------------------------------------- helpers
 
@@ -795,11 +1124,126 @@ class ExperimentEngine:
                       help="worker-measured task compute time",
                       kind=task.kind)
 
+    # ---------------------------------------------------- supervision
+
+    #: floor for EWMA-derived deadlines — never reap a kind faster than
+    #: this just because its first completion was quick
+    _TIMEOUT_FLOOR_S = 30.0
+    #: pool polling interval; also bounds deadline-detection latency
+    _POLL_S = 0.25
+    _EWMA_ALPHA = 0.3
+
+    def _deadline_for(self, kind: str) -> float | None:
+        if self.task_timeout is not None:
+            return self.task_timeout
+        ewma = self._kind_ewma.get(kind)
+        if ewma is None:
+            return None  # no completion observed yet: run unbounded
+        return max(self.timeout_multiple * ewma, self._TIMEOUT_FLOOR_S)
+
+    def _note_duration(self, kind: str, seconds: float) -> None:
+        prev = self._kind_ewma.get(kind)
+        self._kind_ewma[kind] = (
+            seconds if prev is None
+            else (1.0 - self._EWMA_ALPHA) * prev + self._EWMA_ALPHA * seconds
+        )
+
+    def _event(self, kind: str, **fields: Any) -> None:
+        """Emit a supervisor event to telemetry and, in bus mode, to the
+        parent's own ``engine`` bus stream."""
+        self.telemetry.event(kind, **fields)
+        if self._bus is not None:
+            self._bus.event(kind, **fields)
+
+    def _handle_failure(self, failure: TaskFailure) -> bool:
+        """Record one failed attempt; returns True when the task should
+        be re-dispatched, False when it is quarantined."""
+        self.stats.task_failures += 1
+        t = self.telemetry
+        t.count("engine.task_failures_total",
+                help="task attempts that ended in a failure",
+                kind=failure.kind, exc=failure.exc_type)
+        if failure.timed_out:
+            self.stats.task_timeouts += 1
+            t.count("engine.task_timeouts_total",
+                    help="hung workers reaped by the per-task deadline",
+                    kind=failure.kind)
+        self._event(
+            "task-failed", task_kind=failure.kind, index=failure.index,
+            attempt=failure.attempts, exc_type=failure.exc_type,
+            message=failure.message, worker_crash=failure.worker_crash,
+            timed_out=failure.timed_out,
+        )
+        print(f"engine: {failure.summary()}", file=sys.stderr)
+        if failure.traceback and failure.index not in self._traced_indices:
+            # The remote traceback, once per task — retries of the same
+            # cell fail identically and only add noise.
+            self._traced_indices.add(failure.index)
+            print(failure.traceback.rstrip(), file=sys.stderr)
+        retry = failure.attempts <= self.task_retries and _retryable(failure)
+        if retry:
+            self.stats.task_retries += 1
+            t.count("engine.task_retries_total",
+                    help="failed tasks re-dispatched", kind=failure.kind)
+            self._event("task-retried", task_kind=failure.kind,
+                        index=failure.index, attempt=failure.attempts)
+        else:
+            self.stats.quarantined_tasks += 1
+            t.count("engine.quarantined_tasks_total",
+                    help="tasks that exhausted their retry budget",
+                    kind=failure.kind)
+            self.failures.append(failure)
+            self._run_failures.append(failure)
+        return retry
+
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        """SIGKILL every live worker of a pool (deadline reap).  The
+        broken pool then fails all outstanding futures and the
+        supervisor rebuilds it for the incomplete tasks."""
+        procs = getattr(pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            try:
+                proc.kill()
+            except (OSError, AttributeError):  # pragma: no cover - racing
+                pass
+
+    def failure_report(self) -> dict[str, Any]:
+        """Ranked report of quarantined tasks plus supervisor counters
+        (most attempts first — the cells that fought hardest lead)."""
+        ranked = sorted(
+            self.failures,
+            key=lambda f: (-f.attempts, f.kind, f.index),
+        )
+        return {
+            "schema": "engine-failure-report-v1",
+            "healthy": not self.failures,
+            "quarantined": [f.as_dict() for f in ranked],
+            "counters": {
+                "task_failures": self.stats.task_failures,
+                "task_retries": self.stats.task_retries,
+                "task_timeouts": self.stats.task_timeouts,
+                "pool_rebuilds": self.stats.pool_rebuilds,
+                "quarantined_tasks": self.stats.quarantined_tasks,
+                "cache_corrupt": self.stats.cache_corrupt,
+            },
+        }
+
     # ----------------------------------------------------------------- run
 
     def run(self, tasks: Sequence[TaskSpec]) -> list[Any]:
         """Execute ``tasks``; results are returned in submission order
-        regardless of ``jobs`` or completion order."""
+        regardless of ``jobs`` or completion order.
+
+        Worker failures are supervised: failed tasks are retried up to
+        ``task_retries`` times (bit-identically — tasks are pure
+        functions of their seeded parameters), crashed pools are rebuilt
+        and only incomplete tasks re-dispatched, and hung workers are
+        reaped against the per-task deadline.  Tasks that exhaust their
+        budget leave ``None`` in their slot; in ``strict`` mode (the
+        default) :class:`EngineTaskError` is raised *after* the rest of
+        the grid completed and was cached.
+        """
         tasks = self._resolve_seeds(tasks)
         n = len(tasks)
         results: list[Any] = [None] * n
@@ -808,82 +1252,61 @@ class ExperimentEngine:
                                  help="configured worker processes")
         compute_s = 0.0
         pending: list[int] = []
-        with self.telemetry.phase("engine.dispatch"), self.telemetry.span(
-            "engine.run", tasks=n, jobs=self.jobs
-        ):
-            for i, task in enumerate(tasks):
-                hit = self.cache.load(task) if self.cache else _MISS
-                if not ResultCache.is_miss(hit):
-                    results[i] = hit
-                    self.stats.cache_hits += 1
-                    self._record_task(task, cached=True, compute_s=0.0)
-                else:
-                    pending.append(i)
-            if self.jobs == 1 or len(pending) <= 1:
-                # Inline dispatch can batch seed-differing DeepCAT cells
-                # into lockstep populations (bit-identical per cell, so
-                # the cache sees ordinary scalar results).  Bus mode
-                # keeps per-task workers for stream attribution.
-                handled: set[int] = set()
-                if self.bus_dir is None:
-                    for idxs in _population_groups(tasks, pending):
-                        t0 = time.perf_counter()
-                        sessions = _run_online_population(
-                            [tasks[i].params for i in idxs]
-                        )
-                        seconds = (time.perf_counter() - t0) / len(idxs)
-                        for i, session in zip(idxs, sessions):
-                            compute_s += seconds
-                            self._finish(tasks[i], i, session, seconds,
-                                         results)
-                            handled.add(i)
-                for i in pending:
-                    if i in handled:
-                        continue
-                    if self.bus_dir is not None:
-                        result, seconds, state = _execute_task_bus(
-                            tasks[i], str(self.bus_dir), f"task-{i:04d}"
-                        )
-                        self._merge_worker_state(state)
-                    else:
-                        result, seconds = _execute_task(tasks[i])
-                    compute_s += seconds
-                    self._finish(tasks[i], i, result, seconds, results)
-            else:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    if self.bus_dir is not None:
-                        futures = {
-                            pool.submit(
-                                _execute_task_bus, tasks[i],
-                                str(self.bus_dir), f"task-{i:04d}",
-                            ): i
-                            for i in pending
-                        }
-                    else:
-                        futures = {
-                            pool.submit(_execute_task, tasks[i]): i
-                            for i in pending
-                        }
-                    outstanding = set(futures)
-                    while outstanding:
-                        done, outstanding = wait(
-                            outstanding, return_when=FIRST_COMPLETED
-                        )
-                        for fut in done:
-                            i = futures[fut]
-                            if self.bus_dir is not None:
-                                result, seconds, state = fut.result()
-                                self._merge_worker_state(state)
-                            else:
-                                result, seconds = fut.result()
-                            compute_s += seconds
-                            self._finish(tasks[i], i, result, seconds,
-                                         results)
-            if self.bus_dir is not None and pending:
-                from repro.telemetry.bus import merge_timeline
+        self._run_failures = []
+        corrupt0 = self.cache.corrupt_entries if self.cache else 0
+        if self.bus_dir is not None:
+            from repro.telemetry.bus import BusWriter
 
-                merge_timeline(self.bus_dir)
+            self._bus = BusWriter(self.bus_dir, "engine")
+        try:
+            with self.telemetry.phase("engine.dispatch"), \
+                    self.telemetry.span("engine.run", tasks=n,
+                                        jobs=self.jobs):
+                for task in tasks:
+                    if task.kind not in _TASK_KINDS:
+                        raise KeyError(
+                            f"unknown task kind {task.kind!r};"
+                            f" have {sorted(_TASK_KINDS)}"
+                        )
+                for i, task in enumerate(tasks):
+                    hit = self.cache.load(task) if self.cache else _MISS
+                    if not ResultCache.is_miss(hit):
+                        results[i] = hit
+                        self.stats.cache_hits += 1
+                        self._record_task(task, cached=True, compute_s=0.0)
+                    else:
+                        pending.append(i)
+                if self.cache is not None:
+                    corrupt = self.cache.corrupt_entries - corrupt0
+                    if corrupt:
+                        self.stats.cache_corrupt += corrupt
+                        self.telemetry.count(
+                            "engine.cache_corrupt_total", corrupt,
+                            help="cache entries that failed integrity "
+                                 "checks and were quarantined",
+                        )
+                        self._event(
+                            "cache-quarantined", count=corrupt,
+                            quarantine_dir=str(self.cache.quarantine_dir),
+                        )
+                # Chaos and explicit deadlines need process isolation:
+                # with them armed, even a single pending task goes to
+                # the pool so SIGKILL never lands on the parent.
+                force_pool = (
+                    self.chaos is not None or self.task_timeout is not None
+                )
+                if self.jobs == 1 or (len(pending) <= 1 and not force_pool):
+                    compute_s = self._run_inline(tasks, pending, results)
+                else:
+                    compute_s = self._run_pool(tasks, pending, results)
+                if self.bus_dir is not None and pending:
+                    from repro.telemetry.bus import merge_timeline
+
+                    merge_timeline(self.bus_dir)
+        finally:
+            if self._bus is not None:
+                self._bus.close()
+                self._bus = None
         wall = time.perf_counter() - t_run0
         effective = min(self.jobs, max(1, len(pending)))
         self.stats.tasks += n
@@ -897,7 +1320,217 @@ class ExperimentEngine:
             "engine.scheduler_overhead_seconds", self.stats.overhead_seconds,
             help="run() wall-clock not covered by parallel-adjusted compute",
         )
+        if self._run_failures and self.failure_mode == "strict":
+            raise EngineTaskError(self._run_failures, self.failure_report())
         return results
+
+    def _run_inline(self, tasks: Sequence[TaskSpec], pending: list[int],
+                    results: list[Any]) -> float:
+        """Inline dispatch (jobs=1): the exact serial code path, now with
+        supervised per-task retries.  Seed-differing DeepCAT cells are
+        batched into lockstep populations (bit-identical per cell, so the
+        cache sees ordinary scalar results); bus mode keeps per-task
+        workers for stream attribution; a failing population group is
+        dissolved and its cells retried individually."""
+        compute_s = 0.0
+        handled: set[int] = set()
+        if self.bus_dir is None:
+            for idxs in _population_groups(tasks, pending):
+                t0 = time.perf_counter()
+                try:
+                    sessions = _run_online_population(
+                        [tasks[i].params for i in idxs]
+                    )
+                except Exception as exc:
+                    print(
+                        f"engine: population group of {len(idxs)} cell(s) "
+                        f"failed ({type(exc).__name__}: {exc}); retrying "
+                        "the cells individually", file=sys.stderr,
+                    )
+                    continue
+                seconds = (time.perf_counter() - t0) / len(idxs)
+                for i, session in zip(idxs, sessions):
+                    compute_s += seconds
+                    self._note_duration(tasks[i].kind, seconds)
+                    self._finish(tasks[i], i, session, seconds, results)
+                    handled.add(i)
+        bus_dir = str(self.bus_dir) if self.bus_dir is not None else None
+        for i in pending:
+            if i in handled:
+                continue
+            attempt = 0
+            while True:
+                attempt += 1
+                result, seconds, state = _supervised_task(
+                    tasks[i], i, attempt, bus_dir=bus_dir,
+                    source=f"task-{i:04d}" if bus_dir else None,
+                )
+                if isinstance(result, TaskFailure):
+                    if self._handle_failure(result):
+                        continue
+                    break
+                if state is not None:
+                    self._merge_worker_state(state)
+                compute_s += seconds
+                self._note_duration(tasks[i].kind, seconds)
+                self._finish(tasks[i], i, result, seconds, results)
+                break
+        return compute_s
+
+    def _run_pool(self, tasks: Sequence[TaskSpec], pending: list[int],
+                  results: list[Any]) -> float:
+        """Supervised process-pool dispatch.
+
+        Runs rounds until every task either finished or was quarantined:
+        each round builds a fresh pool for the still-incomplete tasks
+        and drains it, surviving ``BrokenProcessPool``.  Attempt
+        accounting on a broken pool uses the spool markers written by
+        :func:`_supervised_task`: when the supervisor itself killed the
+        pool to reap a hung task, only the reaped task is charged; when
+        a worker died unexpectedly, every task that had *started* an
+        attempt is charged and queued bystanders are re-dispatched free.
+        """
+        compute_s = 0.0
+        attempts = {i: 0 for i in pending}
+        todo = set(pending)
+        bus_dir = str(self.bus_dir) if self.bus_dir is not None else None
+        spool = Path(tempfile.mkdtemp(prefix="repro-engine-spool-"))
+        try:
+            while todo:
+                batch = sorted(todo)
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(batch))
+                )
+                broke = False
+                reaped: set[int] = set()
+                futures: dict[Future, int] = {}
+                try:
+                    for i in batch:
+                        attempts[i] += 1
+                        try:
+                            fut = pool.submit(
+                                _supervised_task, tasks[i], i, attempts[i],
+                                self.chaos, str(spool), bus_dir,
+                                f"task-{i:04d}" if bus_dir else None,
+                            )
+                        except BrokenExecutor:
+                            attempts[i] -= 1
+                            broke = True
+                            break
+                        futures[fut] = i
+                    outstanding = set(futures)
+                    running_since: dict[Future, float] = {}
+                    while outstanding:
+                        done, outstanding = wait(
+                            outstanding, timeout=self._POLL_S,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        now = time.monotonic()
+                        for fut in outstanding:
+                            if fut not in running_since and fut.running():
+                                running_since[fut] = now
+                        overdue = [
+                            fut for fut, since in running_since.items()
+                            if fut in outstanding
+                            and (limit := self._deadline_for(
+                                tasks[futures[fut]].kind)) is not None
+                            and now - since > limit
+                        ]
+                        if overdue:
+                            reaped.update(futures[fut] for fut in overdue)
+                            self._kill_workers(pool)
+                        for fut in done:
+                            i = futures[fut]
+                            seconds, finished, fut_broke = (
+                                self._dispose_future(
+                                    fut, tasks[i], i, attempts, reaped,
+                                    spool, results,
+                                )
+                            )
+                            compute_s += seconds
+                            broke = broke or fut_broke
+                            if finished:
+                                todo.discard(i)
+                finally:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                if todo and broke:
+                    self.stats.pool_rebuilds += 1
+                    self.telemetry.count(
+                        "engine.pool_rebuilds_total",
+                        help="worker pools rebuilt after a crash or reap",
+                    )
+                    self._event("pool-rebuilt", incomplete=len(todo))
+        finally:
+            shutil.rmtree(spool, ignore_errors=True)
+        return compute_s
+
+    def _dispose_future(self, fut: Future, task: TaskSpec, i: int,
+                        attempts: dict[int, int], reaped: set[int],
+                        spool: Path, results: list[Any]
+                        ) -> tuple[float, bool, bool]:
+        """Settle one completed future.
+
+        Returns ``(seconds, finished, pool_broken)``: ``finished`` is
+        True when the task is done (success or quarantine), False when
+        it will be re-dispatched; ``pool_broken`` is True when the pool
+        broke underneath this future and the round must rebuild.
+        """
+        try:
+            result, seconds, state = fut.result()
+        except BrokenExecutor as exc:
+            started = (spool / f"{i}.{attempts[i]}").exists()
+            if i in reaped:
+                deadline = self._deadline_for(task.kind) or 0.0
+                failure = TaskFailure(
+                    kind=task.kind, index=i, key=task.canonical_key(),
+                    exc_type="TaskTimeout",
+                    message=(
+                        f"exceeded the {deadline:.1f}s task deadline; "
+                        "worker killed"
+                    ),
+                    traceback="", attempts=attempts[i],
+                    worker_crash=True, timed_out=True,
+                )
+                return 0.0, not self._handle_failure(failure), True
+            if reaped or not started:
+                # Bystander of a deliberate reap, or still queued when a
+                # sibling broke the pool: re-dispatch without charging.
+                attempts[i] -= 1
+                return 0.0, False, True
+            if self.chaos is not None and not self.chaos.should_kill(
+                task.canonical_key(), attempts[i]
+            ):
+                # Chaos runs can attribute exactly: the parent knows the
+                # deterministic kill schedule, so a started task whose
+                # attempt was *not* scheduled died as a bystander of a
+                # sibling's kill — refund it, or heavy soaks would burn
+                # innocent tasks' retry budgets into quarantine.
+                attempts[i] -= 1
+                return 0.0, False, True
+            failure = TaskFailure(
+                kind=task.kind, index=i, key=task.canonical_key(),
+                exc_type="WorkerCrash",
+                message=f"worker process died mid-task ({exc})",
+                traceback="", attempts=attempts[i], worker_crash=True,
+            )
+            return 0.0, not self._handle_failure(failure), True
+        except Exception as exc:
+            # Submission-side faults (e.g. an unpicklable result).
+            failure = TaskFailure(
+                kind=task.kind, index=i, key=task.canonical_key(),
+                exc_type=type(exc).__name__, message=str(exc),
+                traceback=traceback_module.format_exc(),
+                attempts=attempts[i],
+            )
+            return 0.0, not self._handle_failure(failure), False
+        if isinstance(result, TaskFailure):
+            result.attempts = attempts[i]
+            return 0.0, not self._handle_failure(result), False
+        if state is not None:
+            self._merge_worker_state(state)
+        self._note_duration(task.kind, seconds)
+        self._finish(task, i, result, seconds, results)
+        return seconds, True, False
 
     def _merge_worker_state(self, state: dict[str, Any]) -> None:
         """Fold a worker's metrics-registry snapshot into the engine's

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import io
+import sys
 
 import numpy as np
 
@@ -39,7 +40,13 @@ from repro.experiments import (
 from repro.experiments.common import get_scale
 from repro.experiments.engine import ExperimentEngine, ResultCache
 
-__all__ = ["build_report", "make_engine", "add_engine_arguments"]
+__all__ = [
+    "build_report",
+    "make_engine",
+    "add_engine_arguments",
+    "engine_from_args",
+    "write_failure_report",
+]
 
 
 def _block(text: str) -> str:
@@ -51,6 +58,10 @@ def make_engine(
     cache_dir: str | None = None,
     telemetry=None,
     bus_dir: str | None = None,
+    task_retries: int = 2,
+    task_timeout: float | None = None,
+    failure_mode: str = "strict",
+    chaos=None,
 ) -> ExperimentEngine:
     """The engine a report run shares across all figure modules."""
     from repro.telemetry import NULL_CONTEXT
@@ -60,6 +71,10 @@ def make_engine(
         cache=ResultCache(cache_dir) if cache_dir else None,
         telemetry=telemetry if telemetry is not None else NULL_CONTEXT,
         bus_dir=bus_dir,
+        task_retries=task_retries,
+        task_timeout=task_timeout,
+        failure_mode=failure_mode,
+        chaos=chaos,
     )
 
 
@@ -302,6 +317,72 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
              "diagnostics alerts, and metrics snapshots to "
              "DIR/task-NNNN.jsonl and merge them into DIR/timeline.jsonl",
     )
+    parser.add_argument(
+        "--task-retries", type=int, default=2, metavar="N",
+        help="re-dispatch a failed, crashed, or timed-out task up to N "
+             "times before quarantining it (retries are bit-identical: "
+             "tasks are pure functions of their seeded parameters)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="hard per-task deadline; hung workers are killed and the "
+             "task retried (default: 8x the per-kind duration EWMA, "
+             "floor 30s, once a kind has completed at least once)",
+    )
+    parser.add_argument(
+        "--lenient", action="store_true",
+        help="complete the grid with partial results when tasks fail "
+             "permanently (default strict: non-zero exit plus a ranked "
+             "failure report; completed cells stay cached either way)",
+    )
+    parser.add_argument(
+        "--failure-report", default=None, metavar="PATH",
+        help="write the JSON engine failure report here after the run "
+             "(written on success too, with healthy=true)",
+    )
+    parser.add_argument(
+        "--chaos-kill-rate", type=float, default=0.0, metavar="P",
+        help="chaos harness: SIGKILL the workers of roughly this "
+             "fraction of tasks on their first attempt (seeded, "
+             "deterministic; requires --jobs >= 2; CI soak only)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed of the worker-kill schedule (--chaos-kill-rate)",
+    )
+
+
+def engine_from_args(args: argparse.Namespace, telemetry=None
+                     ) -> ExperimentEngine:
+    """Build the engine from :func:`add_engine_arguments` flags."""
+    chaos = None
+    if args.chaos_kill_rate > 0.0:
+        from repro.faults import WorkerChaos
+
+        chaos = WorkerChaos(seed=args.chaos_seed,
+                            kill_rate=args.chaos_kill_rate)
+    return make_engine(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        telemetry=telemetry,
+        bus_dir=args.bus_dir,
+        task_retries=args.task_retries,
+        task_timeout=args.task_timeout,
+        failure_mode="lenient" if args.lenient else "strict",
+        chaos=chaos,
+    )
+
+
+def write_failure_report(engine: ExperimentEngine,
+                         path: str | None) -> None:
+    """Dump the engine's JSON failure report (the CI soak artifact)."""
+    if not path:
+        return
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(engine.failure_report(), fh, indent=2)
+    print(f"wrote failure report {path}")
 
 
 def main() -> None:
@@ -311,16 +392,23 @@ def main() -> None:
     parser.add_argument("--output", default="EXPERIMENTS.md")
     add_engine_arguments(parser)
     args = parser.parse_args()
-    engine = make_engine(
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        bus_dir=args.bus_dir,
+    engine = engine_from_args(args)
+    from repro.experiments.engine import (
+        EngineTaskError,
+        render_failure_report,
     )
-    report = build_report(args.scale, engine=engine)
+
+    try:
+        report = build_report(args.scale, engine=engine)
+    except EngineTaskError as exc:
+        print(render_failure_report(exc.report), file=sys.stderr)
+        write_failure_report(engine, args.failure_report)
+        raise SystemExit(1)
     with open(args.output, "w") as fh:
         fh.write(report)
     print(f"wrote {args.output} at scale {args.scale!r}")
     print(f"engine: {engine.stats.summary()}")
+    write_failure_report(engine, args.failure_report)
 
 
 if __name__ == "__main__":

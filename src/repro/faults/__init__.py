@@ -1,11 +1,20 @@
 """Stochastic fault injection for chaos-hardening the online loop.
 
-See :mod:`repro.faults.profile` for the named chaos levels and
-:mod:`repro.faults.injector` for how they are applied; the counterpart
-resilience policies live in :mod:`repro.core.resilience`.
+See :mod:`repro.faults.profile` for the named chaos levels,
+:mod:`repro.faults.injector` for how they are applied inside a session,
+and :mod:`repro.faults.chaos` for the process-level worker-kill harness
+used against the experiment engine; the counterpart resilience policies
+live in :mod:`repro.core.resilience`.
 """
 
+from repro.faults.chaos import WorkerChaos
 from repro.faults.injector import FaultInjector
 from repro.faults.profile import PROFILES, FaultProfile, get_profile
 
-__all__ = ["FaultInjector", "FaultProfile", "PROFILES", "get_profile"]
+__all__ = [
+    "FaultInjector",
+    "FaultProfile",
+    "PROFILES",
+    "WorkerChaos",
+    "get_profile",
+]

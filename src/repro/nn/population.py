@@ -166,3 +166,15 @@ class StackedSequential:
         for op in self._ops:
             out = op.forward(out)
         return out
+
+    def members_finite(self) -> np.ndarray:
+        """Boolean mask over members: ``True`` where every parameter of
+        member ``i``'s net is finite.  Pure observation (no RNG, no
+        writes), used to quarantine diverged members before their NaNs
+        can reach the shared lockstep tensors."""
+        ok = np.ones(self.n, dtype=bool)
+        for op in self._ops:
+            if isinstance(op, _StackedLinear):
+                ok &= np.isfinite(op.w).all(axis=(1, 2))
+                ok &= np.isfinite(op.b).all(axis=(1, 2))
+        return ok

@@ -37,7 +37,9 @@ from repro.telemetry.diagnostics import (
 from repro.telemetry.heartbeat import (
     HeartbeatWriter,
     default_stale_after,
+    finalize_heartbeat,
     heartbeat_status,
+    pid_alive,
     read_heartbeat,
     render_heartbeat,
 )
@@ -81,6 +83,8 @@ __all__ = [
     "read_heartbeat",
     "render_heartbeat",
     "heartbeat_status",
+    "finalize_heartbeat",
+    "pid_alive",
     "default_stale_after",
     "Alert",
     "DiagnosticsConfig",

@@ -67,7 +67,91 @@ REMEDIATIONS: dict[str, str] = {
         "environment is unstable; use --fault-profile retries, raise "
         "the watchdog multiple, or fix the cluster before tuning"
     ),
+    "engine-task-failure": (
+        "a grid cell kept failing in the worker — read the propagated "
+        "traceback in the failure report, fix the cell or re-run with "
+        "--task-retries/--lenient; completed cells are cached, so a "
+        "re-run only recomputes the quarantined ones"
+    ),
+    "engine-task-timeout": (
+        "a worker blew its per-task deadline and was reaped — raise "
+        "--task-timeout (or let the EWMA warm up on a smaller grid), "
+        "or investigate why that cell hangs"
+    ),
+    "engine-pool-rebuilt": (
+        "the worker pool died mid-grid (OOM killer, segfault, external "
+        "kill) — lower --jobs, check dmesg/cgroup memory limits; the "
+        "supervisor re-dispatched the incomplete cells automatically"
+    ),
+    "engine-cache-corruption": (
+        "result-cache entries failed their checksum and were moved to "
+        ".quarantine/ — inspect or delete them; the affected cells "
+        "recompute automatically on the next run"
+    ),
 }
+
+#: engine supervisor event kinds synthesized into doctor findings
+_ENGINE_EVENT_SEVERITY: dict[str, str] = {
+    "task-failed": "warning",
+    "pool-rebuilt": "warning",
+    "cache-quarantined": "warning",
+}
+
+
+def _engine_event_alerts(
+    records: list[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """Convert engine supervisor events into alert-shaped records.
+
+    The experiment engine does not run learning-health detectors, but
+    its ``task-failed`` / ``pool-rebuilt`` / ``cache-quarantined``
+    events are first-class evidence of an unhealthy *run* — surface
+    them through the same ranked-findings pipeline.
+    """
+    alerts: list[dict[str, Any]] = []
+    for record in records:
+        kind = record.get("kind")
+        if kind not in _ENGINE_EVENT_SEVERITY:
+            continue
+        if kind == "task-failed":
+            timed_out = bool(record.get("timed_out"))
+            name = (
+                "engine-task-timeout" if timed_out else "engine-task-failure"
+            )
+            message = (
+                f"task {record.get('task_kind', '?')}"
+                f"[{record.get('index', '?')}] "
+                + ("hit its deadline" if timed_out
+                   else f"raised {record.get('exc_type', '?')}: "
+                        f"{record.get('message', '')}")
+            )
+            data = {
+                k: record[k]
+                for k in ("task_kind", "index", "attempt", "worker_crash")
+                if k in record
+            }
+        elif kind == "pool-rebuilt":
+            name = "engine-pool-rebuilt"
+            message = (
+                f"worker pool rebuilt with "
+                f"{record.get('incomplete', '?')} task(s) incomplete"
+            )
+            data = {"incomplete": record.get("incomplete")}
+        else:  # cache-quarantined
+            name = "engine-cache-corruption"
+            message = (
+                f"{record.get('count', '?')} corrupt cache entr(y|ies) "
+                f"quarantined to {record.get('quarantine_dir', '?')}"
+            )
+            data = {"count": record.get("count")}
+        alerts.append({
+            "name": name,
+            "severity": _ENGINE_EVENT_SEVERITY[kind],
+            "step": record.get("step"),
+            "message": message,
+            "data": data,
+        })
+    return alerts
 
 
 def _find_events_file(run_dir: Path) -> Path | None:
@@ -76,13 +160,14 @@ def _find_events_file(run_dir: Path) -> Path | None:
     if timeline.is_file():
         return timeline
     candidates = sorted(run_dir.glob("*.jsonl"))
+    diagnosable = (
+        ("online-step", "offline-step", "alert")
+        + tuple(_ENGINE_EVENT_SEVERITY)
+    )
     best: tuple[int, Path] | None = None
     for path in candidates:
         records = read_jsonl_lenient(path)
-        score = sum(
-            1 for r in records
-            if r.get("kind") in ("online-step", "offline-step", "alert")
-        )
+        score = sum(1 for r in records if r.get("kind") in diagnosable)
         if score and (best is None or score > best[0]):
             best = (score, path)
     return best[1] if best else None
@@ -135,7 +220,7 @@ def _rank_findings(
             "last_step": alert.get("step"),
             "message": alert.get("message", ""),
             "data": alert.get("data", {}),
-            "inferred": inferred,
+            "inferred": bool(alert.get("_inferred", inferred)),
             "_order": idx,
         })
         entry["count"] += 1
@@ -184,12 +269,19 @@ def diagnose_run(target: str | Path) -> dict[str, Any]:
         read_jsonl_lenient(events_path) if events_path is not None else []
     )
     live_alerts = [r for r in records if r.get("kind") == "alert"]
+    engine_alerts = _engine_event_alerts(records)
     if live_alerts:
-        findings = _rank_findings(live_alerts, inferred=False)
+        findings = _rank_findings(
+            live_alerts + engine_alerts, inferred=False
+        )
     else:
         engine = replay_events(records)
+        replayed = [
+            dict(a.as_event_fields(), _inferred=True)
+            for a in engine.alerts
+        ]
         findings = _rank_findings(
-            [a.as_event_fields() for a in engine.alerts], inferred=True
+            engine_alerts + replayed, inferred=False
         )
 
     steps = [
@@ -205,6 +297,7 @@ def diagnose_run(target: str | Path) -> dict[str, Any]:
         "events": len(records),
         "steps": len(steps),
         "alerts_live": len(live_alerts),
+        "alerts_engine": len(engine_alerts),
     }
     if manifest is not None:
         for key in ("kind", "seed", "git_sha", "elapsed_s"):

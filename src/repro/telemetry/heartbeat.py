@@ -31,6 +31,8 @@ __all__ = [
     "render_heartbeat",
     "heartbeat_status",
     "default_stale_after",
+    "finalize_heartbeat",
+    "pid_alive",
 ]
 
 #: event kinds that advance the heartbeat, mapped to the phase they imply
@@ -163,6 +165,43 @@ def read_heartbeat(path: str | Path) -> dict[str, Any]:
     return doc
 
 
+def finalize_heartbeat(path: str | Path, status: str = "completed") -> None:
+    """Stamp a terminal marker into an existing heartbeat document.
+
+    A run that stops *on purpose* before ``total_steps`` (time budget,
+    Ctrl-C with a checkpoint) leaves a heartbeat whose pid is gone —
+    indistinguishable from a crash without this marker.  The CLI calls
+    it on clean exit and on handled interrupts; a run that truly died
+    never gets here, which is exactly what makes ``crashed`` detectable.
+    """
+    path = Path(path)
+    try:
+        doc = read_heartbeat(path)
+    except ValueError:
+        return
+    doc["finished"] = status
+    doc["updated_at"] = time.time()
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(doc) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def pid_alive(pid: Any) -> bool | None:
+    """Best-effort liveness probe; ``None`` when it cannot be answered
+    (missing/foreign pid, platforms without ``kill(pid, 0)``)."""
+    if not isinstance(pid, int) or isinstance(pid, bool) or pid <= 0:
+        return None
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - platform-dependent
+        return None
+    return True
+
+
 def default_stale_after(doc: dict[str, Any]) -> float:
     """Staleness horizon for a heartbeat: 3× the observed mean step
     interval, floored at 10 s so fast sessions aren't flagged by
@@ -178,17 +217,26 @@ def heartbeat_status(
     doc: dict[str, Any],
     age_s: float,
     stale_after: float | None = None,
+    alive: bool | None = None,
 ) -> str:
-    """Classify a heartbeat: ``done``, ``stalled``, or ``running``.
+    """Classify a heartbeat: ``done``, ``crashed``, ``stalled``, or
+    ``running``.
 
     ``age_s`` is how long ago the file was last written (use its mtime:
     the ``updated_at`` wall-clock inside the document is not monotonic
     across hosts).  ``stale_after`` overrides the 3×-step-interval
-    default.
+    default.  ``alive`` is the writer pid's liveness (see
+    :func:`pid_alive`): ``False`` with no terminal marker means the
+    process died mid-run — ``crashed``, not merely ``stalled``; ``None``
+    (unknown) falls back to pure mtime staleness.
     """
+    if doc.get("finished"):
+        return "done"
     total = doc.get("total_steps")
     if total and doc.get("step", 0) >= total:
         return "done"
+    if alive is False:
+        return "crashed"
     horizon = (
         stale_after if stale_after is not None else default_stale_after(doc)
     )

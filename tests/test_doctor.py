@@ -113,6 +113,71 @@ class TestDiagnoseRun:
         assert report["run"]["events_file"] is None
 
 
+class TestEngineFindings:
+    def _engine_run(self, tmp_path):
+        """A grid run that crashed a worker, timed out a task, and found
+        corrupt cache entries — recorded by the supervisor's bus stream."""
+        run = tmp_path / "grid"
+        run.mkdir()
+        _write_events(run / "events.jsonl", [
+            {"kind": "cache-quarantined", "ts": 0.0, "count": 2,
+             "quarantine_dir": "/tmp/cache/.quarantine"},
+            {"kind": "task-failed", "ts": 1.0, "task_kind": "online-session",
+             "index": 3, "attempt": 1, "exc_type": "WorkerCrash",
+             "message": "worker process died mid-task",
+             "worker_crash": True, "timed_out": False},
+            {"kind": "pool-rebuilt", "ts": 2.0, "incomplete": 4},
+            {"kind": "task-failed", "ts": 3.0, "task_kind": "online-session",
+             "index": 5, "attempt": 2, "exc_type": "TaskTimeout",
+             "message": "exceeded the 60.0s task deadline",
+             "worker_crash": True, "timed_out": True},
+        ])
+        return run
+
+    def test_engine_events_become_ranked_findings(self, tmp_path):
+        report = diagnose_run(self._engine_run(tmp_path))
+        assert not report["healthy"]
+        names = {f["name"] for f in report["findings"]}
+        assert names == {
+            "engine-task-failure", "engine-task-timeout",
+            "engine-pool-rebuilt", "engine-cache-corruption",
+        }
+        for finding in report["findings"]:
+            assert finding["severity"] == "warning"
+            assert finding["inferred"] is False
+            assert finding["remediation"] == REMEDIATIONS[finding["name"]]
+        assert report["run"]["alerts_engine"] == 4
+
+    def test_timed_out_failure_maps_to_timeout_cause(self, tmp_path):
+        report = diagnose_run(self._engine_run(tmp_path))
+        by_name = {f["name"]: f for f in report["findings"]}
+        assert "deadline" in by_name["engine-task-timeout"]["message"]
+        assert "WorkerCrash" in by_name["engine-task-failure"]["message"]
+        assert by_name["engine-pool-rebuilt"]["data"] == {"incomplete": 4}
+        assert by_name["engine-cache-corruption"]["data"] == {"count": 2}
+
+    def test_engine_findings_merge_with_live_alerts(self, tmp_path):
+        run = self._engine_run(tmp_path)
+        records = [json.loads(line) for line in
+                   (run / "events.jsonl").read_text().splitlines()]
+        records.append(_alert("critic-divergence", "critical", 9, "boom"))
+        _write_events(run / "events.jsonl", records)
+        report = diagnose_run(run)
+        names = [f["name"] for f in report["findings"]]
+        assert names[0] == "critic-divergence"  # critical still leads
+        assert "engine-pool-rebuilt" in names
+
+    def test_engine_findings_render_with_fix_hints(self, tmp_path):
+        text = render_diagnosis(diagnose_run(self._engine_run(tmp_path)))
+        assert "engine-task-timeout" in text
+        assert "--task-timeout" in text
+        assert "(inferred from replay)" not in text
+
+    def test_doctor_cli_fails_on_engine_findings(self, tmp_path):
+        run = self._engine_run(tmp_path)
+        assert main(["doctor", str(run), "--fail-on-findings"]) == 4
+
+
 class TestRender:
     def test_render_orders_and_hints(self, tmp_path):
         report = diagnose_run(_planted_run(tmp_path))

@@ -1,0 +1,163 @@
+"""Process-level chaos harness: deterministic worker kills and the
+bit-identity proof that supervision never changes the science.
+
+The heavy soak runs under ``-m faults`` (CI chaos-smoke job); the
+schedule tests and the retried-result determinism proof are cheap and
+run everywhere.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.engine import (
+    ExperimentEngine,
+    ResultCache,
+    TaskSpec,
+    random_cdf_task,
+    task_kind,
+)
+from repro.faults import WorkerChaos
+
+
+@task_kind("chaos-flaky-cdf")
+def _chaos_flaky_cdf(*, marker, workload, dataset, n_samples, seed):
+    """A real science kind with an injected first-attempt fault: raises
+    until ``marker`` exists, then computes the ordinary random-search
+    CDF — whose value is a pure function of the science params."""
+    from repro.experiments.engine import _TASK_KINDS
+
+    if not os.path.exists(marker):
+        open(marker, "wb").close()
+        raise RuntimeError("injected transient fault")
+    return _TASK_KINDS["random-cdf"](
+        workload=workload, dataset=dataset, n_samples=n_samples, seed=seed
+    )
+
+
+def _cdf_grid(n_tasks=6, n_samples=20):
+    return [
+        random_cdf_task(workload="WC", dataset="D1", n_samples=n_samples,
+                        seed=1000 + i)
+        for i in range(n_tasks)
+    ]
+
+
+def _assert_identical(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x["durations"], y["durations"])
+        assert x["n_failed"] == y["n_failed"]
+        assert x["default_duration"] == y["default_duration"]
+
+
+class TestWorkerChaosSchedule:
+    def test_schedule_is_deterministic(self):
+        a = WorkerChaos(seed=7, kill_rate=0.5)
+        b = WorkerChaos(seed=7, kill_rate=0.5)
+        keys = [t.canonical_key() for t in _cdf_grid()]
+        assert [a.kills_for(k) for k in keys] == [b.kills_for(k) for k in keys]
+
+    def test_seed_changes_schedule(self):
+        keys = [t.canonical_key() for t in _cdf_grid(32)]
+        a = [WorkerChaos(seed=0, kill_rate=0.5).kills_for(k) for k in keys]
+        b = [WorkerChaos(seed=1, kill_rate=0.5).kills_for(k) for k in keys]
+        assert a != b
+
+    def test_kill_rate_bounds(self):
+        keys = [t.canonical_key() for t in _cdf_grid(16)]
+        never = WorkerChaos(seed=3, kill_rate=0.0)
+        always = WorkerChaos(seed=3, kill_rate=1.0)
+        assert all(never.kills_for(k) == 0 for k in keys)
+        assert all(always.kills_for(k) == 1 for k in keys)
+
+    def test_should_kill_counts_attempts(self):
+        chaos = WorkerChaos(seed=3, kill_rate=1.0, max_kills_per_task=2)
+        key = _cdf_grid(1)[0].canonical_key()
+        assert chaos.should_kill(key, attempt=1)
+        assert chaos.should_kill(key, attempt=2)
+        assert not chaos.should_kill(key, attempt=3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerChaos(seed=0, kill_rate=1.5)
+        with pytest.raises(ValueError):
+            WorkerChaos(seed=0, kill_rate=-0.1)
+        with pytest.raises(ValueError):
+            WorkerChaos(seed=0, kill_rate=0.5, max_kills_per_task=-1)
+
+
+@pytest.mark.faults
+class TestChaosSoak:
+    def test_killed_grid_completes_bit_identical(self, tmp_path):
+        tasks = _cdf_grid(n_tasks=6, n_samples=20)
+        chaos = WorkerChaos(seed=7, kill_rate=0.5)
+        scheduled = sum(chaos.kills_for(t.canonical_key()) for t in tasks)
+        assert scheduled >= 1  # the soak must actually kill workers
+
+        clean = ExperimentEngine(jobs=1).run(tasks)
+        eng = ExperimentEngine(jobs=4, chaos=chaos, task_retries=2,
+                               cache=ResultCache(tmp_path / "cache"))
+        soaked = eng.run(tasks)
+
+        _assert_identical(clean, soaked)
+        assert eng.stats.quarantined_tasks == 0
+        assert eng.stats.task_failures >= scheduled
+        assert eng.stats.pool_rebuilds >= 1
+        assert eng.failure_report()["healthy"] is True
+
+    def test_chaos_run_populates_reusable_cache(self, tmp_path):
+        tasks = _cdf_grid(n_tasks=4, n_samples=15)
+        cache_root = tmp_path / "cache"
+        chaos = WorkerChaos(seed=11, kill_rate=1.0)
+        eng = ExperimentEngine(jobs=4, chaos=chaos, task_retries=2,
+                               cache=ResultCache(cache_root))
+        soaked = eng.run(tasks)
+        # A later clean engine sees ordinary, integrity-checked entries.
+        eng2 = ExperimentEngine(cache=ResultCache(cache_root))
+        cached = eng2.run(tasks)
+        assert eng2.stats.cache_hits == len(tasks)
+        assert eng2.stats.executed == 0
+        _assert_identical(soaked, cached)
+
+
+@pytest.mark.determinism
+class TestRetryDeterminism:
+    def _task(self, marker, seed):
+        return TaskSpec("chaos-flaky-cdf", {
+            "marker": str(marker), "workload": "WC", "dataset": "D1",
+            "n_samples": 12, "seed": seed,
+        })
+
+    def test_inline_retried_equals_clean(self, tmp_path):
+        clean_marker = tmp_path / "clean"
+        clean_marker.touch()
+        [clean] = ExperimentEngine().run([self._task(clean_marker, 5)])
+        [retried] = ExperimentEngine(task_retries=1).run(
+            [self._task(tmp_path / "dirty", 5)]
+        )
+        _assert_identical([clean], [retried])
+
+    def test_pool_retried_equals_clean(self, tmp_path):
+        clean_marker = tmp_path / "clean"
+        clean_marker.touch()
+        tasks_clean = [self._task(clean_marker, s) for s in (5, 6)]
+        clean = ExperimentEngine().run(tasks_clean)
+        dirty = tmp_path / "dirty"
+        tasks_flaky = [self._task(dirty, s) for s in (5, 6)]
+        eng = ExperimentEngine(jobs=2, task_retries=2)
+        retried = eng.run(tasks_flaky)
+        _assert_identical(clean, retried)
+        assert eng.stats.task_failures >= 1
+
+    def test_supervised_engine_matches_default_without_injection(self):
+        # With no chaos and no failures, the supervised pool path must be
+        # bit-identical to the plain inline engine (the pre-supervision
+        # behaviour) — and cache keys are unchanged by construction
+        # (CACHE_VERSION stayed at deepcat-engine-v2).
+        tasks = _cdf_grid(n_tasks=4, n_samples=15)
+        _assert_identical(
+            ExperimentEngine(jobs=1).run(tasks),
+            ExperimentEngine(jobs=2, task_retries=2).run(tasks),
+        )

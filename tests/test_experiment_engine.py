@@ -5,11 +5,13 @@ The heavy science kinds (``online-session``) are exercised by
 and a test-local kind keep everything fast.
 """
 
+import hashlib
 import pickle
 
 import numpy as np
 import pytest
 
+import repro.experiments.engine as engine_module
 from repro.experiments.engine import (
     CACHE_VERSION,
     ExperimentEngine,
@@ -130,13 +132,16 @@ class TestResultCache:
         assert ResultCache.is_miss(cache.load(task))
 
     def test_payload_mismatch_is_a_miss(self, tmp_path):
+        # A well-formed entry (valid checksum) whose payload differs is
+        # a plain miss — a hash collision, not corruption.
         cache = ResultCache(tmp_path)
         task = _cdf(seed=3)
         path = cache.store(task, 42)
-        entry = pickle.loads(path.read_bytes())
-        entry["payload"] = "tampered"
-        path.write_bytes(pickle.dumps(entry))
+        body = pickle.dumps({"payload": "tampered", "result": 42})
+        digest = hashlib.sha256(body).hexdigest().encode("ascii")
+        path.write_bytes(engine_module._CACHE_MAGIC + digest + b"\n" + body)
         assert ResultCache.is_miss(cache.load(task))
+        assert cache.corrupt_entries == 0
 
 
 class TestExperimentEngine:

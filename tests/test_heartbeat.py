@@ -10,7 +10,9 @@ from repro.cli import main
 from repro.telemetry import (
     HeartbeatWriter,
     default_stale_after,
+    finalize_heartbeat,
     heartbeat_status,
+    pid_alive,
     read_heartbeat,
     render_heartbeat,
 )
@@ -155,6 +157,45 @@ class TestHeartbeatStatus:
             self._doc(step=10), age_s=9999.0
         ) == "done"  # finished runs never stall
 
+    def test_dead_pid_means_crashed_not_stalled(self):
+        doc = self._doc()
+        assert heartbeat_status(doc, age_s=1.0, alive=False) == "crashed"
+        assert heartbeat_status(doc, age_s=9999.0, alive=False) == "crashed"
+        # Liveness unknown: fall back to pure mtime staleness.
+        assert heartbeat_status(doc, age_s=1.0, alive=None) == "running"
+        assert heartbeat_status(doc, age_s=1.0, alive=True) == "running"
+
+    def test_finished_marker_beats_dead_pid(self):
+        # A run that stopped on purpose (budget, Ctrl-C + checkpoint) has
+        # a gone pid too — the terminal marker is what separates it.
+        doc = self._doc(finished="interrupted")
+        assert heartbeat_status(doc, age_s=9999.0, alive=False) == "done"
+
+    def test_pid_alive(self):
+        assert pid_alive(os.getpid()) is True
+        # Fresh child that exited and was reaped: the pid is gone.
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)  # pragma: no cover - child
+        os.waitpid(pid, 0)
+        assert pid_alive(pid) is False
+        assert pid_alive(None) is None
+        assert pid_alive(-1) is None
+        assert pid_alive("123") is None
+        assert pid_alive(True) is None
+
+    def test_finalize_heartbeat_stamps_marker(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        HeartbeatWriter(hb, total_steps=10).event("online-step", step=1)
+        finalize_heartbeat(hb, "interrupted")
+        doc = read_heartbeat(hb)
+        assert doc["finished"] == "interrupted"
+        assert heartbeat_status(doc, age_s=9999.0, alive=False) == "done"
+
+    def test_finalize_missing_heartbeat_is_a_noop(self, tmp_path):
+        finalize_heartbeat(tmp_path / "none.json")  # must not raise
+        assert not (tmp_path / "none.json").exists()
+
 
 class TestHeartbeatReader:
     def test_read_errors_are_valueerror(self, tmp_path):
@@ -275,6 +316,64 @@ class TestWatchCLI:
         assert rc == 3
         assert "STALLED" in capsys.readouterr().out
 
+    def _dead_pid(self):
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)  # pragma: no cover - child
+        os.waitpid(pid, 0)
+        return pid
+
+    def _mark_dead(self, hb):
+        doc = read_heartbeat(hb)
+        doc["pid"] = self._dead_pid()
+        hb.write_text(json.dumps(doc), encoding="utf-8")
+
+    def test_watch_flags_crashed_session(self, tmp_path, capsys):
+        hb = tmp_path / "hb.json"
+        HeartbeatWriter(hb, total_steps=10).event("online-step", step=1)
+        self._mark_dead(hb)
+        rc = main([
+            "telemetry", "watch", str(hb),
+            "--stale-after", "3600", "--fail-on-stall",
+        ])
+        assert rc == 3  # crashed fails the gate even while mtime is fresh
+        assert "CRASHED" in capsys.readouterr().out
+
+    def test_watch_finalized_session_is_done_not_crashed(
+        self, tmp_path, capsys
+    ):
+        hb = tmp_path / "hb.json"
+        HeartbeatWriter(hb, total_steps=10).event("online-step", step=1)
+        self._mark_dead(hb)
+        finalize_heartbeat(hb, "interrupted")
+        rc = main([
+            "telemetry", "watch", str(hb),
+            "--stale-after", "3600", "--fail-on-stall",
+        ])
+        assert rc == 0
+        assert "CRASHED" not in capsys.readouterr().out
+
+    def test_top_distinguishes_crashed_from_stalled(self, tmp_path, capsys):
+        crashed = tmp_path / "crashed" / "hb.json"
+        HeartbeatWriter(crashed, total_steps=10).event("online-step", step=1)
+        self._mark_dead(crashed)
+        stalled = tmp_path / "stalled" / "hb.json"
+        HeartbeatWriter(stalled, total_steps=10).event("online-step", step=1)
+        doc = read_heartbeat(stalled)
+        doc["pid"] = None  # liveness unknown => mtime staleness applies
+        stalled.write_text(json.dumps(doc), encoding="utf-8")
+        old = time.time() - 120.0
+        os.utime(stalled, (old, old))
+        rc = main([
+            "telemetry", "top", str(tmp_path), "--once",
+            "--stale-after", "60", "--fail-on-stall",
+        ])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "CRASHED" in out
+        assert "STALLED" in out
+        assert "1 stalled" in out and "1 crashed" in out
+
     def test_heartbeat_flag_during_train(self, tmp_path, capsys):
         hb = tmp_path / "hb.json"
         rc = main([
@@ -285,6 +384,7 @@ class TestWatchCLI:
         doc = read_heartbeat(hb)
         assert doc["step"] == 12
         assert doc["total_steps"] == 12
+        assert doc["finished"] == "completed"  # stamped on clean exit
         capsys.readouterr()
         assert main(["telemetry", "watch", str(hb)]) == 0
         assert "12/12" in capsys.readouterr().out
