@@ -13,6 +13,7 @@ micro- to milliseconds, far below timer jitter.
 
 from __future__ import annotations
 
+import os
 import shutil
 import tempfile
 
@@ -280,6 +281,38 @@ def _bench_diagnostics():
             engine.drain_alerts()
 
     return run
+
+
+@bench("telemetry.ledger", kind="micro", items=1000,
+       description="one streamed charge + counterfactual ledger cycle")
+def _bench_ledger():
+    from repro.telemetry.ledger import CostLedger
+
+    root = tempfile.mkdtemp(prefix="repro-bench-ledger-")
+    config = {f"knob.{i}": i * 7 for i in range(12)}
+    state = {"ledger": CostLedger(os.path.join(root, "bench.ledger.jsonl"))}
+
+    def run() -> None:
+        led = state["ledger"]
+        for i in range(1000):
+            led.charge(
+                "evaluation", 80.0 + i, step=i, tuner="bench",
+                success=True, attempts=1, config=config,
+            )
+            led.counterfactual(
+                "screening", 0.5, step=i, original_q=0.1, final_q=0.4,
+            )
+        led.close()
+        # each repetition streams a fresh file, like a fresh run would
+        state["ledger"] = CostLedger(
+            os.path.join(root, "bench.ledger.jsonl")
+        )
+
+    def cleanup() -> None:
+        state["ledger"].close()
+        shutil.rmtree(root, ignore_errors=True)
+
+    return run, cleanup
 
 
 # ------------------------------------------------------------------ macro

@@ -22,6 +22,7 @@ import contextlib
 import os
 import signal
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -104,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="append structured JSONL events (offline-step, "
                  "online-step, sim-stage, ...) here",
         )
+        p.add_argument(
+            "--ledger", default=None, metavar="PATH",
+            help="stream a typed tuning-cost ledger (JSONL) here: "
+                 "evaluation/warmup/retry/watchdog_abort/fallback/"
+                 "recommendation charges plus Twin-Q counterfactual "
+                 "savings; inspect with 'repro explain'",
+        )
 
     def run_flags(p):
         """Profiling/heartbeat flags for the long-running run commands."""
@@ -172,6 +180,16 @@ def build_parser() -> argparse.ArgumentParser:
              "the TOTAL step count (already-completed steps are kept)",
     )
     p_tune.add_argument(
+        "--no-twin-q", action="store_true",
+        help="disable the Twin-Q Optimizer screening for this session "
+             "(the model's training is unchanged)",
+    )
+    p_tune.add_argument(
+        "--q-threshold", type=float, default=None, metavar="Q",
+        help="override the Twin-Q acceptance threshold Q_th for this "
+             "session",
+    )
+    p_tune.add_argument(
         "--population", type=int, default=None, metavar="N",
         help="serve N independent sessions in one lockstep population "
              "(member i uses the i-th seed derived from --seed); "
@@ -211,17 +229,24 @@ def build_parser() -> argparse.ArgumentParser:
         "telemetry", help="inspect telemetry artifacts from a tuned run"
     )
     p_tel.add_argument(
-        "action", choices=("summary", "dump", "watch", "top"),
+        "action", choices=("summary", "dump", "watch", "top", "stitch"),
         help="summary: human-readable cost breakdown; dump: normalized "
              "JSON of the artifact; watch: tail a live heartbeat file; "
              "top: fleet dashboard over many heartbeats (files or "
-             "directories)",
+             "directories); stitch: merge a grid's worker traces into "
+             "one Chrome/Perfetto file with the critical path",
     )
     p_tel.add_argument(
         "path", nargs="+",
         help="a trace .jsonl, a metrics .prom/.json dump, a run "
              "manifest .json, an events .jsonl, or (watch/top) "
-             "heartbeat files — top also accepts directories to scan",
+             "heartbeat files — top also accepts directories to scan; "
+             "stitch takes a bus directory or trace .jsonl files",
+    )
+    p_tel.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="stitch: where to write the merged Chrome trace (default: "
+             "<bus-dir>/stitched.chrome.json)",
     )
     p_tel.add_argument(
         "--min-ms", type=float, default=0.0,
@@ -273,6 +298,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-findings", action="store_true",
         help="exit with status 4 when any warning/critical finding "
              "survives ranking (CI gate mode)",
+    )
+
+    p_exp = sub.add_parser(
+        "explain",
+        help="cost breakdown of a run from its tuning-cost ledger",
+    )
+    p_exp.add_argument(
+        "path", nargs="+",
+        help="ledger .jsonl file(s), or a run/bus directory containing "
+             "a ledgers/ subdirectory; multiple files are merged "
+             "(--compare takes exactly two)",
+    )
+    p_exp.add_argument(
+        "--compare", action="store_true",
+        help="diff two ledgers account-by-account instead of "
+             "summarizing one",
+    )
+    p_exp.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="show the K most expensive charge entries (default: 5)",
+    )
+    p_exp.add_argument(
+        "--knobs", type=int, default=8, metavar="K",
+        help="show the K knobs with the widest cost spread across "
+             "evaluated configs (default: 8)",
     )
 
     p_bench = sub.add_parser(
@@ -389,11 +439,24 @@ def _telemetry_context(args, kind: str, total_steps: int | None = None):
         from repro.telemetry import DiagnosticsEngine
 
         diagnostics = DiagnosticsEngine()
+    ledger = None
+    if getattr(args, "ledger", None):
+        from repro.telemetry import CostLedger
+
+        ledger = CostLedger(args.ledger)
     if not (args.trace or args.metrics_out or args.manifest):
-        if logger is None and profiler is None and diagnostics is None:
+        if (
+            logger is None
+            and profiler is None
+            and diagnostics is None
+            and ledger is None
+        ):
             return NULL_CONTEXT
         return RunContext(
-            logger=logger, profiler=profiler, diagnostics=diagnostics
+            logger=logger,
+            profiler=profiler,
+            diagnostics=diagnostics,
+            ledger=ledger,
         )
     ctx = RunContext.recording(
         trace=args.trace,
@@ -404,6 +467,7 @@ def _telemetry_context(args, kind: str, total_steps: int | None = None):
         kind=kind,
         profiler=profiler,
         diagnostics=diagnostics,
+        ledger=ledger,
     )
     ctx.manifest.workload = args.workload
     ctx.manifest.dataset = args.dataset
@@ -461,8 +525,36 @@ def _print_diagnostics(ctx) -> None:
           "ranked remediation hints")
 
 
+def _apply_twinq_flags(args, tuner) -> None:
+    """Apply --no-twin-q / --q-threshold session overrides to a tuner.
+
+    These are plain attributes on the DeepCAT tuner read at tune time;
+    agents without Twin-Q (e.g. CDBTune) silently ignore the flags.
+    """
+    if getattr(args, "no_twin_q", False) and hasattr(tuner, "use_twin_q"):
+        tuner.use_twin_q = False
+    threshold = getattr(args, "q_threshold", None)
+    if threshold is not None and hasattr(tuner, "q_threshold"):
+        tuner.q_threshold = float(threshold)
+
+
+def _print_ledger_summary(ctx) -> None:
+    """One-line cost accounting for --ledger runs; details via explain."""
+    led = ctx.ledger
+    if not led.enabled:
+        return
+    saved = led.saved_by_screening
+    print(
+        f"ledger: {len(led.charges())} charge(s) totalling "
+        f"{led.total_charged():.1f}s, screening saved {saved:.1f}s"
+        + (f" (run 'repro explain {led.path}' for the breakdown)"
+           if led.path else "")
+    )
+
+
 def _finish_telemetry(ctx) -> None:
     _print_diagnostics(ctx)
+    _print_ledger_summary(ctx)
     written = ctx.save()
     for path in written:
         print(f"telemetry: wrote {path}")
@@ -606,6 +698,8 @@ def _tune_population(args) -> int:
         sessions = [None] * len(seeds)
         start_steps = [0] * len(seeds)
         ckpt_path = args.checkpoint
+    for tuner in tuners:
+        _apply_twinq_flags(args, tuner)
     checkpoint = (
         PopulationCheckpointManager(
             ckpt_path, tuners, envs, resiliences=resiliences,
@@ -684,6 +778,7 @@ def _cmd_tune(args) -> int:
             else None
         )
         ckpt_path = args.checkpoint
+    _apply_twinq_flags(args, tuner)
     checkpoint = (
         CheckpointManager(
             ckpt_path, tuner, env, resilience=resilience,
@@ -750,8 +845,16 @@ def _report_telemetry_context(args):
     from repro.telemetry import NULL_CONTEXT, RunContext
     from repro.utils.logging import JsonlLogger
 
-    if not (args.trace or args.metrics_out or args.manifest or args.events):
+    if not (
+        args.trace or args.metrics_out or args.manifest or args.events
+        or getattr(args, "ledger", None)
+    ):
         return NULL_CONTEXT
+    ledger = None
+    if getattr(args, "ledger", None):
+        from repro.telemetry import CostLedger
+
+        ledger = CostLedger(args.ledger)
     ctx = RunContext.recording(
         trace=args.trace,
         metrics=args.metrics_out,
@@ -759,6 +862,7 @@ def _report_telemetry_context(args):
         logger=JsonlLogger(args.events) if args.events else None,
         seed=0,
         kind="bench-report",
+        ledger=ledger,
     )
     ctx.manifest.extra["scale"] = args.scale
     ctx.manifest.extra["jobs"] = args.jobs
@@ -894,6 +998,8 @@ def _cmd_telemetry(args) -> int:
         return _cmd_telemetry_watch(args)
     if args.action == "top":
         return _cmd_telemetry_top(args)
+    if args.action == "stitch":
+        return _cmd_telemetry_stitch(args)
     if len(args.path) > 1:
         print("telemetry: summary/dump take exactly one path",
               file=sys.stderr)
@@ -1276,6 +1382,220 @@ def _iter_tree(rec):
         yield from _iter_tree(child)
 
 
+def _cmd_telemetry_stitch(args) -> int:
+    from repro.telemetry import stitch_traces, write_chrome
+
+    inputs = args.path[0] if len(args.path) == 1 else args.path
+    result = stitch_traces(inputs)
+    if not result.files:
+        print("stitch: no trace files found", file=sys.stderr)
+        return 1
+    if result.spans == 0:
+        print(
+            "stitch: trace files contained no spans "
+            f"({len(result.files)} file(s) scanned)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.out:
+        out = args.out
+    elif len(args.path) == 1 and os.path.isdir(args.path[0]):
+        out = os.path.join(args.path[0], "stitched.chrome.json")
+    else:
+        out = "stitched.chrome.json"
+    write_chrome(result, out)
+    print(
+        f"stitch: {result.spans} span(s) from {len(result.files)} "
+        f"file(s), trace {result.trace_id or '(none)'}"
+    )
+    if result.unresolved_parents:
+        print(
+            f"stitch: {result.unresolved_parents} root(s) reference a "
+            "parent span not present in the inputs"
+        )
+    chain = result.critical_path_names()
+    if chain:
+        total = sum(
+            float(r.get("duration_s", 0.0)) for r in result.critical_path
+        )
+        print(f"critical path ({total:.3f}s): " + " > ".join(chain))
+    print(f"stitch: wrote {out}")
+    return 0
+
+
+def _resolve_ledger(path: str):
+    """A LedgerView for a ledger file or a run/bus directory."""
+    from repro.telemetry import load_ledger, merge_ledgers
+
+    p = Path(path)
+    if p.is_dir():
+        candidates = sorted((p / "ledgers").glob("*.jsonl")) or sorted(
+            p.glob("*.ledger.jsonl")
+        )
+        if not candidates:
+            raise FileNotFoundError(
+                f"{path}: no ledger files (looked for ledgers/*.jsonl "
+                "and *.ledger.jsonl)"
+            )
+        return merge_ledgers(candidates)
+    return load_ledger(p)
+
+
+def _ledger_entry_line(e: dict) -> str:
+    where = f"step {e['step']}" if "step" in e else str(e.get("phase", "?"))
+    if "member" in e:
+        where += f" m{e['member']}"
+    extras = [
+        f"{key}={e[key]}"
+        for key in ("tuner", "attempt", "cache", "source")
+        if key in e and e[key] not in (None, "run")
+    ]
+    suffix = f"  ({', '.join(extras)})" if extras else ""
+    return (
+        f"{float(e['amount_s']):12.3f}s  {e['account']:<15} "
+        f"{where:<14}{suffix}"
+    )
+
+
+def _knob_attribution(charges: list[dict], top: int) -> list[str]:
+    """Rank knobs by cost spread across the values actually evaluated.
+
+    For every knob seen in charge ``config`` metadata, group the charged
+    seconds by the knob's value and report mean cost per value; knobs are
+    ranked by the spread (max mean - min mean), which is a first-order
+    'which knob choice cost me the most' signal.
+    """
+    by_knob: dict[str, dict[str, list[float]]] = {}
+    for e in charges:
+        config = e.get("config")
+        if not isinstance(config, dict):
+            continue
+        amount = float(e["amount_s"])
+        for knob, value in config.items():
+            by_knob.setdefault(str(knob), {}).setdefault(
+                str(value), []
+            ).append(amount)
+    ranked = []
+    for knob, groups in by_knob.items():
+        if len(groups) < 2:
+            continue
+        means = {v: sum(a) / len(a) for v, a in groups.items()}
+        lo, hi = min(means, key=means.get), max(means, key=means.get)
+        ranked.append((means[hi] - means[lo], knob, lo, hi, means, groups))
+    ranked.sort(key=lambda r: (-r[0], r[1]))
+    lines = []
+    for spread, knob, lo, hi, means, groups in ranked[:top]:
+        n = sum(len(a) for a in groups.values())
+        lines.append(
+            f"  {knob:<28} spread {spread:9.3f}s  "
+            f"cheapest {lo}={means[lo]:.3f}s  "
+            f"dearest {hi}={means[hi]:.3f}s  ({n} eval(s))"
+        )
+    return lines
+
+
+def _explain_one(led, args) -> int:
+    src = led.path if led.path is not None else led.source
+    charges = led.charges()
+    if not charges and not led.counterfactuals():
+        print(f"{src}: ledger has no entries", file=sys.stderr)
+        return 1
+    total = led.total_charged()
+    print(f"ledger: {src}")
+    print(f"  {len(charges)} charge(s) totalling {total:.3f}s")
+    print("\ncharges by account:")
+    totals = led.totals()
+    for account in sorted(totals, key=lambda a: -totals[a]["seconds"]):
+        t = totals[account]
+        share = 100.0 * t["seconds"] / total if total else 0.0
+        print(
+            f"  {account:<15} {t['seconds']:12.3f}s  x{t['count']:<5} "
+            f"{share:5.1f}%"
+        )
+    online = led.total_tuning_seconds()
+    if online:
+        print(f"\nonline tuning cost (exact session TCT): {online!r}s")
+    cf = led.counterfactual_totals()
+    if cf:
+        print("\ncounterfactual savings (estimated cost avoided):")
+        for account in sorted(cf, key=lambda a: -cf[a]["seconds"]):
+            t = cf[account]
+            print(
+                f"  {account:<15} {t['seconds']:12.3f}s  x{t['count']}"
+            )
+    saved = led.saved_by_screening
+    if total + saved > 0:
+        ratio = saved / (total + saved)
+        print(
+            f"\nsaved_by_screening: {saved:.3f}s "
+            f"({100.0 * ratio:.1f}% of would-have-been cost)"
+        )
+    if args.top > 0 and charges:
+        expensive = sorted(
+            charges, key=lambda e: -float(e["amount_s"])
+        )[: args.top]
+        print(f"\ntop {len(expensive)} most expensive step(s):")
+        for e in expensive:
+            print("  " + _ledger_entry_line(e))
+    if args.knobs > 0:
+        lines = _knob_attribution(charges, args.knobs)
+        if lines:
+            print("\nper-knob cost attribution (evaluated configs):")
+            print("\n".join(lines))
+    return 0
+
+
+def _explain_compare(a, b, args) -> int:
+    name_a = str(a.path if a.path is not None else a.source)
+    name_b = str(b.path if b.path is not None else b.source)
+    ta, tb = a.totals(), b.totals()
+    print(f"ledger diff: A={name_a}  B={name_b}")
+    print(
+        f"\n{'account':<15} {'A':>12} {'B':>12} {'delta (B-A)':>14}"
+    )
+    for account in sorted(set(ta) | set(tb)):
+        sa = ta.get(account, {}).get("seconds", 0.0)
+        sb = tb.get(account, {}).get("seconds", 0.0)
+        print(
+            f"{account:<15} {sa:11.3f}s {sb:11.3f}s {sb - sa:+13.3f}s"
+        )
+    sa, sb = a.total_charged(), b.total_charged()
+    print(f"{'total':<15} {sa:11.3f}s {sb:11.3f}s {sb - sa:+13.3f}s")
+    va, vb = a.saved_by_screening, b.saved_by_screening
+    print(
+        f"\nsaved_by_screening: A {va:.3f}s, B {vb:.3f}s "
+        f"(delta {vb - va:+.3f}s)"
+    )
+    ca, cb = a.cache_savings, b.cache_savings
+    if ca or cb:
+        print(
+            f"cache_saving:       A {ca:.3f}s, B {cb:.3f}s "
+            f"(delta {cb - ca:+.3f}s)"
+        )
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    if args.compare and len(args.path) != 2:
+        print("explain: --compare takes exactly two paths", file=sys.stderr)
+        return 2
+    try:
+        views = [_resolve_ledger(p) for p in args.path]
+    except (OSError, ValueError) as exc:
+        print(f"explain: {exc}", file=sys.stderr)
+        return 1
+    if args.compare:
+        return _explain_compare(views[0], views[1], args)
+    if len(views) == 1:
+        return _explain_one(views[0], args)
+    from repro.telemetry import LedgerView
+
+    merged = LedgerView(
+        [e for v in views for e in v.entries], source="merged"
+    )
+    return _explain_one(merged, args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1286,6 +1606,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_bench_report,
         "corpus": _cmd_corpus,
         "telemetry": _cmd_telemetry,
+        "explain": _cmd_explain,
         "doctor": _cmd_doctor,
         "bench": _cmd_bench,
     }

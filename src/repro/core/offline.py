@@ -80,13 +80,24 @@ class OfflineTrainer:
             return self.agent.min_q(state, action)
         return self.agent.q_value(state, action)
 
-    def _absorb(self, it, outcome, q_est, callback) -> None:
+    def _absorb(self, it, outcome, q_est, callback, warmup=False) -> None:
         """Push one outcome into replay, run updates, log, emit telemetry.
 
         Shared by the sequential loop and the batched LHS warmup so both
-        perform identical bookkeeping per evaluation.
+        perform identical bookkeeping per evaluation.  ``warmup`` routes
+        the ledger charge to the warmup account (random/LHS exploration
+        before the agent starts acting).
         """
         t = self.telemetry
+        if t.ledger.enabled:
+            t.ledger.charge(
+                "warmup" if warmup else "evaluation",
+                float(outcome.duration_s),
+                step=it,
+                phase="offline",
+                success=bool(outcome.success),
+                config=outcome.config,
+            )
         self.buffer.push(
             Transition(
                 state=outcome.state,
@@ -213,14 +224,16 @@ class OfflineTrainer:
                         q_est = self._q_estimate(
                             outcome.state, outcome.action
                         )
-                        self._absorb(it, outcome, q_est, callback)
+                        self._absorb(it, outcome, q_est, callback,
+                                     warmup=True)
                 state = env.state
                 start = n
             for it in range(start, iterations):
                 with t.phase("offline.step"), t.span(
                     "offline.step", iteration=it
                 ):
-                    if len(self.buffer) < warmup:
+                    in_warmup = len(self.buffer) < warmup
+                    if in_warmup:
                         action = self.agent.random_action()
                     else:
                         action = self.agent.act(state, explore=True)
@@ -230,7 +243,8 @@ class OfflineTrainer:
                     with t.span("offline.evaluate"):
                         outcome = env.step(action)
                     state = outcome.next_state
-                    self._absorb(it, outcome, q_est, callback)
+                    self._absorb(it, outcome, q_est, callback,
+                                 warmup=in_warmup)
         if t.manifest is not None:
             t.manifest.record_hyper_params(self.agent.hp)
             t.manifest.record_stage(

@@ -16,9 +16,13 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.core.resilience import ResiliencePolicy, sanitize_state
+from repro.core.resilience import (
+    ResiliencePolicy,
+    burnt_attempt_seconds,
+    sanitize_state,
+)
 from repro.core.result import OnlineSession, TuningStepRecord
-from repro.core.twinq import twin_q_optimize
+from repro.core.twinq import screening_saving, twin_q_optimize
 from repro.envs.tuning_env import TuningEnv
 from repro.replay.base import Transition
 from repro.replay.per import PrioritizedReplayBuffer
@@ -156,7 +160,20 @@ class OnlineTuner:
                     self._note_intervention("watchdog-abort", step)
             if outcome.success or attempt == max_attempts - 1:
                 return outcome, attempt + 1, extra_cost
-            extra_cost += outcome.duration_s + schedule[attempt]
+            # The burnt attempt + backoff delay, charged as one float so
+            # the ledger's retry account mirrors extra_cost bit-for-bit.
+            burnt = burnt_attempt_seconds(
+                outcome.duration_s, schedule[attempt]
+            )
+            extra_cost += burnt
+            if t.ledger.enabled:
+                t.ledger.charge(
+                    "retry",
+                    burnt,
+                    step=step,
+                    attempt=attempt + 1,
+                    faults=list(outcome.faults),
+                )
             t.count(
                 "resilience.retries_total",
                 help="failed evaluations retried with backoff",
@@ -164,6 +181,65 @@ class OnlineTuner:
             )
             self._note_intervention("retry", step)
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _charge_step(
+        self,
+        env: TuningEnv,
+        step: int,
+        outcome,
+        diag: dict,
+        fallback: bool,
+        recommendation_s: float,
+        attempts: int,
+        member: int | None = None,
+    ) -> None:
+        """Ledger charges for one completed online step.
+
+        The final attempt's duration goes to ``evaluation`` (or
+        ``watchdog_abort``/``fallback`` when that is how the step ended);
+        burnt retries were already charged inside the retry loop, so the
+        per-step charges reproduce the session's ``duration_s`` exactly.
+        Twin-Q screening adds a *counterfactual* entry: the estimated
+        evaluation seconds the optimizer avoided per Eq.(1).
+        """
+        led = self.telemetry.ledger
+        if "watchdog-abort" in outcome.faults:
+            account = "watchdog_abort"
+        elif fallback:
+            account = "fallback"
+        else:
+            account = "evaluation"
+        led.charge(
+            account,
+            float(outcome.duration_s),
+            step=step,
+            member=member,
+            tuner=self.name,
+            success=bool(outcome.success),
+            attempts=attempts,
+            config=outcome.config,
+        )
+        led.charge(
+            "recommendation",
+            float(recommendation_s),
+            step=step,
+            member=member,
+            tuner=self.name,
+        )
+        if diag.get("twinq_accepted") and diag.get("twinq_iterations", 0) > 0:
+            saving = screening_saving(
+                env.reward_fn, diag["original_q"], diag["final_q"]
+            )
+            led.counterfactual(
+                "screening",
+                saving,
+                step=step,
+                member=member,
+                tuner=self.name,
+                original_q=diag["original_q"],
+                final_q=diag["final_q"],
+                iterations=diag["twinq_iterations"],
+            )
 
     def tune(
         self,
@@ -328,6 +404,11 @@ class OnlineTuner:
                                 faults=outcome.faults,
                             )
                         )
+                        if t.ledger.enabled:
+                            self._charge_step(
+                                env, step, outcome, diag, fallback,
+                                recommendation_s, attempts,
+                            )
                         # The paper's cost split: recommendation time is the
                         # tuner's own overhead, evaluation time is what the
                         # Twin-Q Optimizer exists to reduce (Figure 7).

@@ -50,7 +50,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.online import OnlineTuner
-from repro.core.resilience import ResiliencePolicy, sanitize_state
+from repro.core.resilience import (
+    ResiliencePolicy,
+    burnt_attempt_seconds,
+    sanitize_state,
+)
 from repro.core.result import OnlineSession, TuningStepRecord
 from repro.core.twinq import twin_q_optimize
 from repro.envs.population import VectorTuningEnv
@@ -213,6 +217,7 @@ class PopulationTuner:
         first_outcome: StepOutcome,
         action: np.ndarray,
         step: int,
+        member: int | None = None,
     ) -> tuple[StepOutcome, int, float]:
         """``OnlineTuner._evaluate_resilient`` with attempt 1 precomputed
         (the batched population evaluation); retries fall back to scalar
@@ -253,7 +258,19 @@ class PopulationTuner:
                     mt._note_intervention("watchdog-abort", step)
             if outcome.success or attempt == max_attempts - 1:
                 return outcome, attempt + 1, extra_cost
-            extra_cost += outcome.duration_s + schedule[attempt]
+            burnt = burnt_attempt_seconds(
+                outcome.duration_s, schedule[attempt]
+            )
+            extra_cost += burnt
+            if t.ledger.enabled:
+                t.ledger.charge(
+                    "retry",
+                    burnt,
+                    step=step,
+                    member=member,
+                    attempt=attempt + 1,
+                    faults=list(outcome.faults),
+                )
             t.count(
                 "resilience.retries_total",
                 help="failed evaluations retried with backoff",
@@ -624,7 +641,7 @@ class PopulationTuner:
                 if m.resilience is not None:
                     resolved.append(
                         self._finish_resilient(
-                            m, first[pos], self._actions[i], step
+                            m, first[pos], self._actions[i], step, member=i
                         )
                     )
                 else:
@@ -695,6 +712,13 @@ class PopulationTuner:
                     faults=outcome.faults,
                 )
             )
+            if t.ledger.enabled:
+                # Same per-step charge shape as the scalar loop; the
+                # batched recommendation is split equally (rec_share).
+                mt._charge_step(
+                    m.env, step, outcome, diag, fallback[i], rec_share,
+                    attempts, member=i,
+                )
             t.count(
                 "online.steps_total",
                 help="online tuning steps served",

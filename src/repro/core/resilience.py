@@ -32,7 +32,20 @@ __all__ = [
     "SafetyGuard",
     "ResiliencePolicy",
     "sanitize_state",
+    "burnt_attempt_seconds",
 ]
+
+
+def burnt_attempt_seconds(
+    outcome_duration_s: float, backoff_delay_s: float
+) -> float:
+    """Cost of one burnt (retried) attempt: its duration + backoff delay.
+
+    This is the exact quantity the online loop accumulates into a step's
+    ``extra_cost``; the cost ledger charges its ``retry`` account with the
+    same float so ledger totals reproduce the session TCT bit-for-bit.
+    """
+    return float(outcome_duration_s + backoff_delay_s)
 
 
 @dataclass(frozen=True)

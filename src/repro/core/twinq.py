@@ -33,7 +33,24 @@ import numpy as np
 
 from repro.agents.td3 import TD3Agent
 
-__all__ = ["TwinQOutcome", "twin_q_optimize"]
+__all__ = ["TwinQOutcome", "twin_q_optimize", "screening_saving"]
+
+
+def screening_saving(reward_fn, original_q: float, final_q: float) -> float:
+    """Estimated evaluation seconds avoided by Twin-Q screening one step.
+
+    Inverts the paper's Eq.(1) duration model: a predicted reward ``q``
+    corresponds to an execution duration ``perf_from_reward(q) =
+    perf_e * (1 - q)``, so replacing the actor's raw recommendation
+    (``original_q``) with the screened candidate (``final_q``) avoids an
+    estimated ``perf_e * (final_q - original_q)`` seconds of evaluation.
+    Clamped at zero — screening never *adds* estimated cost — and zero
+    when the reward function has no duration model.
+    """
+    perf = getattr(reward_fn, "perf_from_reward", None)
+    if perf is None:
+        return 0.0
+    return max(0.0, float(perf(original_q) - perf(final_q)))
 
 
 @dataclass(frozen=True)

@@ -877,6 +877,7 @@ def _supervised_task(
     spool: str | None = None,
     bus_dir: str | None = None,
     source: str | None = None,
+    trace: tuple[str, str] | None = None,
 ) -> tuple[Any, float, dict[str, Any] | None]:
     """Supervised worker entry point: never raises.
 
@@ -898,7 +899,7 @@ def _supervised_task(
         chaos.kill_now()
     try:
         if bus_dir is not None:
-            return _execute_task_bus(task, bus_dir, source)
+            return _execute_task_bus(task, bus_dir, source, trace)
         result, seconds = _execute_task(task)
         return result, seconds, None
     except (KeyboardInterrupt, SystemExit):  # pragma: no cover - passthrough
@@ -938,7 +939,10 @@ def _accepts_telemetry(kind: str) -> bool:
 
 
 def _execute_task_bus(
-    task: TaskSpec, bus_dir: str, source: str
+    task: TaskSpec,
+    bus_dir: str,
+    source: str,
+    trace: tuple[str, str] | None = None,
 ) -> tuple[Any, float, dict[str, Any]]:
     """Bus-mode worker entry point.
 
@@ -948,21 +952,41 @@ def _execute_task_bus(
     ``metrics-snapshot`` carrying the picklable registry ``state()`` —
     which is also returned so the parent can ``merge()`` it without
     re-reading the stream.
+
+    With a ``trace`` context — ``(trace_id, ref)``, the grid's trace id
+    plus the ref of the parent-side ``engine.task`` span — the worker
+    also records its own span tree (roots carry ``parent_ref: <ref>``)
+    and a per-task cost ledger; both are saved to the ``traces/`` and
+    ``ledgers/`` subdirs of the bus directory — kept out of the bus root
+    so ``merge_timeline`` never sweeps them into the event timeline.
     """
     from repro.telemetry.bus import BusWriter
     from repro.telemetry.diagnostics import DiagnosticsEngine
+    from repro.telemetry.ledger import CostLedger
     from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.tracing import Tracer
 
     fn = _TASK_KINDS.get(task.kind)
     if fn is None:
         raise KeyError(
             f"unknown task kind {task.kind!r}; have {sorted(_TASK_KINDS)}"
         )
-    writer = BusWriter(bus_dir, source)
+    trace_id, trace_ref = trace if trace is not None else (None, None)
+    writer = BusWriter(bus_dir, source, trace_id=trace_id)
+    tracer = None
+    ledger = None
+    if trace is not None:
+        tracer = Tracer(trace_id=trace_id, parent_ref=trace_ref)
+        ledger = CostLedger(
+            Path(bus_dir) / "ledgers" / f"{trace_ref}.ledger.jsonl",
+            source=trace_ref,
+        )
     ctx = RunContext(
         logger=writer,
+        tracer=tracer,
         metrics=MetricsRegistry(),
         diagnostics=DiagnosticsEngine(),
+        ledger=ledger,
     )
     try:
         writer.event(
@@ -973,7 +997,11 @@ def _execute_task_bus(
         if _accepts_telemetry(task.kind):
             kwargs["telemetry"] = ctx
         t0 = time.perf_counter()
-        result = fn(**kwargs)
+        if tracer is not None:
+            with tracer.span("worker.task", kind=task.kind, source=source):
+                result = fn(**kwargs)
+        else:
+            result = fn(**kwargs)
         seconds = time.perf_counter() - t0
         # Anything raised but not yet drained by the instrumented loops.
         for alert in ctx.diagnostics.drain_alerts():
@@ -987,6 +1015,12 @@ def _execute_task_bus(
         )
         return result, seconds, state
     finally:
+        if tracer is not None:
+            trace_dir = Path(bus_dir) / "traces"
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            tracer.save_jsonl(trace_dir / f"{trace_ref}.trace.jsonl")
+        if ledger is not None:
+            ledger.close()
         writer.close()
 
 
@@ -1088,6 +1122,13 @@ class ExperimentEngine:
         self._bus = None
         self._run_failures: list[TaskFailure] = []
         self._traced_indices: set[int] = set()
+        # Stitch-trace state (bus mode): one tracer per engine so every
+        # run() of a report shares the grid's trace id; refs are scoped
+        # by a run ordinal so task indices never collide across runs.
+        self._stitch = None
+        self._stitch_run = None
+        self._runs = 0
+        self._run_tag = ""
 
     # ------------------------------------------------------------- helpers
 
@@ -1107,11 +1148,38 @@ class ExperimentEngine:
         return resolved
 
     def _record_task(self, task: TaskSpec, cached: bool,
-                     compute_s: float) -> None:
+                     compute_s: float, index: int | None = None) -> None:
         t = self.telemetry
         status = "hit" if cached else "miss"
         with t.span("engine.task", kind=task.kind, cache=status) as span:
             span.set_attr("compute_s", round(compute_s, 6))
+        if t.ledger.enabled:
+            # Parent-side cost accounting: executed tasks charge their
+            # worker-measured compute; cache hits charge zero and record
+            # the estimated avoided cost (per-kind EWMA) instead.
+            t.ledger.charge(
+                "task", float(compute_s), phase="engine",
+                kind=task.kind, cache=status, index=index,
+            )
+            if cached:
+                t.ledger.counterfactual(
+                    "cache_saving",
+                    float(self._kind_ewma.get(task.kind, 0.0)),
+                    phase="engine", kind=task.kind, index=index,
+                )
+        if self._stitch is not None:
+            self._stitch.record_span(
+                "engine.task",
+                start_wall=time.time() - compute_s,
+                duration_s=compute_s,
+                parent=self._stitch_run,
+                ref=(
+                    f"{self._run_tag}-task-{index:04d}"
+                    if index is not None else None
+                ),
+                kind=task.kind,
+                cache=status,
+            )
         t.count("engine.tasks_total", help="engine tasks by kind and cache "
                 "status", kind=task.kind, cache=status)
         if cached:
@@ -1256,8 +1324,20 @@ class ExperimentEngine:
         corrupt0 = self.cache.corrupt_entries if self.cache else 0
         if self.bus_dir is not None:
             from repro.telemetry.bus import BusWriter
+            from repro.telemetry.tracing import Tracer
 
-            self._bus = BusWriter(self.bus_dir, "engine")
+            if self._stitch is None:
+                parent_id = getattr(self.telemetry.tracer, "trace_id", "")
+                self._stitch = Tracer(trace_id=parent_id or None)
+            self._run_tag = f"r{self._runs}"
+            self._runs += 1
+            self._bus = BusWriter(
+                self.bus_dir, "engine", trace_id=self._stitch.trace_id
+            )
+            self._stitch_run = self._stitch.record_span(
+                "engine.run", start_wall=time.time(), duration_s=0.0,
+                ref=f"{self._run_tag}.run", tasks=n, jobs=self.jobs,
+            )
         try:
             with self.telemetry.phase("engine.dispatch"), \
                     self.telemetry.span("engine.run", tasks=n,
@@ -1273,7 +1353,8 @@ class ExperimentEngine:
                     if not ResultCache.is_miss(hit):
                         results[i] = hit
                         self.stats.cache_hits += 1
-                        self._record_task(task, cached=True, compute_s=0.0)
+                        self._record_task(task, cached=True, compute_s=0.0,
+                                          index=i)
                     else:
                         pending.append(i)
                 if self.cache is not None:
@@ -1303,7 +1384,17 @@ class ExperimentEngine:
                     from repro.telemetry.bus import merge_timeline
 
                     merge_timeline(self.bus_dir)
+                    self._absorb_worker_ledgers(pending)
         finally:
+            if self._stitch is not None:
+                if self._stitch_run is not None:
+                    self._stitch_run.duration_s = (
+                        time.perf_counter() - t_run0
+                    )
+                    self._stitch_run = None
+                trace_dir = self.bus_dir / "traces"
+                trace_dir.mkdir(parents=True, exist_ok=True)
+                self._stitch.save_jsonl(trace_dir / "engine.trace.jsonl")
             if self._bus is not None:
                 self._bus.close()
                 self._bus = None
@@ -1364,6 +1455,7 @@ class ExperimentEngine:
                 result, seconds, state = _supervised_task(
                     tasks[i], i, attempt, bus_dir=bus_dir,
                     source=f"task-{i:04d}" if bus_dir else None,
+                    trace=self._task_trace(i) if bus_dir else None,
                 )
                 if isinstance(result, TaskFailure):
                     if self._handle_failure(result):
@@ -1412,6 +1504,7 @@ class ExperimentEngine:
                                 _supervised_task, tasks[i], i, attempts[i],
                                 self.chaos, str(spool), bus_dir,
                                 f"task-{i:04d}" if bus_dir else None,
+                                self._task_trace(i) if bus_dir else None,
                             )
                         except BrokenExecutor:
                             attempts[i] -= 1
@@ -1532,6 +1625,31 @@ class ExperimentEngine:
         self._finish(task, i, result, seconds, results)
         return seconds, True, False
 
+    def _task_trace(self, index: int) -> tuple[str, str] | None:
+        """The (trace_id, parent ref) context shipped to a bus worker."""
+        if self._stitch is None:
+            return None
+        return (self._stitch.trace_id, f"{self._run_tag}-task-{index:04d}")
+
+    def _absorb_worker_ledgers(self, pending: list[int]) -> None:
+        """Fold this run's per-task worker ledgers into the parent's.
+
+        Entries keep their worker-side source/step/member attribution;
+        only ``seq`` is re-assigned.  No-op when the parent has no live
+        ledger — the worker files remain on disk either way for
+        ``repro explain`` to read directly.
+        """
+        led = self.telemetry.ledger
+        if not led.enabled:
+            return
+        from repro.telemetry.ledger import load_ledger
+
+        ldir = self.bus_dir / "ledgers"
+        for i in pending:
+            path = ldir / f"{self._run_tag}-task-{i:04d}.ledger.jsonl"
+            if path.is_file():
+                led.absorb(load_ledger(path).entries)
+
     def _merge_worker_state(self, state: dict[str, Any]) -> None:
         """Fold a worker's metrics-registry snapshot into the engine's
         registry (counters add, gauges take incoming, histograms pool)."""
@@ -1544,7 +1662,8 @@ class ExperimentEngine:
         results[index] = result
         self.stats.cache_misses += 1
         self.stats.executed += 1
-        self._record_task(task, cached=False, compute_s=seconds)
+        self._record_task(task, cached=False, compute_s=seconds,
+                          index=index)
         if self.cache is not None:
             self.cache.store(task, result)
 

@@ -12,6 +12,10 @@ Three pillars, one carrier object:
   detectors emitting severity-graded ``alert`` events;
 * :mod:`repro.telemetry.bus` — per-worker JSONL event streams merged
   into one ordered timeline across ``--jobs N`` processes;
+* :mod:`repro.telemetry.ledger` — streaming tuning-cost ledger with
+  typed accounts and Twin-Q counterfactual (avoided-cost) entries;
+* :mod:`repro.telemetry.stitch` — cross-process trace stitching into
+  one Chrome/Perfetto file with a computed critical path;
 * :mod:`repro.telemetry.doctor` — post-mortem diagnosis over a run
   directory (events + manifest + heartbeat);
 * :mod:`repro.telemetry.context` — :class:`RunContext` bundling all of
@@ -43,6 +47,15 @@ from repro.telemetry.heartbeat import (
     read_heartbeat,
     render_heartbeat,
 )
+from repro.telemetry.ledger import (
+    LEDGER_SCHEMA,
+    NULL_LEDGER,
+    CostLedger,
+    LedgerView,
+    NullLedger,
+    load_ledger,
+    merge_ledgers,
+)
 from repro.telemetry.manifest import RunManifest, git_sha
 from repro.telemetry.metrics import (
     Counter,
@@ -52,6 +65,12 @@ from repro.telemetry.metrics import (
     NullRegistry,
 )
 from repro.telemetry.profiling import NULL_PROFILER, NullProfiler, Profiler
+from repro.telemetry.stitch import (
+    STITCH_SCHEMA,
+    StitchResult,
+    stitch_traces,
+    write_chrome,
+)
 from repro.telemetry.tracing import (
     NullTracer,
     Span,
@@ -95,4 +114,15 @@ __all__ = [
     "iter_jsonl_lenient",
     "read_jsonl_lenient",
     "merge_timeline",
+    "CostLedger",
+    "LedgerView",
+    "NullLedger",
+    "NULL_LEDGER",
+    "LEDGER_SCHEMA",
+    "load_ledger",
+    "merge_ledgers",
+    "StitchResult",
+    "STITCH_SCHEMA",
+    "stitch_traces",
+    "write_chrome",
 ]

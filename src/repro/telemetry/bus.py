@@ -70,11 +70,18 @@ class BusWriter(TuningLogger):
     One writer per process/source; records carry a monotone ``seq`` so
     the merged timeline can prove losslessness (``seq`` values per
     source form a gap-free range).
+
+    ``trace_id`` is the run's propagatable trace context: when set, every
+    envelope carries it, so a merged timeline from a ``--jobs N`` grid can
+    be correlated with the stitched span trace of the same run.
     """
 
-    def __init__(self, root: str | Path, source: str):
+    def __init__(
+        self, root: str | Path, source: str, trace_id: str | None = None
+    ):
         self.root = Path(root)
         self.source = str(source)
+        self.trace_id = trace_id
         self.path = self.root / f"{self.source}.jsonl"
         self._seq = 0
         self._fh = None
@@ -92,6 +99,8 @@ class BusWriter(TuningLogger):
             "source": self.source,
             "seq": self._seq,
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
         self._seq += 1
         for key, value in fields.items():
             if key not in record:
@@ -118,7 +127,10 @@ def merge_timeline(
 
     Ordering is ``(ts, source, seq)``: wall-clock first, then source
     name, then the per-source sequence number — deterministic, and
-    per-source order is always preserved.  Re-running overwrites the
+    per-source order is always preserved.  Records that tie on all three
+    (e.g. two writers that shared a source name) keep their read order —
+    the sort key is made total by appending the read index, so the output
+    never depends on ``list.sort`` internals.  Re-running overwrites the
     previous timeline (it is derived data).
     """
     root = Path(root)
@@ -129,13 +141,16 @@ def merge_timeline(
             continue
         for rec in iter_jsonl_lenient(path):
             records.append(rec)
-    records.sort(
-        key=lambda r: (
-            float(r.get("ts", 0.0)),
-            str(r.get("source", "")),
-            int(r.get("seq", 0)),
-        )
+    order = sorted(
+        range(len(records)),
+        key=lambda i: (
+            float(records[i].get("ts", 0.0)),
+            str(records[i].get("source", "")),
+            int(records[i].get("seq", 0)),
+            i,
+        ),
     )
+    records = [records[i] for i in order]
     tmp = out_path.with_name(out_path.name + ".tmp")
     out_path.parent.mkdir(parents=True, exist_ok=True)
     with tmp.open("w", encoding="utf-8") as fh:

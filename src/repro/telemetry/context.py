@@ -29,6 +29,7 @@ from repro.telemetry.diagnostics import (
     DiagnosticsEngine,
     NullDiagnostics,
 )
+from repro.telemetry.ledger import NULL_LEDGER, CostLedger, NullLedger
 from repro.telemetry.manifest import RunManifest
 from repro.telemetry.metrics import (
     NULL_REGISTRY,
@@ -77,6 +78,7 @@ class RunContext:
         manifest: RunManifest | None = None,
         profiler: Profiler | NullProfiler | None = None,
         diagnostics: DiagnosticsEngine | NullDiagnostics | None = None,
+        ledger: CostLedger | NullLedger | None = None,
         trace_path: str | Path | None = None,
         metrics_path: str | Path | None = None,
         manifest_path: str | Path | None = None,
@@ -96,6 +98,7 @@ class RunContext:
         self.diagnostics = (
             diagnostics if diagnostics is not None else NULL_DIAGNOSTICS
         )
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
         self.trace_path = Path(trace_path) if trace_path else None
         self.metrics_path = Path(metrics_path) if metrics_path else None
         self.manifest_path = Path(manifest_path) if manifest_path else None
@@ -113,6 +116,7 @@ class RunContext:
         kind: str = "run",
         profiler: Profiler | None = None,
         diagnostics: DiagnosticsEngine | None = None,
+        ledger: CostLedger | None = None,
     ) -> "RunContext":
         """A context that records everything, persisting what has a path.
 
@@ -128,6 +132,7 @@ class RunContext:
             manifest=RunManifest(kind=kind, seed=seed),
             profiler=profiler,
             diagnostics=diagnostics,
+            ledger=ledger,
             trace_path=trace,
             metrics_path=metrics,
             manifest_path=manifest,
@@ -143,6 +148,7 @@ class RunContext:
             and isinstance(self.logger, NullLogger)
             and isinstance(self.profiler, NullProfiler)
             and isinstance(self.diagnostics, NullDiagnostics)
+            and not self.ledger.enabled
             and self.manifest is None
         )
 
@@ -184,6 +190,16 @@ class RunContext:
     ) -> None:
         self.metrics.gauge(name, help=help, labels=labels or None).set(value)
 
+    # ---------------------------------------------------- delegate: ledger
+
+    def charge(self, account: str, amount_s: float, **kwargs: Any) -> None:
+        self.ledger.charge(account, amount_s, **kwargs)
+
+    def counterfactual(
+        self, account: str, amount_s: float, **kwargs: Any
+    ) -> None:
+        self.ledger.counterfactual(account, amount_s, **kwargs)
+
     # ------------------------------------------------------------- outputs
 
     def finish(self) -> None:
@@ -223,11 +239,15 @@ class RunContext:
         if self.manifest_path is not None and self.manifest is not None:
             self.manifest.save(self.manifest_path)
             written.append(self.manifest_path)
+        self.ledger.flush()
+        if self.ledger.enabled and self.ledger.path is not None:
+            written.append(Path(self.ledger.path))
         self.logger.flush()
         return written
 
     def close(self) -> None:
         self.save()
+        self.ledger.close()
         self.logger.close()
 
     def __enter__(self) -> "RunContext":
@@ -272,6 +292,7 @@ def ensure_context(
             manifest=telemetry.manifest,
             profiler=telemetry.profiler,
             diagnostics=telemetry.diagnostics,
+            ledger=telemetry.ledger,
             trace_path=telemetry.trace_path,
             metrics_path=telemetry.metrics_path,
             manifest_path=telemetry.manifest_path,

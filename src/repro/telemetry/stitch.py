@@ -1,0 +1,193 @@
+"""Cross-process trace stitching: worker traces → one causal timeline.
+
+A ``--jobs N`` engine run records spans in N+1 processes: the parent's
+stitch tracer mirrors each task as an ``engine.task`` span with a stable
+``ref`` (``task-0003``), and each worker saves its own trace whose roots
+carry ``parent_ref: "task-0003"`` plus the grid's shared ``trace_id``.
+:func:`stitch_traces` re-joins them: worker roots are grafted under the
+parent-side span naming them, and the whole forest is exported as one
+Chrome/Perfetto ``trace_event`` file in which every process keeps its real
+``pid``/``tid`` row.
+
+The stitched document also computes the **critical path** — the slowest
+causal chain from the top-level root to a leaf, chosen by maximum end
+time at every level.  That chain is what bounds the grid's wall-clock,
+and is the quantity a tuning-as-a-service scheduler would pack against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.telemetry.tracing import load_trace
+
+__all__ = ["STITCH_SCHEMA", "StitchResult", "stitch_traces", "write_chrome"]
+
+STITCH_SCHEMA = "stitched-trace-v1"
+
+#: subdirectory of a bus dir where per-process trace files live (kept out
+#: of the bus root so ``merge_timeline`` never sweeps them into the event
+#: timeline)
+TRACES_SUBDIR = "traces"
+
+
+@dataclass
+class StitchResult:
+    """Outcome of stitching one run's trace files."""
+
+    roots: list[dict] = field(default_factory=list)
+    spans: int = 0
+    trace_ids: list[str] = field(default_factory=list)
+    files: list[Path] = field(default_factory=list)
+    unresolved_parents: int = 0
+    critical_path: list[dict] = field(default_factory=list)
+
+    @property
+    def trace_id(self) -> str:
+        """The run's trace id, or ``"mixed"`` if inputs disagree."""
+        if len(self.trace_ids) == 1:
+            return self.trace_ids[0]
+        return "mixed" if self.trace_ids else ""
+
+    def critical_path_names(self) -> list[str]:
+        return [rec.get("name", "?") for rec in self.critical_path]
+
+
+def _trace_files(inputs: str | Path | Iterable[str | Path]) -> list[Path]:
+    if isinstance(inputs, (str, Path)):
+        root = Path(inputs)
+        if root.is_dir():
+            sub = root / TRACES_SUBDIR
+            scan = sub if sub.is_dir() else root
+            return sorted(scan.glob("*.trace.jsonl")) or sorted(
+                scan.glob("*.jsonl")
+            )
+        return [root]
+    return [Path(p) for p in inputs]
+
+
+def _end(rec: dict) -> float:
+    return float(rec.get("ts", 0.0)) + float(rec.get("duration_s", 0.0))
+
+
+def stitch_traces(
+    inputs: str | Path | Iterable[str | Path],
+) -> StitchResult:
+    """Merge trace JSONL files into one forest with cross-file links.
+
+    ``inputs`` may be a run/bus directory (its ``traces/`` subdir, or the
+    directory itself, is scanned for ``*.trace.jsonl``) or an explicit
+    list of files.  Roots whose ``parent_ref`` resolves to a span in any
+    file are re-parented under it; the rest stay top-level roots and are
+    counted in ``unresolved_parents``.
+    """
+    files = _trace_files(inputs)
+    result = StitchResult(files=files)
+    by_ref: dict[str, dict] = {}
+    all_roots: list[tuple[dict, str | None]] = []  # (root, parent_ref)
+    trace_ids: list[str] = []
+    for path in files:
+        try:
+            roots = load_trace(path)
+        except (OSError, ValueError, json.JSONDecodeError):
+            continue
+        for root in roots:
+            all_roots.append((root, root.get("parent_ref")))
+            stack = [root]
+            while stack:
+                rec = stack.pop()
+                result.spans += 1
+                tid = rec.get("trace_id")
+                if tid and tid not in trace_ids:
+                    trace_ids.append(tid)
+                ref = rec.get("ref")
+                if ref and ref not in by_ref:
+                    by_ref[ref] = rec
+                stack.extend(rec.get("children", ()))
+    for root, parent_ref in all_roots:
+        parent = by_ref.get(parent_ref) if parent_ref else None
+        if parent is not None and parent is not root:
+            parent.setdefault("children", []).append(root)
+            root["stitched"] = True
+        else:
+            if parent_ref:
+                result.unresolved_parents += 1
+            result.roots.append(root)
+    result.trace_ids = sorted(trace_ids)
+
+    # Critical path: start from the latest-ending top-level root and at
+    # every level follow the latest-ending child.  With spans mirrored at
+    # real durations this is the chain that bounds the run's wall-clock.
+    if result.roots:
+        node = max(result.roots, key=_end)
+        while node is not None:
+            result.critical_path.append(node)
+            children = node.get("children") or []
+            node = max(children, key=_end) if children else None
+    return result
+
+
+def write_chrome(result: StitchResult, out: str | Path) -> Path:
+    """Write a stitched Chrome ``trace_event`` document.
+
+    Every span keeps its recorded ``pid``/``tid``; ``args`` carry the
+    stitch context (trace id, ref, parent ref, critical-path flag) so
+    Perfetto queries can recover the causal structure.
+    """
+    critical = {id(rec) for rec in result.critical_path}
+    events: list[dict[str, Any]] = []
+    pids: dict[int, None] = {}
+
+    def emit(rec: dict, parent_ref: str | None) -> None:
+        pid = int(rec.get("pid", 0) or 0)
+        pids.setdefault(pid, None)
+        args = {k: str(v) for k, v in (rec.get("attrs") or {}).items()}
+        args["trace_id"] = str(rec.get("trace_id", ""))
+        args["ref"] = str(rec.get("ref", ""))
+        if parent_ref:
+            args["parent_ref"] = parent_ref
+        if id(rec) in critical:
+            args["critical"] = "1"
+        events.append(
+            {
+                "name": rec.get("name", "?"),
+                "ph": "X",
+                "ts": float(rec.get("ts", 0.0)) * 1e6,
+                "dur": float(rec.get("duration_s", 0.0)) * 1e6,
+                "pid": pid,
+                "tid": int(rec.get("tid", 0) or 0),
+                "args": args,
+            }
+        )
+        for child in rec.get("children") or []:
+            emit(child, str(rec.get("ref", "")) or None)
+
+    for root in result.roots:
+        emit(root, None)
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"pid {pid}"},
+            }
+        )
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": STITCH_SCHEMA,
+            "trace_id": result.trace_id,
+            "critical_path": result.critical_path_names(),
+            "unresolved_parents": result.unresolved_parents,
+        },
+    }
+    out_path = Path(out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc), encoding="utf-8")
+    return out_path

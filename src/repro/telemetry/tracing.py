@@ -22,6 +22,7 @@ import json
 import os
 import threading
 import time
+import uuid
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -40,7 +41,7 @@ class Span:
 
     __slots__ = (
         "name", "attrs", "children", "start_wall", "duration_s",
-        "_start_perf", "_tracer", "_thread_id",
+        "ref", "pid", "_start_perf", "_tracer", "_thread_id",
     )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
@@ -50,6 +51,8 @@ class Span:
         self.children: list[Span] = []
         self.start_wall = 0.0
         self.duration_s = 0.0
+        self.ref = ""
+        self.pid = 0
         self._start_perf = 0.0
         self._thread_id = 0
 
@@ -59,6 +62,9 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._thread_id = threading.get_ident()
+        self.pid = os.getpid()
+        if not self.ref:
+            self.ref = self._tracer._make_ref()
         self._tracer._push(self)
         self.start_wall = time.time()
         self._start_perf = time.perf_counter()
@@ -95,18 +101,66 @@ class Span:
 
 
 class Tracer:
-    """Collects span trees; thread-safe, one open-span stack per thread."""
+    """Collects span trees; thread-safe, one open-span stack per thread.
 
-    def __init__(self):
+    ``trace_id`` is a propagatable trace context: every span exported by
+    this tracer carries it, so traces recorded in different processes can
+    be stitched back into one causal timeline.  A child tracer (e.g. an
+    engine worker) is built with the parent's ``trace_id`` plus a
+    ``parent_ref`` — the ``ref`` of the parent-side span its roots hang
+    under.  Refs are ``"<pid:hex>.<n>"`` strings, unique per process.
+    """
+
+    def __init__(
+        self, trace_id: str | None = None, parent_ref: str | None = None
+    ):
         self._local = threading.local()
         self._lock = threading.Lock()
         self.roots: list[Span] = []
+        self.trace_id = trace_id if trace_id else uuid.uuid4().hex
+        self.parent_ref = parent_ref
+        self._ref_counter = 0
 
     # ------------------------------------------------------------ recording
 
     def span(self, name: str, **attrs: Any) -> Span:
         """Open a new span as a context manager."""
         return Span(self, name, attrs)
+
+    def _make_ref(self) -> str:
+        with self._lock:
+            n = self._ref_counter
+            self._ref_counter += 1
+        return f"{os.getpid():x}.{n}"
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start_wall: float,
+        duration_s: float,
+        parent: Span | None = None,
+        ref: str | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-measured span (no timing of its own).
+
+        Used by the engine to mirror worker tasks into the parent trace:
+        pass an explicit ``ref`` so worker-side roots (whose
+        ``parent_ref`` names it) link up after stitching.
+        """
+        span = Span(self, name, attrs)
+        span.start_wall = float(start_wall)
+        span.duration_s = float(duration_s)
+        span._thread_id = threading.get_ident()
+        span.pid = os.getpid()
+        span.ref = ref if ref else self._make_ref()
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        return span
 
     def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
@@ -156,7 +210,13 @@ class Tracer:
         return agg
 
     def to_jsonl(self) -> str:
-        """One line per span, pre-order, with ``id``/``parent`` links."""
+        """One line per span, pre-order, with ``id``/``parent`` links.
+
+        Each record also carries the stitching context: the tracer's
+        ``trace_id``, the span's stable ``ref``, recording ``pid``/``tid``,
+        and — on roots of a child tracer — the ``parent_ref`` naming the
+        parent-side span they belong under.
+        """
         lines: list[str] = []
         next_id = 0
 
@@ -164,19 +224,21 @@ class Tracer:
             nonlocal next_id
             sid = next_id
             next_id += 1
-            lines.append(
-                json.dumps(
-                    {
-                        "id": sid,
-                        "parent": parent,
-                        "name": span.name,
-                        "ts": span.start_wall,
-                        "duration_s": span.duration_s,
-                        "attrs": span.attrs,
-                    },
-                    default=str,
-                )
-            )
+            record = {
+                "id": sid,
+                "parent": parent,
+                "name": span.name,
+                "ts": span.start_wall,
+                "duration_s": span.duration_s,
+                "attrs": span.attrs,
+                "trace_id": self.trace_id,
+                "ref": span.ref,
+                "pid": span.pid,
+                "tid": span._thread_id,
+            }
+            if parent is None and self.parent_ref is not None:
+                record["parent_ref"] = self.parent_ref
+            lines.append(json.dumps(record, default=str))
             for child in span.children:
                 emit(child, sid)
 
@@ -187,7 +249,7 @@ class Tracer:
     def to_chrome_trace(self) -> list[dict[str, Any]]:
         """Chrome ``trace_event`` "complete" (ph=X) events, in µs."""
         events: list[dict[str, Any]] = []
-        pid = os.getpid()
+        fallback_pid = os.getpid()
         for root in self._finished():
             for _, span in root.walk():
                 events.append(
@@ -196,7 +258,9 @@ class Tracer:
                         "ph": "X",
                         "ts": span.start_wall * 1e6,
                         "dur": span.duration_s * 1e6,
-                        "pid": pid,
+                        # pid recorded at span entry, not export time —
+                        # spans mirrored across processes keep their origin.
+                        "pid": span.pid or fallback_pid,
                         "tid": span._thread_id,
                         "args": {
                             k: str(v) for k, v in span.attrs.items()
@@ -229,6 +293,8 @@ class _NullSpan:
     attrs: dict[str, Any] = {}
     children: list = []
     duration_s = 0.0
+    ref = ""
+    pid = 0
 
     def set_attr(self, key: str, value: Any) -> None:
         pass
@@ -247,8 +313,13 @@ class NullTracer:
     """Discards all spans; ``span()`` returns a shared no-op singleton."""
 
     roots: list = []
+    trace_id = ""
+    parent_ref: str | None = None
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, name: str, **kwargs: Any) -> _NullSpan:
         return _NULL_SPAN
 
     @property

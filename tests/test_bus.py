@@ -79,6 +79,35 @@ class TestMergeTimeline:
         merged = read_jsonl_lenient(out)
         assert [r["kind"] for r in merged] == ["w", "z", "x", "y"]
 
+    def test_tie_break_is_total(self, tmp_path):
+        """Records with identical (ts, source, seq) keys — e.g. a clock
+        that never advances and records missing their envelope — must
+        keep a stable, deterministic order: file read order."""
+        (tmp_path / "a.jsonl").write_text(
+            json.dumps({"kind": "first", "ts": 1.0})
+            + "\n"
+            + json.dumps({"kind": "second", "ts": 1.0})
+            + "\n",
+            encoding="utf-8",
+        )
+        merged = read_jsonl_lenient(merge_timeline(tmp_path))
+        assert [r["kind"] for r in merged] == ["first", "second"]
+        # idempotent: re-merging yields the same total order
+        remerged = read_jsonl_lenient(merge_timeline(tmp_path))
+        assert [r["kind"] for r in remerged] == ["first", "second"]
+
+    def test_trace_id_rides_bus_envelope(self, tmp_path):
+        w = BusWriter(tmp_path, "task-0000", trace_id="grid42")
+        w.event("online-step", step=0)
+        w.close()
+        plain = BusWriter(tmp_path, "task-0001")
+        plain.event("online-step", step=0)
+        plain.close()
+        tagged = read_jsonl_lenient(tmp_path / "task-0000.jsonl")[0]
+        bare = read_jsonl_lenient(tmp_path / "task-0001.jsonl")[0]
+        assert tagged["trace_id"] == "grid42"
+        assert "trace_id" not in bare
+
     def test_remerge_excludes_previous_timeline(self, tmp_path):
         (tmp_path / "a.jsonl").write_text(
             json.dumps({"kind": "x", "ts": 1.0, "source": "a", "seq": 0})

@@ -1,0 +1,213 @@
+"""Cross-process trace stitching: re-parenting, critical path, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.engine import ExperimentEngine, TaskSpec, task_kind
+from repro.telemetry import (
+    RunContext,
+    Tracer,
+    stitch_traces,
+    write_chrome,
+)
+
+
+@task_kind("stitch-probe")
+def _stitch_probe(*, seed: int, telemetry=None):
+    if telemetry is not None:
+        with telemetry.span("probe.work", seed=seed):
+            pass
+    return seed
+
+
+def _worker_trace(tmp_path, name, trace_id, parent_ref, spans=("work",)):
+    tr = Tracer(trace_id=trace_id, parent_ref=parent_ref)
+    with tr.span("worker.task"):
+        for s in spans:
+            with tr.span(s):
+                pass
+    path = tmp_path / f"{name}.trace.jsonl"
+    tr.save_jsonl(path)
+    return path
+
+
+class TestStitchTraces:
+    def _parent_trace(self, tmp_path, trace_id="grid", tasks=2):
+        tr = Tracer(trace_id=trace_id)
+        run = tr.record_span(
+            "engine.run", start_wall=100.0, duration_s=10.0, ref="r0.run"
+        )
+        for i in range(tasks):
+            tr.record_span(
+                "engine.task", start_wall=100.0 + i, duration_s=2.0 + i,
+                parent=run, ref=f"r0-task-{i:04d}",
+            )
+        path = tmp_path / "engine.trace.jsonl"
+        tr.save_jsonl(path)
+        return path
+
+    def test_reparents_worker_roots(self, tmp_path):
+        parent = self._parent_trace(tmp_path)
+        workers = [
+            _worker_trace(tmp_path, f"r0-task-{i:04d}", "grid",
+                          f"r0-task-{i:04d}")
+            for i in range(2)
+        ]
+        result = stitch_traces([parent, *workers])
+        assert len(result.roots) == 1
+        assert result.trace_id == "grid"
+        assert result.unresolved_parents == 0
+        run = result.roots[0]
+        assert run["name"] == "engine.run"
+        for task in run["children"]:
+            grafted = [
+                c for c in task.get("children", []) if c.get("stitched")
+            ]
+            assert [g["name"] for g in grafted] == ["worker.task"]
+
+    def test_unresolved_parent_stays_root(self, tmp_path):
+        w = _worker_trace(tmp_path, "orphan", "grid", "r9-task-0042")
+        result = stitch_traces([w])
+        assert result.unresolved_parents == 1
+        assert len(result.roots) == 1
+
+    def test_directory_input_prefers_traces_subdir(self, tmp_path):
+        sub = tmp_path / "traces"
+        sub.mkdir()
+        self._parent_trace(sub)
+        # a decoy in the bus root must not be scanned
+        (tmp_path / "task-0000.jsonl").write_text("{}\n")
+        result = stitch_traces(tmp_path)
+        assert result.files == [sub / "engine.trace.jsonl"]
+        assert result.spans == 3
+
+    def test_mixed_trace_ids_reported(self, tmp_path):
+        a = _worker_trace(tmp_path, "a", "one", None)
+        b = _worker_trace(tmp_path, "b", "two", None)
+        result = stitch_traces([a, b])
+        assert result.trace_id == "mixed"
+        assert result.trace_ids == ["one", "two"]
+
+    def test_critical_path_follows_latest_end(self, tmp_path):
+        tr = Tracer(trace_id="cp")
+        run = tr.record_span(
+            "engine.run", start_wall=0.0, duration_s=10.0, ref="r0.run"
+        )
+        tr.record_span("fast", start_wall=0.0, duration_s=1.0, parent=run)
+        slow = tr.record_span(
+            "slow", start_wall=0.0, duration_s=9.0, parent=run
+        )
+        tr.record_span(
+            "slow.leaf", start_wall=8.0, duration_s=0.5, parent=slow
+        )
+        path = tmp_path / "t.trace.jsonl"
+        tr.save_jsonl(path)
+        result = stitch_traces([path])
+        assert result.critical_path_names() == [
+            "engine.run", "slow", "slow.leaf",
+        ]
+
+
+class TestWriteChrome:
+    def test_document_shape(self, tmp_path):
+        w = _worker_trace(tmp_path, "w", "grid", None)
+        result = stitch_traces([w])
+        out = write_chrome(result, tmp_path / "out.chrome.json")
+        doc = json.loads(out.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == result.spans
+        assert all(e["pid"] == os.getpid() for e in events)
+        assert all(e["args"]["trace_id"] == "grid" for e in events)
+        child = next(e for e in events if e["name"] == "work")
+        parent = next(e for e in events if e["name"] == "worker.task")
+        assert child["args"]["parent_ref"] == parent["args"]["ref"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["pid"] for m in meta} == {os.getpid()}
+        assert doc["otherData"]["trace_id"] == "grid"
+        critical = [e for e in events if e["args"].get("critical") == "1"]
+        assert [e["name"] for e in critical] != []
+
+
+class TestEngineStitching:
+    def _run(self, tmp_path, jobs, n=4):
+        bus = tmp_path / "bus"
+        ctx = RunContext(tracer=Tracer(trace_id="grid-test"))
+        engine = ExperimentEngine(jobs=jobs, telemetry=ctx, bus_dir=bus)
+        tasks = [
+            TaskSpec(kind="stitch-probe", params={"seed": i})
+            for i in range(n)
+        ]
+        assert engine.run(tasks) == list(range(n))
+        return bus
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_grid_stitches_to_single_trace(self, tmp_path, jobs):
+        bus = self._run(tmp_path, jobs)
+        result = stitch_traces(bus)
+        # the parent's engine trace inherits the session's trace id and
+        # every worker span carries it
+        assert result.trace_id == "grid-test"
+        assert result.unresolved_parents == 0
+        assert len(result.roots) == 1
+        run = result.roots[0]
+        assert run["name"] == "engine.run"
+        assert len(run["children"]) == 4
+        for task in run["children"]:
+            names = [c["name"] for c in task.get("children", [])]
+            assert "worker.task" in names
+        if jobs > 1:
+            pids = set()
+            for rec in result.roots:
+                stack = [rec]
+                while stack:
+                    r = stack.pop()
+                    pids.add(r.get("pid"))
+                    stack.extend(r.get("children", []))
+            assert len(pids) > 1
+
+    def test_multi_run_engine_keeps_refs_distinct(self, tmp_path):
+        bus = tmp_path / "bus"
+        engine = ExperimentEngine(jobs=1, bus_dir=bus)
+        for _ in range(2):
+            engine.run(
+                [TaskSpec(kind="stitch-probe", params={"seed": 0})]
+            )
+        traces = sorted(p.name for p in (bus / "traces").glob("*.jsonl"))
+        assert traces == [
+            "engine.trace.jsonl",
+            "r0-task-0000.trace.jsonl",
+            "r1-task-0000.trace.jsonl",
+        ]
+        result = stitch_traces(bus)
+        assert result.unresolved_parents == 0
+        assert [r["name"] for r in result.roots] == [
+            "engine.run", "engine.run",
+        ]
+
+
+class TestStitchCli:
+    def test_stitch_bus_dir(self, tmp_path, capsys):
+        bus = tmp_path / "bus"
+        engine = ExperimentEngine(jobs=1, bus_dir=bus)
+        engine.run(
+            [TaskSpec(kind="stitch-probe", params={"seed": i})
+             for i in range(2)]
+        )
+        assert main(["telemetry", "stitch", str(bus)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert (bus / "stitched.chrome.json").exists()
+
+    def test_stitch_explicit_out(self, tmp_path, capsys):
+        w = _worker_trace(tmp_path, "w", "grid", None)
+        out = tmp_path / "merged.json"
+        assert main(
+            ["telemetry", "stitch", str(w), "--out", str(out)]
+        ) == 0
+        assert json.loads(out.read_text())["otherData"]["trace_id"] == "grid"
+
+    def test_stitch_empty_dir_fails(self, tmp_path, capsys):
+        assert main(["telemetry", "stitch", str(tmp_path)]) == 1

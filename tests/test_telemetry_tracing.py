@@ -184,6 +184,77 @@ class TestExports:
         assert tr.totals() == {}
 
 
+class TestTraceContext:
+    def test_trace_id_default_and_explicit(self):
+        assert Tracer().trace_id != Tracer().trace_id
+        tr = Tracer(trace_id="abc123", parent_ref="task-0007")
+        assert tr.trace_id == "abc123"
+        assert tr.parent_ref == "task-0007"
+
+    def test_spans_carry_pid_tid_ref_in_jsonl(self, tmp_path):
+        import os
+
+        tr = Tracer(trace_id="t1", parent_ref="task-0001")
+        with tr.span("worker.task"):
+            with tr.span("inner"):
+                pass
+        path = tmp_path / "w.trace.jsonl"
+        tr.save_jsonl(path)
+        records = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert all(r["trace_id"] == "t1" for r in records)
+        assert all(r["pid"] == os.getpid() for r in records)
+        assert all(r["tid"] for r in records)
+        refs = [r["ref"] for r in records]
+        assert len(set(refs)) == len(refs) and all(refs)
+        root = next(r for r in records if r["parent"] is None)
+        assert root["parent_ref"] == "task-0001"
+        child = next(r for r in records if r["parent"] is not None)
+        assert "parent_ref" not in child
+
+    def test_load_trace_roundtrips_trace_context(self, tmp_path):
+        tr = Tracer(trace_id="t2", parent_ref="task-0002")
+        with tr.span("op"):
+            pass
+        roots = load_trace(tr.to_jsonl().splitlines())
+        root = roots[0]
+        assert root["trace_id"] == "t2"
+        assert root["parent_ref"] == "task-0002"
+        assert root["ref"] and root["pid"]
+
+    def test_chrome_events_use_recorded_pid(self):
+        import os
+
+        tr = Tracer()
+        with tr.span("op"):
+            pass
+        # Simulate a span recorded in another process.
+        tr.roots[0].pid = 4242
+        events = tr.to_chrome_trace()
+        assert events[0]["pid"] == 4242
+        # Spans without a recorded pid fall back to the exporter's.
+        tr.roots[0].pid = 0
+        assert tr.to_chrome_trace()[0]["pid"] == os.getpid()
+
+    def test_record_span_mirrors_external_work(self):
+        tr = Tracer(trace_id="grid")
+        run = tr.record_span(
+            "engine.run", start_wall=100.0, duration_s=0.0, ref="r0.run",
+            tasks=2,
+        )
+        task = tr.record_span(
+            "engine.task", start_wall=100.5, duration_s=1.5, parent=run,
+            ref="r0-task-0000", kind="x",
+        )
+        assert tr.roots == [run]
+        assert run.children == [task]
+        assert task.ref == "r0-task-0000"
+        assert task.start_wall == 100.5 and task.duration_s == 1.5
+        roots = load_trace(tr.to_jsonl().splitlines())
+        child = roots[0]["children"][0]
+        assert child["ref"] == "r0-task-0000"
+        assert child["attrs"]["kind"] == "x"
+
+
 class TestNullTracer:
     def test_span_is_shared_noop(self):
         tr = NullTracer()
@@ -202,3 +273,10 @@ class TestNullTracer:
         assert json.loads(NULL_TRACER.to_chrome_trace_json()) == {
             "traceEvents": [], "displayTimeUnit": "ms",
         }
+
+    def test_trace_context_noops(self):
+        tr = NullTracer()
+        assert tr.trace_id == ""
+        assert tr.parent_ref is None
+        sp = tr.record_span("x", start_wall=0.0, duration_s=1.0)
+        assert sp.ref == "" and sp.pid == 0
