@@ -350,6 +350,21 @@ def _bench_online_tune():
 _POP_N = 64
 _POP_STEPS = 5
 
+#: shard count for ``pipeline.population`` (set via ``bench run
+#: --shards``); 1 = the single-process lockstep
+_POP_SHARDS = 1
+
+
+def set_population_shards(shards: int) -> None:
+    """Route ``pipeline.population`` through ``shards`` worker processes
+    (1 restores the single-process lockstep).  The resulting record
+    carries ``shards`` plus the barrier/tail split so speedup numbers
+    are attributable."""
+    global _POP_SHARDS
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    _POP_SHARDS = shards
+
 
 def _population_tuner_proto():
     """One trained DeepCAT to deep-copy per population member.
@@ -399,14 +414,40 @@ def _bench_population_step():
 def _bench_pipeline_population():
     from repro.core.population import PopulationTuner
 
+    shards = _POP_SHARDS
+    last: dict = {}
+
     def run() -> None:
         tuners, envs = _population_members()
-        population = PopulationTuner.from_deepcat(
-            tuners, envs, fine_tune_updates=0
-        )
-        population.tune(steps=_POP_STEPS)
+        if shards > 1:
+            from repro.parallel import ShardedPopulation
 
-    return run
+            population = ShardedPopulation(
+                tuners, envs, shards=shards, fine_tune_updates=0
+            )
+            population.tune(steps=_POP_STEPS)
+            last["stats"] = population.stats
+        else:
+            PopulationTuner.from_deepcat(
+                tuners, envs, fine_tune_updates=0
+            ).tune(steps=_POP_STEPS)
+
+    def cleanup() -> None:
+        pass
+
+    def extras() -> dict:
+        stats = last.get("stats")
+        if stats is None:
+            return {"shards": 1}
+        # Timings are from the final repetition — the steady-state one.
+        return {
+            "shards": stats.shards,
+            "barrier_s": round(stats.barrier_s, 6),
+            "tail_s": round(stats.tail_s, 6),
+            "max_round_s": round(stats.max_round_s, 6),
+        }
+
+    return run, cleanup, extras
 
 
 @bench("pipeline.population_sequential", kind="macro",

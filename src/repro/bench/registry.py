@@ -19,8 +19,14 @@ from typing import Callable
 
 __all__ = ["Benchmark", "bench", "get_benchmark", "iter_benchmarks"]
 
-#: factory return: one-repetition callable, optionally with a cleanup
-SetupResult = Callable[[], None] | tuple[Callable[[], None], Callable[[], None]]
+#: factory return: one-repetition callable, optionally with a cleanup,
+#: optionally with an extras callable (-> dict merged into the result
+#: record after the timed repetitions, e.g. shard barrier/tail timings)
+SetupResult = (
+    Callable[[], None]
+    | tuple[Callable[[], None], Callable[[], None]]
+    | tuple[Callable[[], None], Callable[[], None], Callable[[], dict]]
+)
 
 
 @dataclass(frozen=True)
@@ -31,13 +37,22 @@ class Benchmark:
     factory: Callable[[], SetupResult]
     description: str = ""
 
-    def setup(self) -> tuple[Callable[[], None], Callable[[], None] | None]:
-        """Build run state; returns ``(run, cleanup-or-None)``."""
+    def setup(
+        self,
+    ) -> tuple[
+        Callable[[], None],
+        Callable[[], None] | None,
+        Callable[[], dict] | None,
+    ]:
+        """Build run state; returns ``(run, cleanup?, extras?)``."""
         built = self.factory()
         if isinstance(built, tuple):
+            if len(built) == 3:
+                run, cleanup, extras = built
+                return run, cleanup, extras
             run, cleanup = built
-            return run, cleanup
-        return built, None
+            return run, cleanup, None
+        return built, None, None
 
 
 _REGISTRY: dict[str, Benchmark] = {}

@@ -21,13 +21,20 @@ from repro.telemetry.manifest import git_sha
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ACCEPTED_VERSIONS",
     "host_info",
     "make_doc",
     "load_doc",
     "validate_doc",
 ]
 
-SCHEMA_VERSION = 1
+# v2 added host.blas_threads and config.shards so cross-host comparisons
+# carry the parallelism that produced the numbers; v1 files (no
+# multi-core provenance) remain loadable.
+SCHEMA_VERSION = 2
+
+#: schema versions ``load_doc``/``validate_doc`` accept
+ACCEPTED_VERSIONS = (1, 2)
 
 #: fields every result record must carry (validated on load)
 RESULT_FIELDS = (
@@ -44,11 +51,14 @@ RESULT_FIELDS = (
 
 def host_info() -> dict[str, Any]:
     """Hardware/interpreter provenance for the bench document."""
+    from repro.parallel.pinning import effective_blas_threads
+
     return {
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "blas_threads": effective_blas_threads(),
     }
 
 
@@ -72,9 +82,10 @@ def validate_doc(doc: Any) -> list[str]:
     if not isinstance(doc, dict):
         return ["document is not a JSON object"]
     version = doc.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in ACCEPTED_VERSIONS:
         problems.append(
-            f"schema_version is {version!r}, expected {SCHEMA_VERSION}"
+            f"schema_version is {version!r}, expected one of "
+            f"{list(ACCEPTED_VERSIONS)}"
         )
     results = doc.get("results")
     if not isinstance(results, list) or not results:

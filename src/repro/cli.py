@@ -195,6 +195,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(member i uses the i-th seed derived from --seed); "
              "bit-identical to N sequential runs, much faster",
     )
+    p_tune.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="step the population across K worker processes over shared "
+             "memory (requires --population or a population checkpoint); "
+             "results are bit-identical to --shards 1",
+    )
+    p_tune.add_argument(
+        "--blas-threads", type=int, default=1, metavar="T",
+        help="BLAS threads per shard worker (default: 1 — process-level "
+             "parallelism wants single-threaded math kernels)",
+    )
 
     p_eval = sub.add_parser(
         "evaluate", help="run one configuration on the simulator"
@@ -348,6 +359,12 @@ def build_parser() -> argparse.ArgumentParser:
     pb_run.add_argument(
         "--no-alloc", action="store_true",
         help="skip the tracemalloc allocation pass",
+    )
+    pb_run.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="run pipeline.population across K shard processes "
+             "(default: 1 = single-process lockstep); recorded in the "
+             "document's config block",
     )
 
     pb_cmp = bench_sub.add_parser(
@@ -708,17 +725,53 @@ def _tune_population(args) -> int:
         if ckpt_path
         else None
     )
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        print("tune: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if shards > 1 and getattr(args, "ledger", None):
+        print(
+            "tune: note: --ledger records only parent-side costs under "
+            "--shards (worker telemetry is process-local)",
+            file=sys.stderr,
+        )
     ctx = _telemetry_context(args, kind="online-tune", total_steps=args.steps)
     with _sigterm_as_interrupt(), _profiled(ctx, args):
         try:
-            population = PopulationTuner.from_deepcat(
-                tuners, envs, telemetry=ctx, resiliences=resiliences,
-                sessions=sessions, start_steps=start_steps,
-            )
-            results = population.tune(
-                steps=args.steps, time_budget_s=args.time_budget,
-                checkpoint=checkpoint,
-            )
+            if shards > 1:
+                from repro.parallel import ShardCrash, ShardedPopulation
+
+                population = ShardedPopulation(
+                    tuners, envs, shards=shards, telemetry=ctx,
+                    resiliences=resiliences, sessions=sessions,
+                    start_steps=start_steps,
+                    blas_threads=getattr(args, "blas_threads", 1),
+                )
+                try:
+                    results = population.tune(
+                        steps=args.steps, time_budget_s=args.time_budget,
+                        checkpoint=checkpoint,
+                    )
+                except ShardCrash as exc:
+                    print(f"tune: shard failure: {exc}", file=sys.stderr)
+                    if checkpoint is not None and checkpoint.saves:
+                        print(
+                            f"tune: resume from {checkpoint.path} with "
+                            f"--resume {checkpoint.path}",
+                            file=sys.stderr,
+                        )
+                    _finish_interrupted(ctx, "online-tune")
+                    _finalize_heartbeat(args, "crashed")
+                    return 1
+            else:
+                population = PopulationTuner.from_deepcat(
+                    tuners, envs, telemetry=ctx, resiliences=resiliences,
+                    sessions=sessions, start_steps=start_steps,
+                )
+                results = population.tune(
+                    steps=args.steps, time_budget_s=args.time_budget,
+                    checkpoint=checkpoint,
+                )
         except KeyboardInterrupt:
             print("\ninterrupted", end="")
             if checkpoint is not None:
@@ -1324,6 +1377,13 @@ def _cmd_bench(args) -> int:
         if args.repetitions < 1:
             print("bench run: --repetitions must be >= 1", file=sys.stderr)
             return 2
+        if args.shards < 1:
+            print("bench run: --shards must be >= 1", file=sys.stderr)
+            return 2
+        if args.shards > 1:
+            from repro.bench import benches
+
+            benches.set_population_shards(args.shards)
         doc = run_benchmarks(
             names=args.only or None,
             kind=args.kind,
@@ -1331,6 +1391,7 @@ def _cmd_bench(args) -> int:
             warmup=args.warmup,
             track_alloc=not args.no_alloc,
             progress=lambda b: print(f"bench: {b.name} ...", flush=True),
+            extra_config={"shards": args.shards},
         )
         if args.out:
             out = args.out

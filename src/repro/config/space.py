@@ -168,6 +168,34 @@ class ConfigurationSpace:
         self._assemblers = tuple(
             (p.name, _make_assembler(p)) for p in self._params
         )
+        # Per-kind column tables for the fully columnar decode paths:
+        # decode_batch/decode_columns dispatch per *kind* once per call
+        # instead of per cell, using these precomputed index sets.
+        self._dec_float: list[tuple[int, str]] = []
+        self._dec_bool: list[tuple[int, str]] = []
+        self._dec_cat: list[tuple[int, str, tuple, int, np.ndarray]] = []
+        int_cols: list[int] = []
+        self._dec_int_names: list[str] = []
+        for i, p in enumerate(self._params):
+            if type(p) is FloatParameter:
+                self._dec_float.append((i, p.name))
+            elif type(p) is IntParameter:
+                int_cols.append(i)
+                self._dec_int_names.append(p.name)
+            elif type(p) is BoolParameter:
+                self._dec_bool.append((i, p.name))
+            else:
+                self._dec_cat.append(
+                    (i, p.name, p.choices, len(p.choices) - 1,
+                     np.asarray(p.choices))
+                )
+        self._dec_int_idx = np.array(int_cols, dtype=np.intp)
+        self._dec_int_lo = np.array(
+            [float(self._params[i].low) for i in int_cols], dtype=np.float64
+        )
+        self._dec_int_hi = np.array(
+            [float(self._params[i].high) for i in int_cols], dtype=np.float64
+        )
 
     # -- pickling ------------------------------------------------------------
 
@@ -326,17 +354,36 @@ class ConfigurationSpace:
     def decode_batch(self, vectors: np.ndarray) -> list[dict[str, Any]]:
         """Decode an ``(n, dim)`` matrix into ``n`` configuration dicts.
 
-        Entry ``i`` equals ``decode(vectors[i])`` exactly.
+        Entry ``i`` equals ``decode(vectors[i])`` exactly.  Assembly is
+        columnar: each parameter *kind* is converted in one vectorized
+        pass over its cached column set (``np.rint`` matches Python's
+        banker's ``round``, ``astype(int64)`` matches ``int()``'s
+        truncation on the non-negative categorical bins), then the rows
+        are zipped back into dicts — ~d·n fewer interpreter calls than
+        assembling per cell.
         """
         mat = self._check_matrix(vectors)
         if not self._fast:
             return [self.decode(row) for row in mat]
         lin = self._linearize(mat)
-        assemblers = self._assemblers
-        return [
-            {name: assemble(x) for (name, assemble), x in zip(assemblers, row)}
-            for row in lin
-        ]
+        columns: list[list] = [None] * self.dim  # type: ignore[list-item]
+        for c, _ in self._dec_float:
+            columns[c] = lin[:, c].tolist()
+        if self._dec_int_idx.size:
+            ints = np.clip(
+                np.rint(lin[:, self._dec_int_idx]),
+                self._dec_int_lo,
+                self._dec_int_hi,
+            ).astype(np.int64)
+            for j, c in enumerate(self._dec_int_idx):
+                columns[c] = ints[:, j].tolist()
+        for c, _ in self._dec_bool:
+            columns[c] = (lin[:, c] >= 0.5).tolist()
+        for c, _, choices, last, _arr in self._dec_cat:
+            idx = np.minimum(lin[:, c].astype(np.int64), last)
+            columns[c] = [choices[k] for k in idx.tolist()]
+        names = self._names
+        return [dict(zip(names, row)) for row in zip(*columns)]
 
     def decode_columns(self, vectors: np.ndarray) -> dict[str, np.ndarray]:
         """Decode an ``(n, dim)`` matrix into typed per-parameter columns.
@@ -354,20 +401,21 @@ class ConfigurationSpace:
             }
         lin = self._linearize(mat)
         cols: dict[str, np.ndarray] = {}
-        for i, p in enumerate(self._params):
-            if type(p) is FloatParameter:
-                cols[p.name] = lin[:, i].copy()
-            elif type(p) is IntParameter:
-                cols[p.name] = np.clip(
-                    np.rint(lin[:, i]), p.low, p.high
-                ).astype(np.int64)
-            elif type(p) is BoolParameter:
-                cols[p.name] = lin[:, i] >= 0.5
-            else:
-                idx = np.minimum(
-                    lin[:, i].astype(np.int64), len(p.choices) - 1
-                )
-                cols[p.name] = np.asarray(p.choices)[idx]
+        for c, name in self._dec_float:
+            cols[name] = lin[:, c].copy()
+        if self._dec_int_idx.size:
+            ints = np.clip(
+                np.rint(lin[:, self._dec_int_idx]),
+                self._dec_int_lo,
+                self._dec_int_hi,
+            ).astype(np.int64)
+            for j, name in enumerate(self._dec_int_names):
+                cols[name] = ints[:, j]
+        for c, name in self._dec_bool:
+            cols[name] = lin[:, c] >= 0.5
+        for c, name, _choices, last, arr in self._dec_cat:
+            idx = np.minimum(lin[:, c].astype(np.int64), last)
+            cols[name] = arr[idx]
         return cols
 
     def _check_matrix(self, vectors: np.ndarray) -> np.ndarray:

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import inspect
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -113,7 +114,12 @@ class PopulationTuner:
     the enforcement.
     """
 
-    def __init__(self, members: Sequence[PopulationMember]):
+    def __init__(
+        self,
+        members: Sequence[PopulationMember],
+        *,
+        param_allocator=None,
+    ):
         members = list(members)
         if not members:
             raise ValueError("population needs at least one member")
@@ -135,11 +141,14 @@ class PopulationTuner:
         self.venv = VectorTuningEnv([m.env for m in members])
         from repro.agents.population import PopulationTD3View
 
-        self.view = PopulationTD3View([m.tuner.agent for m in members])
+        self.view = PopulationTD3View(
+            [m.tuner.agent for m in members], allocator=param_allocator
+        )
         n = len(members)
         self._states = np.zeros((n, self.view.state_dim))
         self._actions = np.zeros((n, self.view.action_dim))
         self._originals = np.zeros((n, self.view.action_dim))
+        self._noise = np.zeros((n, self.view.action_dim))
         self._cands = np.zeros(
             (n, _TWINQ_MAX_ITERATIONS, self.view.action_dim)
         )
@@ -158,6 +167,7 @@ class PopulationTuner:
         resiliences: Sequence[ResiliencePolicy | None] | None = None,
         sessions: Sequence[OnlineSession | None] | None = None,
         start_steps: Sequence[int] | None = None,
+        param_allocator=None,
     ) -> "PopulationTuner":
         """Build a population from :class:`~repro.core.deepcat.DeepCAT`
         instances, mirroring ``DeepCAT.tune_online``'s construction of
@@ -200,7 +210,7 @@ class PopulationTuner:
                     start_step=start,
                 )
             )
-        return cls(members)
+        return cls(members, param_allocator=param_allocator)
 
     def __len__(self) -> int:
         return len(self.members)
@@ -428,7 +438,35 @@ class PopulationTuner:
         if steps <= 0:
             raise ValueError("steps must be positive")
         members = self.members
-        for m in members:
+        self.begin(steps)
+        lead = members[0].tuner.telemetry
+        try:
+            with lead.phase("population.tune"), lead.span(
+                "population.tune", n=len(members), steps=steps
+            ):
+                for step in range(steps):
+                    status = self.run_round(step, time_budget_s)
+                    if status == "complete":
+                        break
+                    if status == "stepped" and checkpoint is not None:
+                        checkpoint.on_step(self.sessions, step + 1)
+                self._finish_quarantined(steps, time_budget_s)
+        except KeyboardInterrupt:
+            if checkpoint is not None:
+                checkpoint.save_if_stale(
+                    self.sessions,
+                    [len(m.session.steps) for m in members],
+                )
+            raise
+        self.record_manifests()
+        return self.sessions
+
+    def begin(self, steps: int) -> None:
+        """Prepare every member for lockstep rounds (idempotent setup):
+        attach telemetry, create missing sessions, seed the runtime
+        ``state``/``done`` flags.  Split out of :meth:`tune` so a shard
+        worker can drive rounds one at a time via :meth:`run_round`."""
+        for m in self.members:
             mt = m.tuner
             t = mt.telemetry
             if hasattr(m.env, "attach_telemetry"):
@@ -454,37 +492,39 @@ class PopulationTuner:
             m.state = state
             m.done = m.start_step >= steps
 
-        lead = members[0].tuner.telemetry
-        try:
-            with lead.phase("population.tune"), lead.span(
-                "population.tune", n=len(members), steps=steps
-            ):
-                for step in range(steps):
-                    active = [
-                        i
-                        for i, m in enumerate(members)
-                        if not m.done
-                        and not m.quarantined
-                        and step >= m.start_step
-                    ]
-                    if active:
-                        active = self._screen_nonfinite(active, step)
-                    if not active:
-                        if all(m.done or m.quarantined for m in members):
-                            break
-                        continue
-                    self._lockstep(step, active, time_budget_s)
-                    if checkpoint is not None:
-                        checkpoint.on_step(self.sessions, step + 1)
-                self._finish_quarantined(steps, time_budget_s)
-        except KeyboardInterrupt:
-            if checkpoint is not None:
-                checkpoint.save_if_stale(
-                    self.sessions,
-                    [len(m.session.steps) for m in members],
-                )
-            raise
-        for m in members:
+    def run_round(
+        self, step: int, time_budget_s: float | None = None
+    ) -> str:
+        """Drive one lockstep round; requires a prior :meth:`begin`.
+
+        Returns ``"stepped"`` when members advanced, ``"idle"`` when no
+        member was eligible this step but some remain (staggered
+        ``start_step`` resumes), and ``"complete"`` when every member is
+        done or quarantined.
+        """
+        members = self.members
+        active = [
+            i
+            for i, m in enumerate(members)
+            if not m.done and not m.quarantined and step >= m.start_step
+        ]
+        if active:
+            active = self._screen_nonfinite(active, step)
+        if not active:
+            if all(m.done or m.quarantined for m in members):
+                return "complete"
+            return "idle"
+        self._lockstep(step, active, time_budget_s)
+        return "stepped"
+
+    def finish(self, steps: int, time_budget_s: float | None = None) -> None:
+        """Post-round teardown for callers driving :meth:`run_round`
+        directly: sequential quarantine finish + manifest records."""
+        self._finish_quarantined(steps, time_budget_s)
+        self.record_manifests()
+
+    def record_manifests(self) -> None:
+        for m in self.members:
             t = m.tuner.telemetry
             successes = [s for s in m.session.steps if s.success]
             if t.manifest is not None:
@@ -499,7 +539,6 @@ class PopulationTuner:
                     ),
                     total_tuning_seconds=m.session.total_tuning_seconds,
                 )
-        return self.sessions
 
     def _screen_nonfinite(self, active: list[int], step: int) -> list[int]:
         """Drop members whose nets went non-finite from the lockstep.
@@ -610,16 +649,26 @@ class PopulationTuner:
                     recommend_idx.append(i)
             if recommend_idx:
                 acts = self.view.act(self._states)
+                # Exploration noise: the *draws* stay scalar per member,
+                # in member order (each member owns its own generator, so
+                # merging them would change the streams); only the
+                # elementwise add+clip over the collected rows is batched,
+                # which is bit-identical to the per-member expression.
+                noisy: list[int] = []
                 for i in recommend_idx:
                     mt = members[i].tuner
-                    a = acts[i]
                     if sigma[i] > 0:
-                        a = np.clip(
-                            a + mt._rng.normal(0.0, sigma[i], a.shape),
-                            0.0,
-                            1.0,
+                        self._noise[i] = mt._rng.normal(
+                            0.0, sigma[i], (self.view.action_dim,)
                         )
-                    self._actions[i] = a
+                        noisy.append(i)
+                    else:
+                        self._actions[i] = acts[i]
+                if noisy:
+                    rows = np.asarray(noisy)
+                    self._actions[rows] = np.clip(
+                        acts[rows] + self._noise[rows], 0.0, 1.0
+                    )
                 twinq_idx = [
                     i for i in recommend_idx if members[i].tuner.use_twin_q
                 ]
@@ -649,6 +698,34 @@ class PopulationTuner:
 
         # Phase E — scalar tail per member, in member order: replay push,
         # fine-tune (writes through the stacked views), record, counters.
+        # Sinks are put in deferred-flush mode for the whole tail, so the
+        # round issues one flush per distinct event log / ledger instead
+        # of one per member (content and order unchanged).
+        with ExitStack() as flushes:
+            seen: set[int] = set()
+            for i in active:
+                t = members[i].tuner.telemetry
+                for sink in (t.logger, t.ledger):
+                    if id(sink) not in seen:
+                        seen.add(id(sink))
+                        flushes.enter_context(sink.deferred())
+            self._scalar_tail(
+                step, active, resolved, diags, fallback, sigma,
+                rec_share, time_budget_s,
+            )
+
+    def _scalar_tail(
+        self,
+        step: int,
+        active: list[int],
+        resolved: list[tuple[StepOutcome, int, float]],
+        diags: dict[int, dict],
+        fallback: dict[int, bool],
+        sigma: dict[int, float | None],
+        rec_share: float,
+        time_budget_s: float | None,
+    ) -> None:
+        members = self.members
         for pos, i in enumerate(active):
             m = members[i]
             mt = m.tuner

@@ -56,6 +56,7 @@ import sys
 import tempfile
 import time
 import traceback as traceback_module
+import weakref
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -1024,6 +1025,22 @@ def _execute_task_bus(
         writer.close()
 
 
+def _engine_worker_init(blas_threads: int | None) -> None:
+    """Per-worker initializer of the persistent pool: pin BLAS pools
+    once at spawn so K workers x 1 BLAS thread never oversubscribe."""
+    if blas_threads is not None:
+        from repro.parallel.pinning import limit_blas_threads
+
+        limit_blas_threads(blas_threads)
+
+
+def _shutdown_pool_holder(holder: dict) -> None:
+    """Weakref finalizer target — must not reference the engine."""
+    pool = holder.pop("pool", None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 class ExperimentEngine:
     """Runs :class:`TaskSpec` grids, optionally in parallel and cached.
 
@@ -1088,6 +1105,7 @@ class ExperimentEngine:
         timeout_multiple: float = 8.0,
         failure_mode: str = "strict",
         chaos=None,
+        blas_threads: int | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -1115,6 +1133,19 @@ class ExperimentEngine:
         self.timeout_multiple = timeout_multiple
         self.failure_mode = failure_mode
         self.chaos = chaos
+        #: BLAS thread cap applied in each pool worker's initializer
+        #: (None = leave the worker's BLAS pools alone)
+        self.blas_threads = blas_threads
+        # Persistent worker pool: created on first pooled run, reused
+        # across rounds and run() calls (amortizing interpreter spawn),
+        # discarded+rebuilt only after a crash/reap broke it.  The
+        # holder indirection lets a weakref finalizer shut the pool down
+        # when the engine is garbage-collected without keeping the
+        # engine alive.
+        self._pool_holder: dict[str, ProcessPoolExecutor] = {}
+        self._pool_finalizer = weakref.finalize(
+            self, _shutdown_pool_holder, self._pool_holder
+        )
         self.stats = EngineStats()
         #: quarantined :class:`TaskFailure` records across run() calls
         self.failures: list[TaskFailure] = []
@@ -1490,9 +1521,7 @@ class ExperimentEngine:
         try:
             while todo:
                 batch = sorted(todo)
-                pool = ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(batch))
-                )
+                pool = self._ensure_pool()
                 broke = False
                 reaped: set[int] = set()
                 futures: dict[Future, int] = {}
@@ -1545,17 +1574,62 @@ class ExperimentEngine:
                             if finished:
                                 todo.discard(i)
                 finally:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                if todo and broke:
-                    self.stats.pool_rebuilds += 1
-                    self.telemetry.count(
-                        "engine.pool_rebuilds_total",
-                        help="worker pools rebuilt after a crash or reap",
-                    )
-                    self._event("pool-rebuilt", incomplete=len(todo))
+                    # The pool persists across rounds and run() calls;
+                    # it is discarded only when broken (below) or via
+                    # close().  Crashed submissions were already
+                    # disposed, so nothing needs cancelling here.
+                    pass
+                if broke:
+                    # A crash/reap poisoned the executor: discard it so
+                    # the next round (or next run) starts from healthy
+                    # workers.  The rebuild counter keeps its original
+                    # meaning — rebuilds needed to *finish this run*.
+                    self._discard_pool()
+                    if todo:
+                        self.stats.pool_rebuilds += 1
+                        self.telemetry.count(
+                            "engine.pool_rebuilds_total",
+                            help="worker pools rebuilt after a crash "
+                                 "or reap",
+                        )
+                        self._event("pool-rebuilt", incomplete=len(todo))
         finally:
             shutil.rmtree(spool, ignore_errors=True)
         return compute_s
+
+    # ------------------------------------------------- persistent pool
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The live worker pool, spawning it on first use.
+
+        Workers are sized to ``jobs`` (not the current batch) because
+        they outlive any one round; each runs :func:`_engine_worker_init`
+        once to pin its BLAS thread pools.
+        """
+        pool = self._pool_holder.get("pool")
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_engine_worker_init,
+                initargs=(self.blas_threads,),
+            )
+            self._pool_holder["pool"] = pool
+        return pool
+
+    def _discard_pool(self) -> None:
+        pool = self._pool_holder.pop("pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        self._discard_pool()
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _dispose_future(self, fut: Future, task: TaskSpec, i: int,
                         attempts: dict[int, int], reaped: set[int],

@@ -1,0 +1,116 @@
+"""Best-effort BLAS thread pinning for sharded workers.
+
+K shard processes each running multi-threaded BLAS oversubscribe the
+machine into a slowdown, so every worker pins its BLAS pools to a
+budget (usually 1).  Three mechanisms, tried in order of reliability:
+
+1. ``threadpoolctl`` — talks to every loaded pool, works after import;
+2. ctypes ``openblas_set_num_threads`` on the already-loaded OpenBLAS;
+3. environment variables — only effective for libraries loaded *after*
+   the variables are set, which is exactly the situation in a freshly
+   spawned worker before it imports numpy's BLAS.
+
+All three are best-effort: correctness never depends on pinning, only
+throughput does, and the bench schema records what actually took effect
+(:func:`effective_blas_threads`) so cross-host numbers stay honest.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def blas_env(threads: int) -> dict[str, str]:
+    """Environment variables that cap BLAS pools at ``threads``."""
+    value = str(max(1, int(threads)))
+    return {var: value for var in _BLAS_ENV_VARS}
+
+
+def limit_blas_threads(threads: int) -> str:
+    """Pin loaded BLAS pools to ``threads``; returns the mechanism used."""
+    threads = max(1, int(threads))
+    os.environ.update(blas_env(threads))
+    try:
+        import threadpoolctl
+
+        threadpoolctl.threadpool_limits(limits=threads)
+        return "threadpoolctl"
+    except ImportError:
+        pass
+    except Exception:  # pragma: no cover - exotic pool states
+        pass
+    try:
+        lib = ctypes.CDLL(None)
+        for symbol in ("openblas_set_num_threads",
+                       "openblas_set_num_threads64_"):
+            fn = getattr(lib, symbol, None)
+            if fn is not None:
+                fn(threads)
+                return "openblas"
+    except OSError:  # pragma: no cover - no dlopen(NULL) support
+        pass
+    return "env"
+
+
+def effective_blas_threads() -> int:
+    """The BLAS thread count actually in effect, best available probe."""
+    try:
+        import threadpoolctl
+
+        infos = threadpoolctl.threadpool_info()
+        blas = [i for i in infos if i.get("user_api") == "blas"]
+        if blas:
+            return max(int(i.get("num_threads", 1)) for i in blas)
+    except ImportError:
+        pass
+    except Exception:  # pragma: no cover
+        pass
+    try:
+        lib = ctypes.CDLL(None)
+        fn = getattr(lib, "openblas_get_num_threads", None)
+        if fn is not None:
+            n = int(fn())
+            if n > 0:
+                return n
+    except OSError:  # pragma: no cover
+        pass
+    for var in _BLAS_ENV_VARS:
+        raw = os.environ.get(var)
+        if raw:
+            try:
+                return max(1, int(raw))
+            except ValueError:
+                continue
+    return os.cpu_count() or 1
+
+
+def shard_plan(n: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``n`` members into contiguous near-equal ``[lo, hi)`` shards.
+
+    Earlier shards get the remainder, so sizes differ by at most one and
+    concatenating the ranges in order reproduces ``range(n)`` — the
+    property that keeps sharded fold order identical to the single
+    process path.
+    """
+    if n <= 0:
+        raise ValueError(f"population size must be positive, got {n}")
+    if shards <= 0:
+        raise ValueError(f"shard count must be positive, got {shards}")
+    shards = min(shards, n)
+    base, extra = divmod(n, shards)
+    plan: list[tuple[int, int]] = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        plan.append((lo, hi))
+        lo = hi
+    return plan

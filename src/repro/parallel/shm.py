@@ -1,0 +1,208 @@
+"""Planned shared-memory arenas for zero-copy cross-process arrays.
+
+A shard worker and its parent must agree, without negotiation, on where
+each tensor lives inside one ``multiprocessing.shared_memory`` segment.
+Both sides therefore build the same :class:`ArenaPlan` from the same
+block shapes (:func:`plan_blocks`) and carve numpy views at the planned
+offsets — the parent when creating the segment, the worker when
+attaching it.  All blocks are float64 and 64-byte aligned so views are
+cache-line friendly and BLAS-safe.
+
+Lifecycle rules (the part that keeps ``/dev/shm`` clean):
+
+* exactly one process — the parent — *owns* a segment: it creates it and
+  is the only one allowed to ``unlink`` it;
+* attaching processes ``close`` their mapping and additionally
+  unregister the segment from their own ``resource_tracker``.  Without
+  that, Python < 3.13 (no ``track=False``) has the *attacher's* tracker
+  unlink the segment when the attacher exits — destroying it under the
+  still-running owner;
+* :func:`active_segments` scans ``/dev/shm`` for this module's name
+  prefix so tests can assert nothing leaked.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+#: Prefix of every segment this module creates; the leak scanner keys on it.
+SEGMENT_PREFIX = "repro-shm-"
+
+_ALIGN = 64
+_ITEMSIZE = 8  # all blocks are float64
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One named float64 block inside an arena."""
+
+    name: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        n = _ITEMSIZE
+        for dim in self.shape:
+            n *= int(dim)
+        return n
+
+
+@dataclass(frozen=True)
+class ArenaPlan:
+    """A full segment layout: ordered blocks plus the total byte size.
+
+    Frozen and made only of builtins, so it pickles cheaply through a
+    ``spawn`` start method to the attaching worker.
+    """
+
+    blocks: tuple[BlockSpec, ...]
+    size: int
+
+    def block(self, name: str) -> BlockSpec:
+        for blk in self.blocks:
+            if blk.name == name:
+                return blk
+        raise KeyError(f"no block named {name!r} in arena plan")
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def plan_blocks(shapes: list[tuple[str, tuple[int, ...]]]) -> ArenaPlan:
+    """Lay out named float64 blocks back to back, 64-byte aligned."""
+    blocks: list[BlockSpec] = []
+    offset = 0
+    seen: set[str] = set()
+    for name, shape in shapes:
+        if name in seen:
+            raise ValueError(f"duplicate block name {name!r}")
+        seen.add(name)
+        blk = BlockSpec(name=name, shape=tuple(int(d) for d in shape),
+                        offset=offset)
+        blocks.append(blk)
+        offset += _aligned(blk.nbytes)
+    return ArenaPlan(blocks=tuple(blocks), size=max(offset, _ALIGN))
+
+
+class ShmArena:
+    """One shared-memory segment carved into planned numpy views."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, plan: ArenaPlan,
+                 *, owner: bool):
+        self._shm = shm
+        self.plan = plan
+        self.owner = owner
+        self.name = shm.name
+        self._closed = False
+
+    # -------------------------------------------------------- lifecycle
+
+    @classmethod
+    def create(cls, plan: ArenaPlan, *, name: str | None = None) -> ShmArena:
+        """Create and own a new segment sized for ``plan``."""
+        seg = name or f"{SEGMENT_PREFIX}{secrets.token_hex(6)}"
+        shm = shared_memory.SharedMemory(
+            create=True, size=plan.size, name=seg
+        )
+        return cls(shm, plan, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, plan: ArenaPlan, *,
+               untrack: bool = False) -> ShmArena:
+        """Attach to an existing segment without adopting its lifetime.
+
+        Python < 3.13 has no ``track=False``, so the attach registers the
+        segment with a resource tracker.  Our attachers are always
+        ``spawn``-children of the owner and therefore *share* the owner's
+        tracker process, where the registration set-deduplicates against
+        the owner's own entry — harmless, and a safety net if the owner
+        is SIGKILLed before unlinking.  An attacher running with its own
+        tracker (not our topology) would have that tracker unlink the
+        segment at attacher exit, destroying it under the live owner;
+        pass ``untrack=True`` there.
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        if untrack:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        return cls(shm, plan, owner=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping (both owners and attachers)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment; only the owner may call this."""
+        if not self.owner:
+            raise RuntimeError("only the arena owner may unlink the segment")
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+
+    def __enter__(self) -> ShmArena:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.owner:
+            self.unlink()
+        else:
+            self.close()
+
+    # ------------------------------------------------------------ views
+
+    def view(self, name: str) -> np.ndarray:
+        """A float64 view of one planned block (zero-copy, writable)."""
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        blk = self.plan.block(name)
+        return np.ndarray(
+            blk.shape, dtype=np.float64, buffer=self._shm.buf,
+            offset=blk.offset,
+        )
+
+    def sequential_allocator(self):
+        """An ``np.empty``-compatible callable serving planned blocks.
+
+        Each call hands out the next block's view, asserting the
+        requested shape matches the plan — this is how
+        ``StackedSequential`` is steered into shared memory without
+        knowing anything about arenas.
+        """
+        it = iter(self.plan.blocks)
+
+        def alloc(shape, dtype=np.float64) -> np.ndarray:
+            blk = next(it)
+            want = tuple(int(d) for d in shape)
+            if want != blk.shape or np.dtype(dtype) != np.float64:
+                raise ValueError(
+                    f"allocator plan mismatch: block {blk.name!r} is "
+                    f"{blk.shape}, requested {want} {np.dtype(dtype)}"
+                )
+            return self.view(blk.name)
+
+        return alloc
+
+
+def active_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Names of live ``/dev/shm`` segments created by this module."""
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(p.name for p in root.iterdir() if p.name.startswith(prefix))

@@ -84,6 +84,7 @@ class HeartbeatWriter(TuningLogger):
         self._alerts_active: list[dict[str, Any]] = []
         self._best_reward: float | None = None
         self._best_duration_s: float | None = None
+        self._round_s: float | None = None
 
     def event(self, kind: str, **fields: Any) -> None:
         # Non-step events never touch the file — they only accumulate
@@ -102,6 +103,17 @@ class HeartbeatWriter(TuningLogger):
             })
             if len(self._alerts_active) > _ACTIVE_ALERTS:
                 del self._alerts_active[0]
+            return
+        if kind == "population-round":
+            # Sharded lockstep lands one barrier round at a time: N member
+            # steps arrive in a burst, so the mean *step* interval is N×
+            # shorter than the wall-clock gap between file updates.  The
+            # slowest shard's round time is the true update cadence; the
+            # next step document carries it so staleness detection can
+            # key off rounds, not steps.
+            round_s = fields.get("round_s")
+            if isinstance(round_s, (int, float)):
+                self._round_s = float(round_s)
             return
         phase = self._kinds.get(kind)
         if phase is None:
@@ -140,6 +152,7 @@ class HeartbeatWriter(TuningLogger):
             },
             "best_reward": self._best_reward,
             "best_duration_s": self._best_duration_s,
+            "round_s": self._round_s,
             "last_event": {
                 k: v
                 for k, v in fields.items()
@@ -205,7 +218,16 @@ def pid_alive(pid: Any) -> bool | None:
 def default_stale_after(doc: dict[str, Any]) -> float:
     """Staleness horizon for a heartbeat: 3× the observed mean step
     interval, floored at 10 s so fast sessions aren't flagged by
-    scheduler jitter."""
+    scheduler jitter.
+
+    Sharded population runs stamp ``round_s`` (the slowest shard's
+    lockstep round time); when present it wins over the per-step mean,
+    because a round delivers a whole population's steps in one burst and
+    the per-step mean would under-estimate the update cadence by the
+    population size."""
+    round_s = doc.get("round_s")
+    if isinstance(round_s, (int, float)) and round_s > 0:
+        return max(3.0 * float(round_s), 10.0)
     step = doc.get("step") or 0
     elapsed = doc.get("elapsed_s") or 0.0
     if step > 0 and elapsed > 0.0:

@@ -53,6 +53,7 @@ import io
 import json
 import os
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -214,6 +215,7 @@ class CostLedger(_LedgerTotals):
         self.entries: list[dict[str, Any]] = []
         self._fh: io.TextIOWrapper | None = None
         self._seq = 0
+        self._defer = 0
 
     # -- recording -----------------------------------------------------
 
@@ -308,7 +310,8 @@ class CostLedger(_LedgerTotals):
             }
             self._fh.write(json.dumps(header, sort_keys=True) + "\n")
         self._fh.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
-        self._fh.flush()
+        if not self._defer:
+            self._fh.flush()
 
     def flush(self) -> None:
         if self._fh is not None:
@@ -318,6 +321,23 @@ class CostLedger(_LedgerTotals):
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    @contextmanager
+    def deferred(self):
+        """Suspend per-entry flushes; one flush at block exit.
+
+        File content and entry order are unchanged — a deferred run's
+        ledger is byte-identical to an undeferred one — only the flush
+        syscall cadence is batched (the population emits one flush per
+        lockstep round instead of one per member).
+        """
+        self._defer += 1
+        try:
+            yield self
+        finally:
+            self._defer -= 1
+            if not self._defer:
+                self.flush()
 
 
 class NullLedger(_LedgerTotals):
@@ -346,6 +366,10 @@ class NullLedger(_LedgerTotals):
 
     def close(self) -> None:
         pass
+
+    @contextmanager
+    def deferred(self):
+        yield self
 
 
 NULL_LEDGER = NullLedger()

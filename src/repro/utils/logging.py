@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, IO, Iterable
 
@@ -43,6 +44,18 @@ class TuningLogger:
 
     def close(self) -> None:
         """Release any resources (no-op by default)."""
+
+    @contextmanager
+    def deferred(self):
+        """Suspend per-event durability flushes inside the block.
+
+        Batch producers (the population's lockstep round) emit N events
+        back to back; deferring turns N flush syscalls into one at block
+        exit.  File *content and order* are unchanged — only the flush
+        cadence is batched — so deferred and non-deferred runs leave
+        byte-identical logs.  The base implementation is a no-op.
+        """
+        yield self
 
 
 class NullLogger(TuningLogger):
@@ -105,11 +118,13 @@ class JsonlLogger(TuningLogger):
         if path.parent != Path("."):
             path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(path, "a", encoding="utf-8")
+        self._defer = 0
 
     def event(self, kind: str, **fields: Any) -> None:
         record = {"kind": kind, "ts": time.time(), **fields}
         self._fh.write(json.dumps(record) + "\n")
-        self._fh.flush()
+        if not self._defer:
+            self._fh.flush()
 
     def flush(self) -> None:
         if not self._fh.closed:
@@ -117,6 +132,16 @@ class JsonlLogger(TuningLogger):
 
     def close(self) -> None:
         self._fh.close()
+
+    @contextmanager
+    def deferred(self):
+        self._defer += 1
+        try:
+            yield self
+        finally:
+            self._defer -= 1
+            if not self._defer:
+                self.flush()
 
     def __enter__(self) -> "JsonlLogger":
         return self
@@ -146,3 +171,12 @@ class TeeLogger(TuningLogger):
     def close(self) -> None:
         for lg in self._loggers:
             lg.close()
+
+    @contextmanager
+    def deferred(self):
+        from contextlib import ExitStack
+
+        with ExitStack() as stack:
+            for lg in self._loggers:
+                stack.enter_context(lg.deferred())
+            yield self

@@ -134,8 +134,14 @@ class TestSchema:
     def test_make_doc_is_valid(self):
         doc = _doc([_result_record("a"), _result_record("b", kind="macro")])
         assert validate_doc(doc) == []
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == 2
         assert "host" in doc and "created_at" in doc
+        assert doc["host"]["blas_threads"] >= 1
+
+    def test_v1_documents_remain_accepted(self):
+        doc = _doc([_result_record("a")])
+        doc["schema_version"] = 1  # pre-multi-core baseline files
+        assert validate_doc(doc) == []
 
     def test_validate_flags_problems(self):
         assert validate_doc("nope") == ["document is not a JSON object"]

@@ -1,0 +1,83 @@
+"""Persistent engine worker pool: one pool serves every run() call,
+discarded only when a worker crash or deadline reap breaks it.
+
+The per-round rebuild the pool replaced was pure overhead — workers are
+stateless (tasks are pure functions of their spec), so the only reason
+to discard one is that it may hold a corpse after a crash.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.experiments.engine import (
+    ExperimentEngine,
+    TaskSpec,
+    random_cdf_task,
+)
+from repro.faults import WorkerChaos
+
+
+def _cdf(seed, n=3):
+    return random_cdf_task(
+        workload="WC", dataset="D1", n_samples=n, seed=seed
+    )
+
+
+def test_pool_is_reused_across_rounds_and_runs():
+    eng = ExperimentEngine(jobs=2)
+    eng.run([_cdf(seed=s) for s in range(3)])
+    pool = eng._pool_holder.get("pool")
+    assert pool is not None
+    eng.run([_cdf(seed=s) for s in (7, 8)])
+    assert eng._pool_holder.get("pool") is pool
+    assert eng.stats.pool_rebuilds == 0
+    eng.close()
+
+
+def test_inline_engine_never_spawns_a_pool():
+    eng = ExperimentEngine(jobs=1)
+    eng.run([TaskSpec("random-cdf", {
+        "workload": "WC", "dataset": "D1", "n_samples": 3, "seed": 0,
+    })])
+    assert eng._pool_holder.get("pool") is None
+
+
+@pytest.mark.faults
+def test_chaos_break_discards_and_rebuilds():
+    tasks = [_cdf(seed=s) for s in range(4)]
+    clean = ExperimentEngine(jobs=1).run(tasks)
+    eng = ExperimentEngine(
+        jobs=2, chaos=WorkerChaos(seed=7, kill_rate=1.0), task_retries=2
+    )
+    survived = eng.run(tasks)
+    assert eng.stats.pool_rebuilds >= 1
+    for a, b in zip(clean, survived):
+        np.testing.assert_array_equal(a["durations"], b["durations"])
+        assert a["n_failed"] == b["n_failed"]
+    # The post-crash pool is healthy and persists into the next run.
+    pool = eng._pool_holder.get("pool")
+    assert pool is not None
+    eng.close()
+
+
+def test_close_is_idempotent_and_context_managed():
+    with ExperimentEngine(jobs=2) as eng:
+        eng.run([_cdf(seed=s) for s in (0, 1)])
+        assert eng._pool_holder.get("pool") is not None
+    assert eng._pool_holder.get("pool") is None
+    eng.close()
+    eng.close()
+
+
+def test_finalizer_shuts_pool_when_engine_is_collected():
+    eng = ExperimentEngine(jobs=2)
+    eng.run([_cdf(seed=s) for s in (0, 1)])
+    holder = eng._pool_holder
+    assert holder.get("pool") is not None
+    del eng
+    gc.collect()
+    assert holder.get("pool") is None

@@ -129,6 +129,25 @@ class TestHeartbeatEnrichment:
         assert "alerts 1" in line
         assert "rdper-beta-drift" in line
 
+    def test_population_round_stamps_round_time(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        w = HeartbeatWriter(hb, total_steps=4)
+        w.event("population-round", step=0, round_s=12.5, shards=4,
+                members=64)
+        assert not hb.exists()  # not a step kind — accumulates only
+        w.event("online-step", step=1)
+        doc = read_heartbeat(hb)
+        assert doc["round_s"] == 12.5
+        assert doc["step"] == 1  # rounds don't inflate the step count
+
+    def test_round_time_tracks_latest_round(self, tmp_path):
+        hb = tmp_path / "hb.json"
+        w = HeartbeatWriter(hb)
+        w.event("population-round", step=0, round_s=8.0)
+        w.event("population-round", step=1, round_s=3.0)
+        w.event("online-step", step=2)
+        assert read_heartbeat(hb)["round_s"] == 3.0
+
 
 class TestHeartbeatStatus:
     def _doc(self, **over):
@@ -147,6 +166,18 @@ class TestHeartbeatStatus:
         assert default_stale_after(
             self._doc(step=30, elapsed_s=3.0)
         ) == 10.0
+
+    def test_round_time_wins_over_step_mean(self):
+        # A sharded population lands N member steps per barrier round, so
+        # the per-step mean (here 10s) under-estimates the real update
+        # cadence; the stamped slowest-shard round time must win.
+        doc = self._doc(round_s=40.0)
+        assert default_stale_after(doc) == 120.0
+        assert heartbeat_status(doc, age_s=100.0) == "running"
+        assert heartbeat_status(doc, age_s=130.0) == "stalled"
+        # Floor still applies, and a zero round stamp falls back.
+        assert default_stale_after(self._doc(round_s=0.5)) == 10.0
+        assert default_stale_after(self._doc(round_s=0.0)) == 30.0
 
     def test_status_transitions(self):
         doc = self._doc()
